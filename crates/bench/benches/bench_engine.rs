@@ -1,0 +1,125 @@
+//! Substrate microbenchmarks: sparklet primitives (narrow pipeline,
+//! shuffle, accumulator), mini-DFS throughput, and a MapReduce
+//! word-count — the building blocks whose costs explain the
+//! macro-figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapred::{Counters, Emitter, JobConfig, MapReduceJob, Mapper, Reducer};
+use minidfs::{DfsCluster, DfsConfig};
+use sparklet::{ClusterConfig, Context};
+use std::hint::black_box;
+
+fn bench_sparklet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_sparklet");
+    g.sample_size(10);
+    g.bench_function("narrow_pipeline_100k", |b| {
+        let ctx = Context::new(ClusterConfig::local(4));
+        let data: Vec<i64> = (0..100_000).collect();
+        b.iter(|| {
+            let out = ctx
+                .parallelize(data.clone(), 8)
+                .map(|x| x * 3)
+                .filter(|x| x % 2 == 0)
+                .count()
+                .unwrap();
+            black_box(out)
+        })
+    });
+    g.bench_function("reduce_by_key_50k", |b| {
+        let ctx = Context::new(ClusterConfig::local(4));
+        let pairs: Vec<(u32, u64)> = (0..50_000).map(|i| (i % 100, 1u64)).collect();
+        b.iter(|| {
+            let out = ctx
+                .parallelize(pairs.clone(), 8)
+                .reduce_by_key(4, |a, b| a + b)
+                .collect()
+                .unwrap();
+            black_box(out.len())
+        })
+    });
+    g.bench_function("accumulator_20k_adds", |b| {
+        let ctx = Context::new(ClusterConfig::local(4));
+        let data: Vec<u64> = (0..20_000).collect();
+        b.iter(|| {
+            let acc = ctx.accumulator(0u64);
+            let a = acc.clone();
+            ctx.parallelize(data.clone(), 4)
+                .foreach_partition(move |_, d| {
+                    for v in d {
+                        a.add(v);
+                    }
+                })
+                .unwrap();
+            black_box(acc.value())
+        })
+    });
+    g.finish();
+}
+
+fn bench_minidfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_minidfs");
+    g.sample_size(10);
+    g.bench_function("write_read_1mb_repl2", |b| {
+        let payload = vec![0xA5u8; 1 << 20];
+        let mut file = 0usize;
+        b.iter(|| {
+            let dfs = DfsCluster::new(DfsConfig {
+                num_datanodes: 4,
+                replication: 2,
+                block_size: 128 * 1024,
+            })
+            .unwrap();
+            file += 1;
+            let path = format!("/bench-{file}");
+            dfs.write_file(&path, &payload).unwrap();
+            black_box(dfs.read_file(&path).unwrap().len())
+        })
+    });
+    g.finish();
+}
+
+struct Tokenize;
+
+impl Mapper for Tokenize {
+    type In = String;
+    type KOut = String;
+    type VOut = u64;
+
+    fn map(&self, record: String, emit: &mut Emitter<String, u64>, _c: &Counters) {
+        for w in record.split_whitespace() {
+            emit.emit(w.to_string(), 1);
+        }
+    }
+}
+
+struct Sum;
+
+impl Reducer for Sum {
+    type KIn = String;
+    type VIn = u64;
+    type Out = (String, u64);
+
+    fn reduce(&self, k: String, vs: Vec<u64>, out: &mut Vec<(String, u64)>, _c: &Counters) {
+        out.push((k, vs.iter().sum()));
+    }
+}
+
+fn bench_mapred(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_mapred");
+    g.sample_size(10);
+    g.bench_function("wordcount_2k_lines", |b| {
+        let lines: Vec<String> =
+            (0..2000).map(|i| format!("w{} w{} w{}", i % 50, i % 13, i % 7)).collect();
+        let splits: Vec<Vec<String>> = lines.chunks(500).map(|c| c.to_vec()).collect();
+        b.iter(|| {
+            let r = MapReduceJob::new(Tokenize, Sum, JobConfig::with_slots(4))
+                .run(splits.clone())
+                .unwrap();
+            black_box(r.outputs.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sparklet, bench_minidfs, bench_mapred);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench behind Figure 5: kd-tree construction cost relative
+//! to the full clustering (the figure's claim is that construction is a
+//! negligible fraction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbscan_core::{DbscanParams, SequentialDbscan};
+use dbscan_datagen::StandardDataset;
+use dbscan_spatial::KdTree;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_fig5(c: &mut Criterion) {
+    let spec = StandardDataset::C10k.scaled_spec(16);
+    let (data, _) = spec.generate();
+    let data = Arc::new(data);
+    let params = DbscanParams::new(spec.eps, spec.min_pts).unwrap();
+
+    let mut g = c.benchmark_group("fig5_kdtree_fraction");
+    g.sample_size(10);
+    g.bench_function("kdtree_build_only", |b| {
+        b.iter(|| black_box(KdTree::build(Arc::clone(&data))).len())
+    });
+    g.bench_function("whole_dbscan", |b| {
+        b.iter(|| {
+            let r = SequentialDbscan::new(params).run(Arc::clone(&data));
+            black_box(r.num_clusters())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

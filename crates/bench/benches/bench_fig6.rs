@@ -1,0 +1,61 @@
+//! Criterion bench behind Figure 6: the driver-side merge cost as the
+//! number of partial clusters grows (the component the paper shows
+//! rising with core count), for each merge strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscan_core::{merge_partial_clusters, MergeStrategy, PartialCluster, PartitionRanges};
+use std::hint::black_box;
+
+/// Synthesize `m` partial clusters over `parts` partitions forming long
+/// chains (the worst case for single-pass merging).
+fn synthetic_partials(parts: usize, per_partition: usize) -> (usize, Vec<PartialCluster>) {
+    let members_per = 40u32;
+    let span = per_partition as u32 * members_per;
+    let n = parts as u32 * span;
+    let ranges = PartitionRanges::new(n as usize, parts);
+    let mut out = Vec::new();
+    for part in 0..parts {
+        let (start, _) = ranges.range(part);
+        for k in 0..per_partition {
+            let base = start + k as u32 * members_per;
+            let mut c = PartialCluster::new(part as u32, ranges.range(part));
+            c.members = (base..base + members_per).collect();
+            // chain a seed into the same-offset cluster of the next partition
+            if part + 1 < parts {
+                let (next_start, _) = ranges.range(part + 1);
+                c.members.push(next_start + k as u32 * members_per);
+            }
+            out.push(c);
+        }
+    }
+    (n as usize, out)
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_driver_merge");
+    g.sample_size(10);
+    for (parts, per) in [(4, 8), (16, 16), (32, 32)] {
+        let (n, partials) = synthetic_partials(parts, per);
+        let core = vec![true; n];
+        for (ms, name) in [
+            (MergeStrategy::PaperSinglePass, "single_pass"),
+            (MergeStrategy::PaperFixpoint, "fixpoint"),
+            (MergeStrategy::UnionFind, "union_find"),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{}partials", partials.len())),
+                &partials,
+                |b, partials| {
+                    b.iter(|| {
+                        let out = merge_partial_clusters(n, black_box(partials), ms, &core);
+                        black_box(out.merged_clusters)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

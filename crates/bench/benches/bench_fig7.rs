@@ -1,0 +1,37 @@
+//! Criterion bench behind Figure 7: one MapReduce DBSCAN run vs one
+//! Spark DBSCAN run on the (scaled) 10k dataset — the in-memory vs
+//! disk-spilling data path gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbscan_core::{DbscanParams, MrDbscan, SparkDbscan};
+use dbscan_datagen::StandardDataset;
+use sparklet::{ClusterConfig, Context};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_fig7(c: &mut Criterion) {
+    let spec = StandardDataset::C10k.scaled_spec(16);
+    let (data, _) = spec.generate();
+    let data = Arc::new(data);
+    let params = DbscanParams::new(spec.eps, spec.min_pts).unwrap();
+
+    let mut g = c.benchmark_group("fig7_mr_vs_spark");
+    g.sample_size(10);
+    g.bench_function("spark_4cores", |b| {
+        b.iter(|| {
+            let ctx = Context::new(ClusterConfig::local(4));
+            let r = SparkDbscan::new(params).partitions(4).run(&ctx, Arc::clone(&data));
+            black_box(r.clustering.num_clusters())
+        })
+    });
+    g.bench_function("mapreduce_4cores", |b| {
+        b.iter(|| {
+            let r = MrDbscan::new(params, 4).run(Arc::clone(&data), 4).unwrap();
+            black_box(r.clustering.num_clusters())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

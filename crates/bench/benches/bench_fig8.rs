@@ -1,0 +1,33 @@
+//! Criterion bench behind Figure 8: the executor-phase work of the
+//! partitioned algorithm at different partition counts (the quantity
+//! whose LPT makespan produces the speedup curves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscan_core::{DbscanParams, SparkDbscan};
+use dbscan_datagen::StandardDataset;
+use sparklet::{ClusterConfig, Context};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_fig8(c: &mut Criterion) {
+    let spec = StandardDataset::R10k.scaled_spec(16);
+    let (data, _) = spec.generate();
+    let data = Arc::new(data);
+    let params = DbscanParams::new(spec.eps, spec.min_pts).unwrap();
+
+    let mut g = c.benchmark_group("fig8_partitioned_run");
+    g.sample_size(10);
+    for p in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("partitions", p), &p, |b, &p| {
+            b.iter(|| {
+                let ctx = Context::new(ClusterConfig::virtual_cluster(p));
+                let r = SparkDbscan::new(params).partitions(p).run(&ctx, Arc::clone(&data));
+                black_box((r.num_partial_clusters, r.clustering.num_clusters()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench behind Table I: synthetic-cluster data generation
+//! throughput for the catalog datasets (scaled down for bench speed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbscan_datagen::StandardDataset;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_datagen");
+    g.sample_size(10);
+    for ds in [StandardDataset::C10k, StandardDataset::R10k, StandardDataset::R1m] {
+        let spec = ds.scaled_spec(64);
+        g.bench_function(format!("generate_{}", spec.name), |b| {
+            b.iter(|| {
+                let (data, gt) = black_box(&spec).generate();
+                black_box((data.len(), gt.noise_count()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

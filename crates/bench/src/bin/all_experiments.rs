@@ -1,0 +1,150 @@
+//! Run every table/figure reproduction in sequence, writing JSON to
+//! `results/` and a combined markdown report to
+//! `results/EXPERIMENTS-run.md`.
+//!
+//! Usage: `cargo run --release -p dbscan-bench --bin all_experiments [--scale small|medium|paper]`
+
+use dbscan_bench::{
+    fig5_row, fig6_series, fig7_series, fig8_series, fmt_duration, markdown_table, write_json,
+    RunOptions, Scale,
+};
+use dbscan_datagen::StandardDataset;
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, _) = Scale::from_args(&args);
+    let results = Path::new("results");
+    let mut md = String::new();
+    let _ = writeln!(md, "# Experiment run (scale: {scale})\n");
+    let started = std::time::Instant::now();
+
+    // ---- Table I -----------------------------------------------------
+    eprintln!("[1/5] Table I");
+    let _ = writeln!(md, "## Table I\n");
+    let mut rows = Vec::new();
+    for ds in StandardDataset::ALL {
+        let spec = scale.spec(ds);
+        let (data, gt) = spec.generate();
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{}", data.len()),
+            format!("{}", data.dim()),
+            format!("{}", spec.eps),
+            format!("{}", spec.min_pts),
+            format!("{}", gt.num_clusters()),
+        ]);
+    }
+    let _ = writeln!(
+        md,
+        "{}",
+        markdown_table(&["Name", "Points", "d", "eps", "minpts", "gen. clusters"], &rows)
+    );
+
+    // ---- Fig 5 ---------------------------------------------------------
+    eprintln!("[2/5] Figure 5");
+    let _ = writeln!(md, "## Figure 5: kd-tree build / whole DBSCAN (1/1000)\n");
+    let mut rows = Vec::new();
+    let mut fig5 = Vec::new();
+    for ds in StandardDataset::ALL {
+        let spec = scale.spec(ds);
+        let opts =
+            if ds == StandardDataset::R1m { RunOptions::r1m() } else { RunOptions::default() };
+        let row = fig5_row(spec.name, &spec, opts);
+        rows.push(vec![row.dataset.clone(), format!("{:.3}", row.per_mille)]);
+        fig5.push(row);
+    }
+    let _ = writeln!(md, "{}", markdown_table(&["Dataset", "ratio (1/1000)"], &rows));
+    let _ = write_json(results, "fig5", &fig5);
+
+    // ---- Fig 6 ---------------------------------------------------------
+    eprintln!("[3/5] Figure 6");
+    let _ = writeln!(md, "## Figure 6: driver vs executor time\n");
+    let panels: [(StandardDataset, &[usize], RunOptions); 4] = [
+        (StandardDataset::R10k, &[1, 2, 4, 8], RunOptions::default()),
+        (StandardDataset::R1m, &[64, 128, 256, 512], RunOptions::r1m()),
+        (StandardDataset::C100k, &[4, 8, 16, 32], RunOptions::default()),
+        (StandardDataset::R100k, &[4, 8, 16, 32], RunOptions::default()),
+    ];
+    for (ds, cores, opts) in panels {
+        let spec = scale.spec(ds);
+        let series = fig6_series(&spec, cores, opts);
+        let rows: Vec<Vec<String>> = series
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.cores),
+                    format!("{}", p.partial_clusters),
+                    fmt_duration(p.driver),
+                    fmt_duration(p.executors),
+                ]
+            })
+            .collect();
+        let _ = writeln!(md, "### {}\n", spec.name);
+        let _ = writeln!(
+            md,
+            "{}",
+            markdown_table(&["Cores", "Partials", "Driver", "Executors"], &rows)
+        );
+        let _ = write_json(results, &format!("fig6_{}", spec.name), &series);
+    }
+
+    // ---- Fig 7 ---------------------------------------------------------
+    eprintln!("[4/5] Figure 7");
+    let _ = writeln!(md, "## Figure 7: MapReduce vs Spark (10k)\n");
+    let spec = scale.spec(StandardDataset::C10k);
+    let series = fig7_series(&spec, &[1, 2, 4, 8]);
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.cores),
+                fmt_duration(p.mapreduce),
+                fmt_duration(p.spark),
+                format!("{:.1}x", p.ratio),
+            ]
+        })
+        .collect();
+    let _ = writeln!(md, "{}", markdown_table(&["Cores", "MapReduce", "Spark", "MR/Spark"], &rows));
+    let _ = write_json(results, "fig7", &series);
+
+    // ---- Fig 8 ---------------------------------------------------------
+    eprintln!("[5/5] Figure 8");
+    let _ = writeln!(md, "## Figure 8: speedups\n");
+    let panels: [(StandardDataset, &[usize], RunOptions); 5] = [
+        (StandardDataset::C10k, &[2, 4, 8], RunOptions::default()),
+        (StandardDataset::R10k, &[2, 4, 8], RunOptions::default()),
+        (StandardDataset::C100k, &[4, 8, 16, 32], RunOptions::default()),
+        (StandardDataset::R100k, &[4, 8, 16, 32], RunOptions::default()),
+        (StandardDataset::R1m, &[64, 128, 256, 512], RunOptions::r1m()),
+    ];
+    for (ds, cores, opts) in panels {
+        let spec = scale.spec(ds);
+        let series = fig8_series(&spec, cores, opts);
+        let rows: Vec<Vec<String>> = series
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.cores),
+                    format!("{:.2}", p.speedup_executor),
+                    format!("{:.2}", p.speedup_total),
+                    format!("{}", p.partial_clusters),
+                ]
+            })
+            .collect();
+        let _ = writeln!(md, "### {}\n", spec.name);
+        let _ = writeln!(
+            md,
+            "{}",
+            markdown_table(&["Cores", "Speedup (exec)", "Speedup (total)", "Partials"], &rows)
+        );
+        let _ = write_json(results, &format!("fig8_{}", spec.name), &series);
+    }
+
+    let _ = writeln!(md, "\nTotal harness time: {}", fmt_duration(started.elapsed()));
+    std::fs::create_dir_all(results).expect("results dir");
+    std::fs::write(results.join("EXPERIMENTS-run.md"), &md).expect("write report");
+    println!("{md}");
+    eprintln!("report written to results/EXPERIMENTS-run.md");
+}

@@ -1,0 +1,43 @@
+//! Reproduce Figure 5: time taken by kd-tree construction as a fraction
+//! of the whole DBSCAN run (8 partitions), in 1/1000 units.
+//!
+//! The paper reports 0.05‰–5.5‰ (0.005%–0.55%), highest for the two 10k
+//! datasets because their total runtime is short.
+//!
+//! Usage: `cargo run --release -p dbscan-bench --bin fig5 [--scale ...]`
+
+use dbscan_bench::{fig5_row, fmt_duration, markdown_table, write_json, RunOptions, Scale};
+use dbscan_datagen::StandardDataset;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, _) = Scale::from_args(&args);
+    println!("# Figure 5: kd-tree construction vs whole DBSCAN (scale: {scale})\n");
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for ds in StandardDataset::ALL {
+        let spec = scale.spec(ds);
+        let opts = if ds == StandardDataset::R1m { RunOptions::r1m() } else { RunOptions::default() };
+        let row = fig5_row(spec.name, &spec, opts);
+        rows.push(vec![
+            row.dataset.clone(),
+            format!("{}", row.n),
+            fmt_duration(row.kdtree),
+            fmt_duration(row.whole),
+            format!("{:.3}", row.per_mille),
+        ]);
+        results.push(row);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["Dataset", "Points", "kd-tree build", "whole DBSCAN (8 parts)", "ratio (1/1000)"],
+            &rows
+        )
+    );
+    println!("Paper's shape: ratios well below 1% everywhere; larger for the 10k");
+    println!("datasets because the denominator (total time) is small.");
+    let _ = write_json(Path::new("results"), "fig5", &results);
+}

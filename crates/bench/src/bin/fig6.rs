@@ -1,0 +1,74 @@
+//! Reproduce Figure 6: time spent in the driver vs in the executors,
+//! with the number of partial clusters, as the core count grows.
+//!
+//! Panels: (a) r10k 1–8 cores, (b) r1m 64–512 cores (pruned kd-tree +
+//! small-cluster filter), (c) c100k 4–32 cores, (d) r100k 4–32 cores.
+//!
+//! Usage:
+//!   cargo run --release -p dbscan-bench --bin fig6 -- [--dataset r10k|r1m|c100k|r100k] [--scale ...]
+//!
+//! Without `--dataset`, all four panels run.
+
+use dbscan_bench::{fig6_series, fmt_duration, markdown_table, write_json, RunOptions, Scale};
+use dbscan_datagen::StandardDataset;
+use std::path::Path;
+
+fn panel(ds: StandardDataset) -> (&'static [usize], RunOptions) {
+    match ds {
+        StandardDataset::R10k | StandardDataset::C10k => (&[1, 2, 4, 8], RunOptions::default()),
+        StandardDataset::C100k | StandardDataset::R100k => {
+            (&[4, 8, 16, 32], RunOptions::default())
+        }
+        StandardDataset::R1m => (&[64, 128, 256, 512], RunOptions::r1m()),
+    }
+}
+
+fn run_panel(ds: StandardDataset, scale: Scale) {
+    let spec = scale.spec(ds);
+    let (cores, opts) = panel(ds);
+    println!("## Fig. 6 panel: {} (scale: {scale})\n", spec.name);
+    let series = fig6_series(&spec, cores, opts);
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.cores),
+                format!("{}", p.partial_clusters),
+                fmt_duration(p.driver),
+                fmt_duration(p.executors),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["Cores", "Partial clusters", "Driver time", "Executor time"], &rows)
+    );
+    let _ = write_json(Path::new("results"), &format!("fig6_{}", spec.name), &series);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, rest) = Scale::from_args(&args);
+    let chosen = rest
+        .iter()
+        .position(|a| a == "--dataset")
+        .and_then(|i| rest.get(i + 1))
+        .and_then(|n| StandardDataset::from_name(n));
+
+    println!("# Figure 6: driver vs executor time distribution\n");
+    match chosen {
+        Some(ds) => run_panel(ds, scale),
+        None => {
+            for ds in [
+                StandardDataset::R10k,
+                StandardDataset::R1m,
+                StandardDataset::C100k,
+                StandardDataset::R100k,
+            ] {
+                run_panel(ds, scale);
+            }
+        }
+    }
+    println!("Paper's shape: executor time falls with cores; the number of partial");
+    println!("clusters and the driver (merge) time grow with cores.");
+}

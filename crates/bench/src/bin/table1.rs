@@ -1,0 +1,38 @@
+//! Reproduce Table I: properties of the five test datasets, plus the
+//! generated ground-truth structure our synthetic-cluster generator
+//! (the IBM Quest stand-in) produced for each.
+//!
+//! Usage: `cargo run --release -p dbscan-bench --bin table1 [--scale small|medium|paper]`
+
+use dbscan_bench::{markdown_table, Scale};
+use dbscan_datagen::StandardDataset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, _) = Scale::from_args(&args);
+    println!("# Table I: properties of test data (scale: {scale})\n");
+
+    let mut rows = Vec::new();
+    for ds in StandardDataset::ALL {
+        let spec = scale.spec(ds);
+        let (data, gt) = spec.generate();
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{}", data.len()),
+            format!("{}", data.dim()),
+            format!("{}", spec.eps),
+            format!("{}", spec.min_pts),
+            format!("{}", gt.num_clusters()),
+            format!("{:.1}%", gt.noise_count() as f64 / data.len() as f64 * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["Name", "Points", "d", "eps", "minpts", "gen. clusters", "gen. noise"],
+            &rows
+        )
+    );
+    println!("Paper's Table I columns are Name/Points/d/eps/minpts; the last two");
+    println!("columns document the synthetic ground truth of our generator.");
+}

@@ -1,0 +1,27 @@
+//! # dbscan-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (Section V),
+//! plus ablations; this library holds the shared plumbing: scale
+//! presets, experiment runners, speedup math, table rendering, and JSON
+//! result persistence for EXPERIMENTS.md.
+//!
+//! | Binary      | Reproduces |
+//! |-------------|------------|
+//! | `table1`    | Table I (dataset properties) |
+//! | `fig5`      | kd-tree build time as ‰ of whole DBSCAN |
+//! | `fig6`      | driver vs executor time + #partial clusters |
+//! | `fig7`      | MapReduce vs Spark wall time |
+//! | `fig8`      | speedup curves (executor-only and total) |
+//! | `ablation`  | seed policy x merge strategy, shuffle strawman, index choice |
+//! | `all_experiments` | everything above, JSON + markdown to `results/` |
+
+pub mod report;
+pub mod runner;
+pub mod scale;
+
+pub use report::{fmt_duration, markdown_table, write_json};
+pub use runner::{
+    driver_time, executor_time, fig5_row, fig6_series, fig7_series, fig8_series, run_spark_at,
+    Fig5Row, Fig6Point, Fig7Point, Fig8Point, RunOptions,
+};
+pub use scale::Scale;

@@ -1,0 +1,84 @@
+//! Report rendering: markdown tables and JSON persistence.
+
+use std::path::Path;
+use std::time::Duration;
+
+/// Render a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Human-readable duration with sensible units.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{s:.0} s")
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Persist a serializable result under `results/<name>.json` (creating
+/// the directory), so EXPERIMENTS.md can reference raw numbers.
+pub fn write_json<T: serde::Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let text = serde_json::to_string_pretty(value)?;
+    std::fs::write(&path, text)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_header_separator_and_rows() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("| a |"));
+        assert!(lines[1].contains("---|---"));
+        assert!(lines[2].contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn durations_format_with_units() {
+        assert_eq!(fmt_duration(Duration::from_secs(200)), "200 s");
+        assert_eq!(fmt_duration(Duration::from_millis(2500)), "2.50 s");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert!(fmt_duration(Duration::from_micros(3)).contains("µs"));
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let dir = std::env::temp_dir().join(format!("bench-report-{}", std::process::id()));
+        write_json(&dir, "x", &serde_json::json!({"k": 1})).unwrap();
+        let text = std::fs::read_to_string(dir.join("x.json")).unwrap();
+        assert!(text.contains("\"k\": 1"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

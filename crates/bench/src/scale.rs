@@ -1,0 +1,109 @@
+//! Scale presets for the experiment binaries.
+//!
+//! `--scale paper` regenerates the figures at the paper's exact dataset
+//! sizes (minutes of CPU for r1m); `small`/`medium` shrink each dataset
+//! by a constant factor for quick runs and CI. The *code path* is
+//! identical at every scale.
+
+use dbscan_datagen::{DatasetSpec, StandardDataset};
+
+/// How big the workloads are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 1/64 of the paper's sizes (seconds).
+    Small,
+    /// 1/8 of the paper's sizes.
+    Medium,
+    /// The paper's exact sizes (Table I).
+    Paper,
+}
+
+impl Scale {
+    /// Parse a `--scale` argument.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Shrink factor relative to the paper's sizes.
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Small => 64,
+            Scale::Medium => 8,
+            Scale::Paper => 1,
+        }
+    }
+
+    /// The spec of a standard dataset at this scale.
+    pub fn spec(self, ds: StandardDataset) -> DatasetSpec {
+        ds.scaled_spec(self.factor())
+    }
+
+    /// Parse `--scale <x>` out of an argument list, defaulting to
+    /// `Small`. Returns the scale and the remaining args.
+    pub fn from_args(args: &[String]) -> (Scale, Vec<String>) {
+        let mut rest = Vec::new();
+        let mut scale = Scale::Small;
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "--scale" && i + 1 < args.len() {
+                scale = Scale::parse(&args[i + 1]).unwrap_or_else(|| {
+                    eprintln!("unknown scale {:?}, using small", args[i + 1]);
+                    Scale::Small
+                });
+                i += 2;
+            } else {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+        (scale, rest)
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scale::Small => write!(f, "small (1/64)"),
+            Scale::Medium => write!(f, "medium (1/8)"),
+            Scale::Paper => write!(f, "paper (full)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_known_scales() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn paper_scale_is_exact() {
+        let s = Scale::Paper.spec(StandardDataset::R1m);
+        assert_eq!(s.params.n, 1_024_000);
+    }
+
+    #[test]
+    fn small_scale_shrinks() {
+        let s = Scale::Small.spec(StandardDataset::C10k);
+        assert!(s.params.n <= 10_000 / 32);
+    }
+
+    #[test]
+    fn from_args_extracts_scale() {
+        let args = vec!["--dataset".into(), "r10k".into(), "--scale".into(), "medium".into()];
+        let (scale, rest) = Scale::from_args(&args);
+        assert_eq!(scale, Scale::Medium);
+        assert_eq!(rest, vec!["--dataset".to_string(), "r10k".to_string()]);
+    }
+}

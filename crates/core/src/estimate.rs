@@ -1,0 +1,168 @@
+//! Parameter estimation: the k-distance heuristic of the original
+//! DBSCAN paper (Ester et al. 1996, §4.2).
+//!
+//! The paper takes `eps = 25, minpts = 5` as given (Table I); a
+//! downstream user of this library usually has neither. The classic
+//! recipe: pick `k = minpts - 1`, plot every point's distance to its
+//! k-th nearest neighbour in descending order, and set `eps` at the
+//! "valley"/knee of that curve — points left of the knee are noise,
+//! points right of it cluster members.
+
+use dbscan_spatial::{Dataset, KdTree, SpatialIndex};
+use std::sync::Arc;
+
+/// Distance from each point to its `k`-th nearest neighbour (excluding
+/// the point itself), sorted **descending** — the classic k-distance
+/// plot, ready to inspect or feed to [`knee_index`].
+pub fn k_distances(data: &Arc<Dataset>, k: usize) -> Vec<f64> {
+    assert!(k >= 1, "k must be at least 1");
+    let n = data.len();
+    if n <= k {
+        return vec![f64::INFINITY; n];
+    }
+    let tree = KdTree::build(Arc::clone(data));
+    let mut out = Vec::with_capacity(n);
+    let mut neighbors = Vec::new();
+
+    // initial search radius: from a global density guess, grown per
+    // query until at least k+1 matches (the point itself included)
+    let (lo, hi) = data.bounds().expect("non-empty");
+    let diag = dbscan_spatial::euclidean(&lo, &hi).max(f64::MIN_POSITIVE);
+    let mut radius_guess = diag * (k as f64 / n as f64).powf(1.0 / data.dim() as f64);
+    if radius_guess <= 0.0 || !radius_guess.is_finite() {
+        radius_guess = diag / 16.0;
+    }
+
+    for (_, row) in data.iter() {
+        let mut r = radius_guess;
+        loop {
+            neighbors.clear();
+            tree.range_into(row, r, &mut neighbors);
+            if neighbors.len() > k || r >= diag {
+                break;
+            }
+            r *= 2.0;
+        }
+        let mut dists: Vec<f64> = neighbors
+            .iter()
+            .map(|&q| dbscan_spatial::euclidean(row, data.point(q)))
+            .collect();
+        dists.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        // dists[0] == 0.0 is the point itself; k-th neighbour is dists[k]
+        out.push(dists.get(k).copied().unwrap_or(diag));
+    }
+    out.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite distances"));
+    out
+}
+
+/// Index of the knee of a descending curve: the point farthest below
+/// the straight line from the first to the last sample (the standard
+/// "kneedle"-style geometric criterion).
+pub fn knee_index(sorted_desc: &[f64]) -> usize {
+    let n = sorted_desc.len();
+    if n < 3 {
+        return 0;
+    }
+    let (y0, y1) = (sorted_desc[0], sorted_desc[n - 1]);
+    let mut best = 0usize;
+    let mut best_gap = f64::NEG_INFINITY;
+    for (i, &y) in sorted_desc.iter().enumerate() {
+        let t = i as f64 / (n - 1) as f64;
+        let line = y0 + (y1 - y0) * t;
+        let gap = line - y; // how far the curve sags below the chord
+        if gap > best_gap {
+            best_gap = gap;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Suggest an `eps` for the given `min_pts` via the k-distance knee.
+/// Returns `None` for datasets too small to estimate (fewer than
+/// `min_pts + 1` points).
+pub fn suggest_eps(data: &Arc<Dataset>, min_pts: usize) -> Option<f64> {
+    let k = min_pts.saturating_sub(1).max(1);
+    if data.len() <= k + 1 {
+        return None;
+    }
+    let dists = k_distances(data, k);
+    let knee = knee_index(&dists);
+    let eps = dists[knee];
+    eps.is_finite().then_some(eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::DbscanParams;
+    use crate::sequential::SequentialDbscan;
+
+    fn blobs_with_noise() -> Arc<Dataset> {
+        let mut rows = Vec::new();
+        // three tight blobs with in-blob spacing ~0.1
+        for c in 0..3 {
+            for i in 0..30 {
+                rows.push(vec![c as f64 * 100.0 + (i % 6) as f64 * 0.1, (i / 6) as f64 * 0.1]);
+            }
+        }
+        // scattered noise, nearest-neighbour distances ~20+
+        for i in 0..9 {
+            rows.push(vec![i as f64 * 37.0 + 11.0, 300.0 + i as f64 * 23.0]);
+        }
+        Arc::new(Dataset::from_rows(rows))
+    }
+
+    #[test]
+    fn k_distances_are_descending_and_sane() {
+        let data = blobs_with_noise();
+        let d = k_distances(&data, 3);
+        assert_eq!(d.len(), data.len());
+        for w in d.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        // blob members' 3-distances are small, noise's are large
+        assert!(d[0] > 5.0, "largest k-distance {} should be noise-scale", d[0]);
+        assert!(d[d.len() - 1] < 1.0, "smallest k-distance should be blob-scale");
+    }
+
+    #[test]
+    fn knee_separates_noise_from_members() {
+        let data = blobs_with_noise();
+        let d = k_distances(&data, 3);
+        let knee = knee_index(&d);
+        // 9 noise points: the knee must sit near that prefix
+        assert!(knee <= 20, "knee at {knee} of {}", d.len());
+    }
+
+    #[test]
+    fn suggested_eps_makes_dbscan_work() {
+        let data = blobs_with_noise();
+        let eps = suggest_eps(&data, 4).expect("estimable");
+        let clustering =
+            SequentialDbscan::new(DbscanParams::new(eps, 4).unwrap()).run(Arc::clone(&data));
+        assert_eq!(clustering.num_clusters(), 3, "eps={eps}");
+        assert!(clustering.noise_count() >= 7, "eps={eps} noise={}", clustering.noise_count());
+    }
+
+    #[test]
+    fn tiny_datasets_return_none() {
+        let data = Arc::new(Dataset::from_rows(vec![vec![0.0], vec![1.0]]));
+        assert!(suggest_eps(&data, 4).is_none());
+    }
+
+    #[test]
+    fn knee_of_short_inputs() {
+        assert_eq!(knee_index(&[]), 0);
+        assert_eq!(knee_index(&[1.0, 0.5]), 0);
+    }
+
+    #[test]
+    fn knee_finds_sharp_corner() {
+        // flat-high then flat-low: knee at the drop
+        let mut curve = vec![10.0; 5];
+        curve.extend(vec![1.0; 20]);
+        let k = knee_index(&curve);
+        assert!((4..=6).contains(&k), "knee at {k}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Small-partial-cluster filtering.
+//!
+//! For the 1M-point runs the paper reports: "we filter out those partial
+//! clusters whose size is too small, and their removal does not impact
+//! the accuracy significantly" — it bounds the driver's merge cost,
+//! which otherwise grows with the number of partial clusters (Fig. 6b).
+
+use crate::model::PartialCluster;
+
+/// Keep only partial clusters with at least `min_size` *regular*
+/// members (SEEDs don't count — a cluster that is all SEEDs carries no
+/// local evidence).
+pub fn filter_small_partials(partials: Vec<PartialCluster>, min_size: usize) -> Vec<PartialCluster> {
+    partials
+        .into_iter()
+        .filter(|c| c.regulars().count() >= min_size)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc(range: (u32, u32), members: &[u32]) -> PartialCluster {
+        let mut c = PartialCluster::new(0, range);
+        c.members = members.to_vec();
+        c
+    }
+
+    #[test]
+    fn drops_below_threshold() {
+        let partials = vec![
+            pc((0, 10), &[1, 2, 3]),
+            pc((0, 10), &[4]),
+            pc((0, 10), &[5, 6]),
+        ];
+        let kept = filter_small_partials(partials, 2);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn seeds_do_not_count_toward_size() {
+        // 1 regular + 2 seeds: below a threshold of 2
+        let partials = vec![pc((0, 10), &[1, 15, 20])];
+        assert!(filter_small_partials(partials.clone(), 2).is_empty());
+        assert_eq!(filter_small_partials(partials, 1).len(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_keeps_everything() {
+        let partials = vec![pc((0, 10), &[]), pc((0, 10), &[1])];
+        assert_eq!(filter_small_partials(partials, 0).len(), 2);
+    }
+}

@@ -1,0 +1,375 @@
+//! Incremental DBSCAN (insertions) — Ester et al. 1998, the direction
+//! the paper's related work points at (MR-IDBSCAN is the incremental
+//! MapReduce variant the paper cites as \[14\]).
+//!
+//! Maintains a clustering under point insertions without re-running the
+//! whole algorithm. Insertion can only change things in the new point's
+//! neighbourhood: the points of `N_eps(p)` gain one neighbour each, so
+//! only they can *become* core. The update rule (Ester et al.'s case
+//! analysis):
+//!
+//! * no core point in `N_eps(p)` → `p` is noise;
+//! * otherwise `p` joins the cluster(s) of those cores — if several
+//!   distinct clusters are reachable through cores, the insertion
+//!   **merges** them;
+//! * every point that *became* core through `p` additionally absorbs its
+//!   whole neighbourhood (noise → border) and merges with any other
+//!   core's cluster it can reach.
+//!
+//! Equivalence with a from-scratch run is property-tested (core points
+//! and their partition must match exactly; border assignment is
+//! order-dependent in DBSCAN and may differ).
+
+use crate::label::{Clustering, Label};
+use crate::params::DbscanParams;
+use crate::unionfind::DisjointSet;
+use dbscan_spatial::Dataset;
+use std::collections::HashMap;
+
+/// A dynamic grid index (cell side = eps) supporting insertion — the
+/// static indexes in `dbscan-spatial` are bulk-built, an incremental
+/// structure needs cheap inserts.
+#[derive(Debug, Default)]
+struct DynamicGrid {
+    cell: f64,
+    cells: HashMap<Vec<i64>, Vec<u32>>,
+}
+
+impl DynamicGrid {
+    fn new(cell: f64) -> Self {
+        DynamicGrid { cell: cell.max(f64::MIN_POSITIVE), cells: HashMap::new() }
+    }
+
+    fn key(&self, row: &[f64]) -> Vec<i64> {
+        row.iter().map(|&v| (v / self.cell).floor() as i64).collect()
+    }
+
+    fn insert(&mut self, id: u32, row: &[f64]) {
+        self.cells.entry(self.key(row)).or_default().push(id);
+    }
+
+    /// Ids within `eps` of `query` (eps == cell side).
+    ///
+    /// Two traversal strategies: enumerate the 3^d neighbouring cells
+    /// (cheap in low dimensions), or — when 3^d dwarfs the number of
+    /// occupied cells, as it does at the paper's d = 10 — scan the
+    /// occupied cells and keep those within Chebyshev distance 1 of the
+    /// query's cell.
+    fn neighbors(&self, data: &Dataset, query: &[f64], eps: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let center = self.key(query);
+        let d = center.len();
+        let thr = eps * eps;
+        let mut scan_ids = |ids: &[u32]| {
+            for &i in ids {
+                if dbscan_spatial::squared_euclidean(query, data.row(i as usize)) <= thr {
+                    out.push(i);
+                }
+            }
+        };
+
+        let enumerable = d < 12 && 3usize.pow(d as u32) <= self.cells.len() * 4;
+        if !enumerable {
+            for (key, ids) in &self.cells {
+                if key.iter().zip(&center).all(|(k, c)| (k - c).abs() <= 1) {
+                    scan_ids(ids);
+                }
+            }
+            return;
+        }
+
+        let mut offset = vec![-1i64; d];
+        loop {
+            let key: Vec<i64> = center.iter().zip(&offset).map(|(c, o)| c + o).collect();
+            if let Some(ids) = self.cells.get(&key) {
+                scan_ids(ids);
+            }
+            let mut k = 0;
+            loop {
+                if k == d {
+                    return;
+                }
+                offset[k] += 1;
+                if offset[k] <= 1 {
+                    break;
+                }
+                offset[k] = -1;
+                k += 1;
+            }
+        }
+    }
+}
+
+/// A DBSCAN clustering maintained under insertions.
+pub struct IncrementalDbscan {
+    params: DbscanParams,
+    data: Dataset,
+    grid: DynamicGrid,
+    /// Raw cluster id per point (`u32::MAX` = noise); ids are unioned on
+    /// merge and compressed on read.
+    raw: Vec<u32>,
+    core: Vec<bool>,
+    clusters: DisjointSet,
+}
+
+const NOISE: u32 = u32::MAX;
+
+impl IncrementalDbscan {
+    /// Empty clustering for `dim`-dimensional points.
+    pub fn new(params: DbscanParams, dim: usize) -> Self {
+        IncrementalDbscan {
+            params,
+            data: Dataset::empty(dim),
+            grid: DynamicGrid::new(params.eps),
+            raw: Vec::new(),
+            core: Vec::new(),
+            clusters: DisjointSet::new(0),
+        }
+    }
+
+    /// Number of points inserted so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no points were inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Insert one point and update the clustering. Returns its id.
+    ///
+    /// Only points of `N_eps(p)` gain a neighbour, so only they (and `p`
+    /// itself) can become core. Every point that *is now* core merges
+    /// with the clusters of the **core** points in its neighbourhood —
+    /// merging happens exclusively through core–core edges; a non-core
+    /// `p` between two clusters becomes a border point of one of them
+    /// and must *not* weld them (the mistake Ester et al.'s case
+    /// analysis guards against, and exactly what our property test
+    /// caught in an earlier draft).
+    pub fn insert(&mut self, coords: &[f64]) -> u32 {
+        let id = self.data.push(coords).0;
+        self.grid.insert(id, coords);
+        self.raw.push(NOISE);
+        self.core.push(false);
+
+        // neighbourhood of the new point (includes the point itself)
+        let mut nb = Vec::new();
+        self.grid.neighbors(&self.data, coords, self.params.eps, &mut nb);
+
+        // flag everything that is core *after* the insertion, before any
+        // cluster surgery (so mutual new cores see each other)
+        let mut fresh_cores: Vec<u32> = Vec::new();
+        let mut probe = Vec::new();
+        for &q in &nb {
+            if self.core[q as usize] {
+                continue;
+            }
+            self.grid.neighbors(
+                &self.data,
+                self.data.row(q as usize),
+                self.params.eps,
+                &mut probe,
+            );
+            if probe.len() >= self.params.min_pts {
+                self.core[q as usize] = true;
+                fresh_cores.push(q); // includes `id` itself when p is core
+            }
+        }
+
+        // every fresh core: union the clusters of core neighbours that
+        // already have one, found a cluster if none, absorb noise
+        // neighbours as borders
+        for &q in &fresh_cores {
+            self.grid.neighbors(
+                &self.data,
+                self.data.row(q as usize),
+                self.params.eps,
+                &mut probe,
+            );
+            let mut target: Option<u32> = None;
+            for &r in &probe {
+                if r != q && self.core[r as usize] && self.raw[r as usize] != NOISE {
+                    let rr = self.find(self.raw[r as usize]);
+                    target = Some(match target {
+                        None => rr,
+                        Some(t) => self.union(t, rr),
+                    });
+                }
+            }
+            let target = match target {
+                Some(t) => t,
+                None => self.new_cluster(),
+            };
+            self.raw[q as usize] = target;
+            for &r in &probe {
+                if self.raw[r as usize] == NOISE {
+                    self.raw[r as usize] = target; // noise -> border
+                }
+            }
+        }
+
+        // p non-core and not absorbed above: border of any adjacent
+        // clustered core, else noise
+        if self.raw[id as usize] == NOISE {
+            if let Some(&c) = nb
+                .iter()
+                .find(|&&q| self.core[q as usize] && self.raw[q as usize] != NOISE)
+            {
+                self.raw[id as usize] = self.find(self.raw[c as usize]);
+            }
+        }
+        id
+    }
+
+    fn new_cluster(&mut self) -> u32 {
+        let id = self.clusters.len() as u32;
+        // grow the disjoint set by one singleton
+        let mut grown = DisjointSet::new(self.clusters.len() + 1);
+        for i in 0..self.clusters.len() {
+            let root = self.clusters.find(i);
+            if root != i {
+                grown.union(i, root);
+            }
+        }
+        self.clusters = grown;
+        id
+    }
+
+    fn find(&mut self, c: u32) -> u32 {
+        self.clusters.find(c as usize) as u32
+    }
+
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        self.clusters.union(a as usize, b as usize);
+        self.clusters.find(a as usize) as u32
+    }
+
+    /// Snapshot the current clustering (labels in insertion order).
+    pub fn clustering(&mut self) -> Clustering {
+        let mut dense: HashMap<u32, u32> = HashMap::new();
+        let mut next = 0u32;
+        let labels = (0..self.raw.len())
+            .map(|i| {
+                let r = self.raw[i];
+                if r == NOISE {
+                    Label::Noise
+                } else {
+                    let root = self.clusters.find(r as usize) as u32;
+                    let id = *dense.entry(root).or_insert_with(|| {
+                        let v = next;
+                        next += 1;
+                        v
+                    });
+                    Label::Cluster(id)
+                }
+            })
+            .collect();
+        Clustering { labels, core: self.core.clone() }
+    }
+
+    /// The points inserted so far.
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::SequentialDbscan;
+    use crate::validate::core_labels_equivalent;
+    use std::sync::Arc;
+
+    fn check_against_batch(rows: &[Vec<f64>], eps: f64, min_pts: usize) {
+        let params = DbscanParams::new(eps, min_pts).unwrap();
+        let mut inc = IncrementalDbscan::new(params, rows[0].len());
+        for r in rows {
+            inc.insert(r);
+        }
+        let incremental = inc.clustering();
+        let batch = SequentialDbscan::new(params).run(Arc::new(Dataset::from_rows(rows.to_vec())));
+        assert!(
+            core_labels_equivalent(&incremental, &batch),
+            "incremental {:?} clusters vs batch {:?}",
+            incremental.num_clusters(),
+            batch.num_clusters()
+        );
+    }
+
+    #[test]
+    fn grows_a_cluster_point_by_point() {
+        let params = DbscanParams::new(1.1, 3).unwrap();
+        let mut inc = IncrementalDbscan::new(params, 1);
+        assert!(inc.is_empty());
+        inc.insert(&[0.0]);
+        inc.insert(&[1.0]);
+        assert_eq!(inc.clustering().num_clusters(), 0, "too sparse so far");
+        inc.insert(&[2.0]);
+        let c = inc.clustering();
+        assert_eq!(c.num_clusters(), 1, "middle point became core");
+        assert_eq!(c.noise_count(), 0);
+        assert_eq!(inc.len(), 3);
+    }
+
+    #[test]
+    fn bridging_point_merges_two_clusters() {
+        let params = DbscanParams::new(1.1, 2).unwrap();
+        let mut inc = IncrementalDbscan::new(params, 1);
+        for x in [0.0, 1.0, 4.0, 5.0] {
+            inc.insert(&[x]);
+        }
+        assert_eq!(inc.clustering().num_clusters(), 2);
+        inc.insert(&[2.5]); // within 1.1 of neither? 2.5-1.0=1.5: no
+        assert_eq!(inc.clustering().num_clusters(), 2);
+        inc.insert(&[2.0]); // links 1.0 and 2.5
+        inc.insert(&[3.0]); // links 2.5/2.0 and 4.0
+        let c = inc.clustering();
+        assert_eq!(c.num_clusters(), 1, "bridge merged the clusters: {:?}", c.labels);
+    }
+
+    #[test]
+    fn matches_batch_on_blobs_any_insertion_order() {
+        let mut rows = Vec::new();
+        for c in 0..3 {
+            for i in 0..15 {
+                rows.push(vec![c as f64 * 30.0 + i as f64 * 0.3, (i % 4) as f64 * 0.3]);
+            }
+        }
+        rows.push(vec![500.0, 500.0]);
+        check_against_batch(&rows, 0.8, 3);
+        // reversed order
+        let mut rev = rows.clone();
+        rev.reverse();
+        check_against_batch(&rev, 0.8, 3);
+        // interleaved order
+        let inter: Vec<Vec<f64>> = (0..rows.len())
+            .map(|i| rows[(i * 7) % rows.len()].clone())
+            .collect();
+        check_against_batch(&inter, 0.8, 3);
+    }
+
+    #[test]
+    fn all_noise_stays_noise() {
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let mut inc = IncrementalDbscan::new(params, 2);
+        for i in 0..10 {
+            inc.insert(&[i as f64 * 50.0, 0.0]);
+        }
+        let c = inc.clustering();
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.noise_count(), 10);
+    }
+
+    #[test]
+    fn duplicate_points_work() {
+        let params = DbscanParams::new(0.1, 4).unwrap();
+        let mut inc = IncrementalDbscan::new(params, 2);
+        for _ in 0..6 {
+            inc.insert(&[3.0, 3.0]);
+        }
+        let c = inc.clustering();
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.core_count(), 6);
+    }
+}

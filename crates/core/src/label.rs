@@ -1,0 +1,176 @@
+//! Clustering results.
+
+use serde::{Deserialize, Serialize};
+
+/// A point's final assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// Not density-reachable from any core point.
+    Noise,
+    /// Member of the cluster with this id.
+    Cluster(u32),
+}
+
+impl Label {
+    /// Whether this is a cluster assignment.
+    pub fn is_cluster(self) -> bool {
+        matches!(self, Label::Cluster(_))
+    }
+}
+
+/// The result of a DBSCAN run: one label per point (by index), plus
+/// core-point flags (core points are what all correct DBSCAN variants
+/// must agree on).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Label per point, indexed by point id.
+    pub labels: Vec<Label>,
+    /// `true` where the point is a core point.
+    pub core: Vec<bool>,
+}
+
+impl Clustering {
+    /// An all-noise clustering of `n` points.
+    pub fn all_noise(n: usize) -> Self {
+        Clustering { labels: vec![Label::Noise; n], core: vec![false; n] }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of distinct clusters.
+    pub fn num_clusters(&self) -> usize {
+        let mut ids: Vec<u32> = self
+            .labels
+            .iter()
+            .filter_map(|l| match l {
+                Label::Cluster(c) => Some(*c),
+                Label::Noise => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Number of noise points.
+    pub fn noise_count(&self) -> usize {
+        self.labels.iter().filter(|l| **l == Label::Noise).count()
+    }
+
+    /// Number of core points.
+    pub fn core_count(&self) -> usize {
+        self.core.iter().filter(|c| **c).count()
+    }
+
+    /// Sizes of each cluster, keyed by cluster id.
+    pub fn cluster_sizes(&self) -> std::collections::BTreeMap<u32, usize> {
+        let mut sizes = std::collections::BTreeMap::new();
+        for l in &self.labels {
+            if let Label::Cluster(c) = l {
+                *sizes.entry(*c).or_insert(0) += 1;
+            }
+        }
+        sizes
+    }
+
+    /// Canonical relabeling: clusters renumbered `0..k` in order of their
+    /// smallest member index. Two clusterings that partition points the
+    /// same way become identical after canonicalization.
+    pub fn canonicalize(&self) -> Clustering {
+        let mut first_seen: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut next = 0u32;
+        let labels = self
+            .labels
+            .iter()
+            .map(|l| match l {
+                Label::Noise => Label::Noise,
+                Label::Cluster(c) => {
+                    let id = *first_seen.entry(*c).or_insert_with(|| {
+                        let id = next;
+                        next += 1;
+                        id
+                    });
+                    Label::Cluster(id)
+                }
+            })
+            .collect();
+        Clustering { labels, core: self.core.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Clustering {
+        Clustering {
+            labels: vec![
+                Label::Cluster(7),
+                Label::Cluster(7),
+                Label::Noise,
+                Label::Cluster(3),
+                Label::Cluster(7),
+            ],
+            core: vec![true, false, false, true, true],
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let c = sample();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.noise_count(), 1);
+        assert_eq!(c.core_count(), 3);
+    }
+
+    #[test]
+    fn sizes() {
+        let sizes = sample().cluster_sizes();
+        assert_eq!(sizes[&7], 3);
+        assert_eq!(sizes[&3], 1);
+    }
+
+    #[test]
+    fn canonicalize_renumbers_by_first_appearance() {
+        let c = sample().canonicalize();
+        assert_eq!(
+            c.labels,
+            vec![
+                Label::Cluster(0),
+                Label::Cluster(0),
+                Label::Noise,
+                Label::Cluster(1),
+                Label::Cluster(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let c = sample().canonicalize();
+        assert_eq!(c, c.canonicalize());
+    }
+
+    #[test]
+    fn all_noise() {
+        let c = Clustering::all_noise(3);
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.noise_count(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn label_is_cluster() {
+        assert!(Label::Cluster(0).is_cluster());
+        assert!(!Label::Noise.is_cluster());
+    }
+}

@@ -1,0 +1,183 @@
+//! Partitions and partial clusters — the paper's core data model.
+
+use serde::{Deserialize, Serialize};
+
+/// The contiguous index-range partitioning of `n` points into `p`
+/// partitions (Fig. 4's "Range: 0 -- 2499"). Partition `i` owns
+/// `[i*n/p, (i+1)*n/p)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionRanges {
+    n: u32,
+    p: u32,
+}
+
+impl PartitionRanges {
+    /// Partition `n` points into `p` contiguous ranges.
+    pub fn new(n: usize, p: usize) -> Self {
+        PartitionRanges { n: n as u32, p: (p.max(1)) as u32 }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.p as usize
+    }
+
+    /// Total number of points.
+    pub fn num_points(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The half-open index range `[start, end)` of partition `i`.
+    pub fn range(&self, i: usize) -> (u32, u32) {
+        let i = i as u64;
+        let n = self.n as u64;
+        let p = self.p as u64;
+        ((i * n / p) as u32, ((i + 1) * n / p) as u32)
+    }
+
+    /// Which partition owns point `idx`.
+    pub fn partition_of(&self, idx: u32) -> usize {
+        debug_assert!(idx < self.n);
+        // exact inverse of range(): the unique i with
+        // floor(i*n/p) <= idx < floor((i+1)*n/p) is ceil((idx+1)*p/n) - 1
+        let n = self.n as u64;
+        let p = self.p as u64;
+        let i = ((idx as u64 + 1) * p).div_ceil(n) - 1;
+        debug_assert!(self.contains(i as usize, idx));
+        i as usize
+    }
+
+    /// Whether `idx` lies in partition `i`.
+    pub fn contains(&self, i: usize, idx: u32) -> bool {
+        let (a, b) = self.range(i);
+        idx >= a && idx < b
+    }
+}
+
+/// Merge status of a partial cluster (Algorithm 4 / Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartialStatus {
+    /// Not yet considered by the merge loop.
+    Unfinished,
+    /// Merged (either absorbed into another cluster or closed out).
+    Finished,
+}
+
+/// A partial cluster built inside one executor.
+///
+/// `members` holds global point indices; members **inside** the owner's
+/// range are regular elements, members **outside** it are SEEDs ("the
+/// SEEDs are not related to the locations\[;\] if the current point's
+/// index is beyond the range of \[the\] current partition it is taken as a
+/// SEED").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialCluster {
+    /// Partition that built this cluster.
+    pub owner: u32,
+    /// The owner's index range `[start, end)`.
+    pub range: (u32, u32),
+    /// Regular members and SEEDs.
+    pub members: Vec<u32>,
+}
+
+impl PartialCluster {
+    /// New empty partial cluster for a partition.
+    pub fn new(owner: u32, range: (u32, u32)) -> Self {
+        PartialCluster { owner, range, members: Vec::new() }
+    }
+
+    /// Whether an index is a regular element (inside the owner's range).
+    pub fn is_regular(&self, idx: u32) -> bool {
+        idx >= self.range.0 && idx < self.range.1
+    }
+
+    /// The SEEDs: members outside the owner's range.
+    pub fn seeds(&self) -> impl Iterator<Item = u32> + '_ {
+        self.members.iter().copied().filter(|&m| !self.is_regular(m))
+    }
+
+    /// Regular members only.
+    pub fn regulars(&self) -> impl Iterator<Item = u32> + '_ {
+        self.members.iter().copied().filter(|&m| self.is_regular(m))
+    }
+
+    /// Number of members (regulars + SEEDs).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cluster has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_everything_exactly_once() {
+        for (n, p) in [(10usize, 3usize), (5000, 2), (7, 7), (100, 1), (13, 5)] {
+            let r = PartitionRanges::new(n, p);
+            let mut covered = vec![0u8; n];
+            for i in 0..p {
+                let (a, b) = r.range(i);
+                for x in a..b {
+                    covered[x as usize] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn paper_example_ranges() {
+        // Fig. 4: 5000 points, 2 partitions -> 0..2499 and 2500..4999
+        let r = PartitionRanges::new(5000, 2);
+        assert_eq!(r.range(0), (0, 2500));
+        assert_eq!(r.range(1), (2500, 5000));
+        assert_eq!(r.partition_of(2499), 0);
+        assert_eq!(r.partition_of(2500), 1);
+        assert_eq!(r.partition_of(3000), 1);
+    }
+
+    #[test]
+    fn partition_of_agrees_with_ranges() {
+        for (n, p) in [(100usize, 7usize), (1001, 13), (64, 64)] {
+            let r = PartitionRanges::new(n, p);
+            for idx in 0..n as u32 {
+                let i = r.partition_of(idx);
+                assert!(r.contains(i, idx), "n={n} p={p} idx={idx} -> {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_partitions_than_points() {
+        let r = PartitionRanges::new(3, 10);
+        let total: u32 = (0..10).map(|i| r.range(i)).map(|(a, b)| b - a).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn seeds_are_out_of_range_members() {
+        // Fig. 4a: C[0] has range 0..2500 and contains 3000 as a SEED
+        let mut c = PartialCluster::new(0, (0, 2500));
+        c.members = vec![0, 5, 6, 3000, 11, 223, 2300, 23, 45, 1000];
+        assert!(c.is_regular(0) && c.is_regular(2300));
+        assert!(!c.is_regular(3000));
+        assert_eq!(c.seeds().collect::<Vec<_>>(), vec![3000]);
+        assert_eq!(c.regulars().count(), 9);
+        assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut c = PartialCluster::new(1, (10, 20));
+        c.members = vec![10, 11, 25];
+        let json = serde_json::to_string(&c).unwrap();
+        let back: PartialCluster = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

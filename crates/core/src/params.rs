@@ -1,0 +1,69 @@
+//! DBSCAN parameters.
+
+/// The two DBSCAN parameters: neighborhood radius and density threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    /// Neighborhood radius (`eps`).
+    pub eps: f64,
+    /// Minimum neighborhood size (including the point itself) for a core
+    /// point (`minpts`).
+    pub min_pts: usize,
+}
+
+impl DbscanParams {
+    /// Validated constructor.
+    ///
+    /// # Errors
+    /// Rejects non-finite or negative `eps` and `min_pts == 0`.
+    pub fn new(eps: f64, min_pts: usize) -> Result<Self, String> {
+        if !eps.is_finite() || eps < 0.0 {
+            return Err(format!("eps must be finite and non-negative, got {eps}"));
+        }
+        if min_pts == 0 {
+            return Err("min_pts must be at least 1".to_string());
+        }
+        Ok(DbscanParams { eps, min_pts })
+    }
+
+    /// The paper's Table I parameters: `eps = 25`, `minpts = 5`.
+    pub fn paper() -> Self {
+        DbscanParams { eps: 25.0, min_pts: 5 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid() {
+        let p = DbscanParams::new(0.5, 3).unwrap();
+        assert_eq!(p.eps, 0.5);
+        assert_eq!(p.min_pts, 3);
+    }
+
+    #[test]
+    fn rejects_bad_eps() {
+        assert!(DbscanParams::new(-1.0, 3).is_err());
+        assert!(DbscanParams::new(f64::NAN, 3).is_err());
+        assert!(DbscanParams::new(f64::INFINITY, 3).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_min_pts() {
+        assert!(DbscanParams::new(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn zero_eps_is_allowed() {
+        // degenerate but well-defined: only exact duplicates are neighbors
+        assert!(DbscanParams::new(0.0, 2).is_ok());
+    }
+
+    #[test]
+    fn paper_params() {
+        let p = DbscanParams::paper();
+        assert_eq!(p.eps, 25.0);
+        assert_eq!(p.min_pts, 5);
+    }
+}

@@ -1,0 +1,509 @@
+//! The full pipeline on the sparklet engine — Algorithm 2 end to end.
+//!
+//! Driver: read/transform data, build the kd-tree, broadcast
+//! `{kd-tree, eps, minpts, partition info}`. Executors: local clustering
+//! with SEEDs, partial clusters returned through a collection
+//! accumulator "right before the executor finishes its task". Driver
+//! again: merge partial clusters (Algorithm 4). The result carries the
+//! timing split (kd-tree build / executor / driver-merge) that Figures
+//! 5, 6 and 8 report.
+
+use crate::filter::filter_small_partials;
+use crate::label::Clustering;
+use crate::model::{PartialCluster, PartitionRanges};
+use crate::params::DbscanParams;
+use crate::partitioned::executor_side::local_partial_clusters;
+use crate::partitioned::merge::{merge_partial_clusters, MergeStrategy};
+use crate::partitioned::SeedPolicy;
+use crate::reorder::{apply_permutation, zorder_permutation};
+use dbscan_spatial::{Dataset, KdTree, PointId, PruneConfig, SpatialIndex};
+use sparklet::{Context, JobMetrics};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wall-clock decomposition of one run (the quantities of Figs. 5/6/8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Timings {
+    /// Driver: Z-order reordering (zero unless spatial partitioning is
+    /// enabled).
+    pub reorder: Duration,
+    /// Driver: kd-tree construction (Fig. 5 numerator).
+    pub kdtree_build: Duration,
+    /// Executor phase wall time as seen by the driver.
+    pub executor_wall: Duration,
+    /// Sum of executor task busy times (CPU actually consumed).
+    pub executor_busy: Duration,
+    /// Driver: merging partial clusters (the growing component in
+    /// Fig. 6).
+    pub merge: Duration,
+    /// Whole run.
+    pub total: Duration,
+}
+
+/// Result of a [`SparkDbscan`] run.
+#[derive(Debug, Clone)]
+pub struct SparkDbscanResult {
+    /// The global clustering.
+    pub clustering: Clustering,
+    /// Number of partial clusters collected from the executors (the
+    /// annotation above every Fig. 6 panel).
+    pub num_partial_clusters: usize,
+    /// Partial clusters dropped by the small-cluster filter (r1m mode).
+    pub filtered_partials: usize,
+    /// Timing decomposition.
+    pub timings: Timings,
+    /// Engine metrics of the executor job (per-task times feed the
+    /// virtual-cluster speedup model).
+    pub job: JobMetrics,
+    /// Shuffle records moved during the run — the paper's design goal is
+    /// that this is **zero**.
+    pub shuffle_records: u64,
+    /// Merge operations performed in the driver.
+    pub merge_ops: usize,
+}
+
+/// The paper's parallel DBSCAN, configured via builder methods.
+#[derive(Debug, Clone)]
+pub struct SparkDbscan {
+    params: DbscanParams,
+    num_partitions: Option<usize>,
+    seed_policy: SeedPolicy,
+    merge_strategy: MergeStrategy,
+    prune: PruneConfig,
+    min_partial_size: Option<usize>,
+    spatial_partitioning: bool,
+}
+
+impl SparkDbscan {
+    /// Default configuration: paper-literal SEED policy and merge, one
+    /// partition per executor, exact kd-tree queries, no filtering.
+    pub fn new(params: DbscanParams) -> Self {
+        SparkDbscan {
+            params,
+            num_partitions: None,
+            seed_policy: SeedPolicy::OnePerPartition,
+            merge_strategy: MergeStrategy::PaperSinglePass,
+            prune: PruneConfig::EXACT,
+            min_partial_size: None,
+            spatial_partitioning: false,
+        }
+    }
+
+    /// Override the partition count (defaults to the context's executor
+    /// count — the paper's "each core processes one partition").
+    pub fn partitions(mut self, p: usize) -> Self {
+        self.num_partitions = Some(p.max(1));
+        self
+    }
+
+    /// Choose the SEED placement policy.
+    pub fn seed_policy(mut self, s: SeedPolicy) -> Self {
+        self.seed_policy = s;
+        self
+    }
+
+    /// Choose the merge strategy.
+    pub fn merge_strategy(mut self, m: MergeStrategy) -> Self {
+        self.merge_strategy = m;
+        self
+    }
+
+    /// Enable the paper's "kd-tree with pruning branches" used for the
+    /// 1M-point runs: cap each neighborhood query.
+    pub fn prune(mut self, p: PruneConfig) -> Self {
+        self.prune = p;
+        self
+    }
+
+    /// Drop partial clusters smaller than `min` before merging (the
+    /// paper applies this to r1m: "we filter out those partial clusters
+    /// whose size is too small").
+    pub fn min_partial_size(mut self, min: usize) -> Self {
+        self.min_partial_size = Some(min);
+        self
+    }
+
+    /// Reorder the points along a Z-order curve before assigning index
+    /// ranges, so partitions are spatially coherent — the paper's
+    /// stated future work ("partitioning the input data points before
+    /// they are assigned to executors"). Dramatically reduces partial
+    /// clusters and merge work; results are returned in the original
+    /// point order.
+    pub fn spatial_partitioning(mut self, on: bool) -> Self {
+        self.spatial_partitioning = on;
+        self
+    }
+
+    /// The hardened exact configuration (see crate docs).
+    pub fn exact(mut self) -> Self {
+        self.seed_policy = SeedPolicy::PerBoundaryEdge;
+        self.merge_strategy = MergeStrategy::UnionFind;
+        self
+    }
+
+    /// Run the full pipeline on `ctx` over `data`.
+    pub fn run(&self, ctx: &Context, data: Arc<Dataset>) -> SparkDbscanResult {
+        let total_start = Instant::now();
+
+        // optional future-work feature: spatially coherent partitions
+        let (data, inverse, reorder) = if self.spatial_partitioning {
+            let t = Instant::now();
+            let perm = zorder_permutation(&data);
+            let (reordered, inverse) = apply_permutation(&data, &perm);
+            (Arc::new(reordered), Some(inverse), t.elapsed())
+        } else {
+            (data, None, Duration::ZERO)
+        };
+        let n = data.len();
+        let p = self.num_partitions.unwrap_or_else(|| ctx.num_executors()).max(1);
+        let ranges = PartitionRanges::new(n, p);
+        let shuffle_before = ctx.shuffle_records();
+
+        // ---- driver: build + broadcast the kd-tree ----
+        let t = Instant::now();
+        let tree = KdTree::build(Arc::clone(&data));
+        let kdtree_build = t.elapsed();
+        let broadcast_size = data.size_bytes() + tree.size_bytes();
+        let shared = ctx.broadcast_sized(
+            SharedInfo {
+                tree,
+                params: self.params,
+                ranges: ranges.clone(),
+                seed_policy: self.seed_policy,
+                prune: self.prune,
+            },
+            broadcast_size,
+        );
+
+        // ---- executors: local clustering, results via accumulators ----
+        let partials_acc = ctx.collection_accumulator::<PartialCluster>();
+        let cores_acc = ctx.collection_accumulator::<Vec<u32>>();
+        let pa = partials_acc.clone();
+        let ca = cores_acc.clone();
+        let bcast = shared.clone();
+
+        let t = Instant::now();
+        ctx.range(0, n as u64, p)
+            .foreach_partition(move |part, _indices| {
+                let info = bcast.value();
+                let dataset = info.tree.dataset();
+                let local = local_partial_clusters(
+                    |q, out| {
+                        info.tree.range_pruned(
+                            dataset.point(PointId(q)),
+                            info.params.eps,
+                            info.prune,
+                            out,
+                        );
+                    },
+                    info.params,
+                    &info.ranges,
+                    part,
+                    info.seed_policy,
+                );
+                // Algorithm 2 lines 26-28: send partial clusters to the
+                // driver through the accumulator at closure end
+                for c in local.clusters {
+                    pa.add(c);
+                }
+                ca.add(local.core_points);
+            })
+            .expect("executor job");
+        let executor_wall = t.elapsed();
+        let job = ctx.last_job().expect("job metrics recorded");
+
+        // ---- driver: merge (Algorithm 4) ----
+        let mut partials = partials_acc.value();
+        let before_filter = partials.len();
+        if let Some(min) = self.min_partial_size {
+            partials = filter_small_partials(partials, min);
+        }
+        let filtered = before_filter - partials.len();
+        let num_partial_clusters = partials.len();
+
+        // core flags arrive with the partial clusters and gate the merge
+        // (only core SEEDs may weld clusters together — see merge docs)
+        let mut core = vec![false; n];
+        for cores in cores_acc.value() {
+            for c in cores {
+                core[c as usize] = true;
+            }
+        }
+
+        let t = Instant::now();
+        let outcome = merge_partial_clusters(n, &partials, self.merge_strategy, &core);
+        let merge = t.elapsed();
+
+        let mut clustering = outcome.clustering;
+        clustering.core = core;
+        if let Some(inverse) = inverse {
+            // map labels/cores back to the caller's point order
+            let mut labels = clustering.labels.clone();
+            let mut cores = clustering.core.clone();
+            for old in 0..n {
+                let new = inverse[old] as usize;
+                labels[old] = clustering.labels[new];
+                cores[old] = clustering.core[new];
+            }
+            clustering = crate::label::Clustering { labels, core: cores };
+        }
+
+        SparkDbscanResult {
+            clustering,
+            num_partial_clusters,
+            filtered_partials: filtered,
+            timings: Timings {
+                reorder,
+                kdtree_build,
+                executor_wall,
+                executor_busy: job.executor_busy(),
+                merge,
+                total: total_start.elapsed(),
+            },
+            job,
+            shuffle_records: ctx.shuffle_records() - shuffle_before,
+            merge_ops: outcome.merge_ops,
+        }
+    }
+}
+
+/// Everything an executor needs, shipped once as a broadcast variable
+/// ("eps, minimum number of points, partition information, and
+/// especially, the kdtree").
+struct SharedInfo {
+    tree: KdTree,
+    params: DbscanParams,
+    ranges: PartitionRanges,
+    seed_policy: SeedPolicy,
+    prune: PruneConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::SequentialDbscan;
+    use crate::validate::core_labels_equivalent;
+    use sparklet::ClusterConfig;
+
+    fn blobs(k: usize, per: usize, spacing: f64) -> Arc<Dataset> {
+        let mut rows = Vec::new();
+        for c in 0..k {
+            for i in 0..per {
+                rows.push(vec![c as f64 * spacing + (i as f64) * 0.01, (i % 7) as f64 * 0.01]);
+            }
+        }
+        Arc::new(Dataset::from_rows(rows))
+    }
+
+    #[test]
+    fn matches_sequential_on_blobs() {
+        let data = blobs(3, 40, 100.0);
+        let params = DbscanParams::new(0.5, 4).unwrap();
+        let ctx = Context::new(ClusterConfig::local(4));
+        let result = SparkDbscan::new(params).run(&ctx, Arc::clone(&data));
+        let seq = SequentialDbscan::new(params).run(Arc::clone(&data));
+        assert_eq!(result.clustering.num_clusters(), 3);
+        assert_eq!(
+            result.clustering.canonicalize().labels,
+            seq.canonicalize().labels
+        );
+        assert!(core_labels_equivalent(&result.clustering, &seq));
+    }
+
+    #[test]
+    fn zero_shuffles_by_design() {
+        let data = blobs(2, 30, 50.0);
+        let ctx = Context::new(ClusterConfig::local(4));
+        let result = SparkDbscan::new(DbscanParams::new(0.5, 3).unwrap()).run(&ctx, data);
+        assert_eq!(result.shuffle_records, 0, "the paper's central design property");
+    }
+
+    #[test]
+    fn cluster_spanning_partitions_is_merged_via_seeds() {
+        // one long chain across 4 partitions -> 4 partial clusters, one
+        // global cluster after the SEED merge
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let data = Arc::new(Dataset::from_rows(rows));
+        let params = DbscanParams::new(1.5, 2).unwrap();
+        let ctx = Context::new(ClusterConfig::local(4));
+        let result = SparkDbscan::new(params).partitions(4).run(&ctx, data);
+        assert_eq!(result.num_partial_clusters, 4);
+        assert!(result.merge_ops >= 3);
+        assert_eq!(result.clustering.num_clusters(), 1);
+        assert_eq!(result.clustering.noise_count(), 0);
+    }
+
+    #[test]
+    fn partial_cluster_count_grows_with_partitions() {
+        let rows: Vec<Vec<f64>> = (0..240).map(|i| vec![i as f64]).collect();
+        let data = Arc::new(Dataset::from_rows(rows));
+        let params = DbscanParams::new(1.5, 2).unwrap();
+        let ctx = Context::new(ClusterConfig::local(8));
+        let mut counts = Vec::new();
+        for p in [1, 2, 4, 8] {
+            let r = SparkDbscan::new(params).partitions(p).run(&ctx, Arc::clone(&data));
+            counts.push(r.num_partial_clusters);
+            assert_eq!(r.clustering.num_clusters(), 1, "p={p}");
+        }
+        assert_eq!(counts, vec![1, 2, 4, 8], "Fig. 6's partial-cluster growth");
+    }
+
+    #[test]
+    fn exact_mode_matches_sequential_even_with_many_partitions() {
+        let data = blobs(4, 25, 30.0);
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let ctx = Context::new(ClusterConfig::local(8));
+        let r = SparkDbscan::new(params).partitions(8).exact().run(&ctx, Arc::clone(&data));
+        let seq = SequentialDbscan::new(params).run(data);
+        assert!(core_labels_equivalent(&r.clustering, &seq));
+        assert_eq!(r.clustering.num_clusters(), seq.num_clusters());
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let data = blobs(2, 50, 60.0);
+        let ctx = Context::new(ClusterConfig::local(2));
+        let r = SparkDbscan::new(DbscanParams::new(0.5, 3).unwrap()).run(&ctx, data);
+        assert!(r.timings.total >= r.timings.merge);
+        assert!(r.timings.total >= r.timings.kdtree_build);
+        assert!(r.timings.executor_wall > Duration::ZERO);
+        assert!(r.timings.executor_busy > Duration::ZERO);
+        assert_eq!(r.job.stages.len(), 1, "single result stage, no shuffle stages");
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data = Arc::new(Dataset::empty(2));
+        let ctx = Context::new(ClusterConfig::local(2));
+        let r = SparkDbscan::new(DbscanParams::paper()).run(&ctx, data);
+        assert!(r.clustering.is_empty());
+        assert_eq!(r.num_partial_clusters, 0);
+    }
+
+    #[test]
+    fn more_partitions_than_points() {
+        let data = Arc::new(Dataset::from_rows(vec![vec![0.0], vec![0.1], vec![0.2]]));
+        let ctx = Context::new(ClusterConfig::local(2));
+        let r = SparkDbscan::new(DbscanParams::new(0.5, 2).unwrap())
+            .partitions(10)
+            .run(&ctx, data);
+        assert_eq!(r.clustering.num_clusters(), 1);
+    }
+
+    #[test]
+    fn min_partial_size_filters() {
+        // chain + isolated dense pair; filter partials smaller than 3
+        let mut rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        rows.push(vec![1000.0]);
+        rows.push(vec![1000.3]);
+        let data = Arc::new(Dataset::from_rows(rows));
+        let params = DbscanParams::new(1.5, 2).unwrap();
+        let ctx = Context::new(ClusterConfig::local(2));
+        let unfiltered = SparkDbscan::new(params).partitions(2).run(&ctx, Arc::clone(&data));
+        assert_eq!(unfiltered.clustering.num_clusters(), 2);
+        let filtered = SparkDbscan::new(params)
+            .partitions(2)
+            .min_partial_size(3)
+            .run(&ctx, data);
+        assert_eq!(filtered.filtered_partials, 1);
+        assert_eq!(filtered.clustering.num_clusters(), 1, "tiny cluster dropped to noise");
+    }
+
+    #[test]
+    fn pruned_queries_still_find_dense_structure() {
+        // pruning caps each neighborhood: clusters may split (it is an
+        // approximation) but dense points must not become noise, and the
+        // two far-apart blobs must never merge
+        let data = blobs(2, 60, 100.0);
+        let params = DbscanParams::new(0.6, 4).unwrap();
+        let ctx = Context::new(ClusterConfig::local(4));
+        let r = SparkDbscan::new(params)
+            .prune(PruneConfig::cap_neighbors(10))
+            .run(&ctx, Arc::clone(&data));
+        assert!(r.clustering.num_clusters() >= 2);
+        assert_eq!(r.clustering.noise_count(), 0, "every point is in a dense region");
+        // no label appears in both blobs (indices interleave: blob =
+        // row / 60 after construction order)
+        let mut blob_of_label: std::collections::HashMap<_, usize> =
+            std::collections::HashMap::new();
+        for (i, l) in r.clustering.labels.iter().enumerate() {
+            if let crate::label::Label::Cluster(c) = l {
+                let blob = i / 60;
+                assert_eq!(*blob_of_label.entry(*c).or_insert(blob), blob, "blobs merged");
+            }
+        }
+    }
+
+    #[test]
+    fn survives_injected_task_failures() {
+        let data = blobs(2, 40, 80.0);
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let cfg = ClusterConfig::local(4)
+            .with_fault(sparklet::FaultConfig::always_first(1))
+            .with_max_attempts(3);
+        let ctx = Context::new(cfg);
+        let r = SparkDbscan::new(params).run(&ctx, Arc::clone(&data));
+        let seq = SequentialDbscan::new(params).run(data);
+        // retried tasks must not duplicate accumulator contributions
+        assert_eq!(r.clustering.canonicalize().labels, seq.canonicalize().labels);
+        assert!(r.job.failed_attempts() > 0);
+    }
+}
+
+#[cfg(test)]
+mod spatial_partitioning_tests {
+    use super::*;
+    use crate::sequential::SequentialDbscan;
+    use crate::validate::core_labels_equivalent;
+    use sparklet::ClusterConfig;
+
+    /// Interleaved blobs: worst case for index-range partitioning,
+    /// best case for the Z-order future-work feature.
+    fn interleaved_blobs() -> Arc<Dataset> {
+        let mut rows = Vec::new();
+        for i in 0..240 {
+            let blob = i % 4;
+            rows.push(vec![
+                blob as f64 * 50.0 + (i / 4) as f64 * 0.01,
+                blob as f64 * 50.0,
+            ]);
+        }
+        Arc::new(Dataset::from_rows(rows))
+    }
+
+    #[test]
+    fn results_are_in_original_order_and_correct() {
+        let data = interleaved_blobs();
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let ctx = Context::new(ClusterConfig::local(4));
+        let plain = SparkDbscan::new(params).partitions(8).exact().run(&ctx, Arc::clone(&data));
+        let zord = SparkDbscan::new(params)
+            .partitions(8)
+            .exact()
+            .spatial_partitioning(true)
+            .run(&ctx, Arc::clone(&data));
+        let seq = SequentialDbscan::new(params).run(data);
+        assert!(core_labels_equivalent(&plain.clustering, &seq));
+        assert!(core_labels_equivalent(&zord.clustering, &seq), "reordering must be invisible");
+        assert!(zord.timings.reorder > Duration::ZERO);
+    }
+
+    #[test]
+    fn zorder_slashes_partial_clusters() {
+        let data = interleaved_blobs();
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let ctx = Context::new(ClusterConfig::local(8));
+        let plain = SparkDbscan::new(params).partitions(8).run(&ctx, Arc::clone(&data));
+        let zord = SparkDbscan::new(params)
+            .partitions(8)
+            .spatial_partitioning(true)
+            .run(&ctx, data);
+        assert!(
+            zord.num_partial_clusters < plain.num_partial_clusters,
+            "z-order {} vs plain {}",
+            zord.num_partial_clusters,
+            plain.num_partial_clusters
+        );
+        assert!(zord.merge_ops <= plain.merge_ops);
+    }
+}

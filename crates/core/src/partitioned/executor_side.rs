@@ -1,0 +1,303 @@
+//! Executor-side local clustering with SEED placement — Algorithms 2
+//! (lines 4–29) and 3 of the paper.
+//!
+//! The executor owns one contiguous index range. It expands clusters
+//! with the usual queue-based DBSCAN, **but only through points it
+//! owns**: when the queue yields a *foreign* index the executor never
+//! expands it — it either records it as a SEED member (first time that
+//! foreign partition is touched by this cluster, under the paper's
+//! [`SeedPolicy::OnePerPartition`]) or skips it. Neighborhoods are
+//! computed over the **full broadcast dataset**, so core status is
+//! globally exact even though expansion is local.
+//!
+//! Data structures: the paper's §III-B uses a Java `Hashtable` for
+//! visited state and a `LinkedList` queue for candidates. We keep the
+//! FIFO queue (`VecDeque`) but replace the hashtable with **dense
+//! per-partition arrays** indexed by local offset: the executor only
+//! ever marks its own `[start, end)` points, so an `O(1)` array probe
+//! beats hashing — and keeps per-point cost independent of partition
+//! size (a `HashSet` sized to the whole partition penalizes the
+//! 1-partition baseline through cache misses and would *inflate* the
+//! reported speedups).
+
+use crate::model::{PartialCluster, PartitionRanges};
+use crate::params::DbscanParams;
+use crate::partitioned::SeedPolicy;
+use dbscan_spatial::PointId;
+use std::collections::{HashSet, VecDeque};
+
+/// Instrumentation returned with each executor's result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Points of the own range processed at the top level.
+    pub points_processed: usize,
+    /// eps-neighborhood queries issued.
+    pub neighbor_queries: usize,
+    /// Own points found noise at the top level (may become borders of
+    /// other partitions' clusters after the merge).
+    pub local_noise: usize,
+    /// SEEDs placed across all partial clusters.
+    pub seeds_placed: usize,
+}
+
+/// One executor's output: its partial clusters, the core points it
+/// certified, and stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalClustering {
+    /// Partial clusters (with SEEDs), in creation order.
+    pub clusters: Vec<PartialCluster>,
+    /// Global indices of own points that are core points.
+    pub core_points: Vec<u32>,
+    /// Instrumentation.
+    pub stats: ExecutorStats,
+}
+
+/// Run Algorithms 2+3 for one partition.
+///
+/// `neighbors_of(idx, out)` must append the eps-neighborhood of point
+/// `idx` over the **whole** dataset (the broadcast kd-tree query); `out`
+/// arrives cleared.
+pub fn local_partial_clusters(
+    mut neighbors_of: impl FnMut(u32, &mut Vec<PointId>),
+    params: DbscanParams,
+    ranges: &PartitionRanges,
+    partition: usize,
+    seed_policy: SeedPolicy,
+) -> LocalClustering {
+    let (start, end) = ranges.range(partition);
+    let owner = partition as u32;
+    let local_n = (end - start) as usize;
+    const UNASSIGNED: u32 = u32::MAX;
+
+    // dense per-partition state, indexed by `idx - start`
+    let mut visited = vec![false; local_n];
+    // which local cluster slot a point belongs to (first assignment wins)
+    let mut assigned = vec![UNASSIGNED; local_n];
+    let mut clusters: Vec<PartialCluster> = Vec::new();
+    let mut core_points: Vec<u32> = Vec::new();
+    let mut stats = ExecutorStats::default();
+
+    // workhorse buffers reused across the whole partition
+    let mut nbuf: Vec<PointId> = Vec::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+
+    for p in start..end {
+        let pl = (p - start) as usize;
+        stats.points_processed += 1;
+        if visited[pl] {
+            continue;
+        }
+        visited[pl] = true;
+        nbuf.clear();
+        neighbors_of(p, &mut nbuf);
+        stats.neighbor_queries += 1;
+        if nbuf.len() < params.min_pts {
+            // Algorithm 2 line 9: "mark p as noise" (it may later be
+            // claimed as a border point by an expanding cluster)
+            stats.local_noise += 1;
+            continue;
+        }
+
+        // Algorithm 2 line 8: create a new cluster C and add p to it
+        let slot = clusters.len() as u32;
+        let mut cluster = PartialCluster::new(owner, (start, end));
+        cluster.members.push(p);
+        assigned[pl] = slot;
+        core_points.push(p);
+
+        // per-cluster seed bookkeeping (Algorithm 3's place_flg array)
+        let mut seeded_partitions: HashSet<usize> = HashSet::new();
+        let mut seeded_points: HashSet<u32> = HashSet::new();
+
+        queue.clear();
+        queue.extend(nbuf.iter().map(|id| id.0));
+        while let Some(q) = queue.pop_front() {
+            if q < start || q >= end {
+                // foreign point: SEED placement (Algorithm 3), never
+                // expanded — "each executor only computes the points
+                // that belong to it"
+                let place = match seed_policy {
+                    SeedPolicy::OnePerPartition => {
+                        seeded_partitions.insert(ranges.partition_of(q))
+                    }
+                    SeedPolicy::PerBoundaryEdge => seeded_points.insert(q),
+                };
+                if place {
+                    cluster.members.push(q);
+                    stats.seeds_placed += 1;
+                }
+                continue;
+            }
+            let ql = (q - start) as usize;
+            if visited[ql] {
+                // Algorithm 2 lines 20-22: add to C if not yet a member
+                // of any cluster (border-point claim)
+                if assigned[ql] == UNASSIGNED {
+                    assigned[ql] = slot;
+                    cluster.members.push(q);
+                }
+                continue;
+            }
+            // Algorithm 2 lines 13-19: visit q, test core status
+            visited[ql] = true;
+            nbuf.clear();
+            neighbors_of(q, &mut nbuf);
+            stats.neighbor_queries += 1;
+            if nbuf.len() >= params.min_pts {
+                core_points.push(q);
+                queue.extend(nbuf.iter().map(|id| id.0));
+            }
+            if assigned[ql] == UNASSIGNED {
+                assigned[ql] = slot;
+                cluster.members.push(q);
+            }
+        }
+        clusters.push(cluster);
+    }
+
+    LocalClustering { clusters, core_points, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_spatial::{Dataset, KdTree, SpatialIndex};
+    use std::sync::Arc;
+
+    /// 1-d chain of points 1.0 apart: with eps=1.1 / minpts=2 the whole
+    /// line is one density-connected cluster.
+    fn chain_tree(n: usize) -> KdTree {
+        let rows = (0..n).map(|i| vec![i as f64]).collect();
+        KdTree::build(Arc::new(Dataset::from_rows(rows)))
+    }
+
+    fn run(
+        tree: &KdTree,
+        params: DbscanParams,
+        ranges: &PartitionRanges,
+        part: usize,
+        policy: SeedPolicy,
+    ) -> LocalClustering {
+        let data = tree.dataset().clone();
+        local_partial_clusters(
+            |q, out| tree.range_into(data.point(PointId(q)), params.eps, out),
+            params,
+            ranges,
+            part,
+            policy,
+        )
+    }
+
+    #[test]
+    fn single_partition_matches_whole_clustering() {
+        let tree = chain_tree(10);
+        let params = DbscanParams::new(1.1, 2).unwrap();
+        let ranges = PartitionRanges::new(10, 1);
+        let local = run(&tree, params, &ranges, 0, SeedPolicy::OnePerPartition);
+        assert_eq!(local.clusters.len(), 1);
+        assert_eq!(local.clusters[0].len(), 10);
+        assert_eq!(local.stats.seeds_placed, 0, "no foreign partitions exist");
+        assert_eq!(local.core_points.len(), 10);
+    }
+
+    #[test]
+    fn boundary_cluster_places_exactly_one_seed_paper_policy() {
+        // chain split in two partitions: each side's cluster touches the
+        // other side at exactly the boundary
+        let tree = chain_tree(10);
+        let params = DbscanParams::new(1.1, 2).unwrap();
+        let ranges = PartitionRanges::new(10, 2);
+        let left = run(&tree, params, &ranges, 0, SeedPolicy::OnePerPartition);
+        assert_eq!(left.clusters.len(), 1);
+        let seeds: Vec<u32> = left.clusters[0].seeds().collect();
+        assert_eq!(seeds, vec![5], "one SEED into partition 1, the boundary point");
+        let right = run(&tree, params, &ranges, 1, SeedPolicy::OnePerPartition);
+        let rseeds: Vec<u32> = right.clusters[0].seeds().collect();
+        assert_eq!(rseeds, vec![4]);
+    }
+
+    #[test]
+    fn per_boundary_edge_policy_records_all_boundary_points() {
+        // eps=2.1 reaches two points across the boundary
+        let tree = chain_tree(10);
+        let params = DbscanParams::new(2.1, 2).unwrap();
+        let ranges = PartitionRanges::new(10, 2);
+        let one = run(&tree, params, &ranges, 0, SeedPolicy::OnePerPartition);
+        let all = run(&tree, params, &ranges, 0, SeedPolicy::PerBoundaryEdge);
+        assert_eq!(one.clusters[0].seeds().count(), 1);
+        assert_eq!(all.clusters[0].seeds().count(), 2, "points 5 and 6 both recorded");
+    }
+
+    #[test]
+    fn foreign_points_are_never_expanded() {
+        let tree = chain_tree(100);
+        let params = DbscanParams::new(1.1, 2).unwrap();
+        let ranges = PartitionRanges::new(100, 4);
+        let local = run(&tree, params, &ranges, 1, SeedPolicy::OnePerPartition);
+        // queries only for own 25 points (each visited once)
+        assert_eq!(local.stats.neighbor_queries, 25);
+        for c in &local.clusters {
+            for r in c.regulars() {
+                assert!(ranges.contains(1, r));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_points_are_local_noise() {
+        let rows = (0..8).map(|i| vec![i as f64 * 100.0]).collect();
+        let tree = KdTree::build(Arc::new(Dataset::from_rows(rows)));
+        let params = DbscanParams::new(1.0, 2).unwrap();
+        let ranges = PartitionRanges::new(8, 2);
+        let local = run(&tree, params, &ranges, 0, SeedPolicy::OnePerPartition);
+        assert!(local.clusters.is_empty());
+        assert_eq!(local.stats.local_noise, 4);
+        assert!(local.core_points.is_empty());
+    }
+
+    #[test]
+    fn two_separate_local_clusters_stay_separate() {
+        // two dense blobs within one partition
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..5 {
+            rows.push(vec![i as f64 * 0.1]);
+        }
+        for i in 0..5 {
+            rows.push(vec![100.0 + i as f64 * 0.1]);
+        }
+        let tree = KdTree::build(Arc::new(Dataset::from_rows(rows)));
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let ranges = PartitionRanges::new(10, 1);
+        let local = run(&tree, params, &ranges, 0, SeedPolicy::OnePerPartition);
+        assert_eq!(local.clusters.len(), 2);
+        assert_eq!(local.clusters[0].len(), 5);
+        assert_eq!(local.clusters[1].len(), 5);
+    }
+
+    #[test]
+    fn empty_partition_produces_nothing() {
+        let tree = chain_tree(3);
+        let params = DbscanParams::new(1.1, 2).unwrap();
+        // 3 points over 5 partitions: some ranges are empty
+        let ranges = PartitionRanges::new(3, 5);
+        let local = run(&tree, params, &ranges, 1, SeedPolicy::OnePerPartition);
+        assert!(local.stats.points_processed <= 1);
+    }
+
+    #[test]
+    fn members_are_unique_within_a_cluster() {
+        let tree = chain_tree(30);
+        let params = DbscanParams::new(3.5, 2).unwrap(); // wide eps, heavy re-enqueueing
+        let ranges = PartitionRanges::new(30, 3);
+        for part in 0..3 {
+            let local = run(&tree, params, &ranges, part, SeedPolicy::PerBoundaryEdge);
+            for c in &local.clusters {
+                let mut m = c.members.clone();
+                m.sort_unstable();
+                let before = m.len();
+                m.dedup();
+                assert_eq!(m.len(), before, "duplicate members in partition {part}");
+            }
+        }
+    }
+}

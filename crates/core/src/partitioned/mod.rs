@@ -1,0 +1,33 @@
+//! The paper's partitioned, communication-free DBSCAN (Algorithms 2–4).
+//!
+//! * [`executor_side`] — what runs inside each executor: local expansion
+//!   over the partition's own index range plus SEED placement
+//!   (Algorithms 2 and 3).
+//! * [`merge`] — what runs in the driver after the accumulator returns
+//!   all partial clusters: SEED-driven merging (Algorithm 4), plus the
+//!   hardened union-find variant.
+//! * [`driver`] — the full pipeline on the sparklet engine: broadcast of
+//!   the kd-tree, `foreach`-style executor jobs, accumulator collection,
+//!   driver-side merge, and the timing split reported in Figs. 6 and 8.
+
+pub mod driver;
+pub mod executor_side;
+pub mod merge;
+
+/// How many SEEDs an executor places per foreign partition per partial
+/// cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum SeedPolicy {
+    /// The paper's Algorithm 3: at most **one** SEED per foreign
+    /// partition per partial cluster; further foreign points from that
+    /// partition are skipped entirely. Cheapest, but can drop a
+    /// connecting edge when one partial cluster touches two disconnected
+    /// clusters of the same foreign partition.
+    #[default]
+    OnePerPartition,
+    /// Record **every** distinct foreign boundary point as a SEED.
+    /// Slightly larger partial clusters; together with
+    /// [`crate::MergeStrategy::UnionFind`] this is provably equivalent
+    /// to sequential DBSCAN on core points.
+    PerBoundaryEdge,
+}

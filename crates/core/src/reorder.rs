@@ -1,0 +1,157 @@
+//! Spatial pre-partitioning — the paper's stated future work.
+//!
+//! "We did not partition data points based on the neighborhood
+//! relationship in our work and that might cause workload to be
+//! unbalanced. So, in the future, we will consider partitioning the
+//! input data points before they are assigned to executors."
+//!
+//! This module implements that: reorder the points along a **Z-order
+//! (Morton) curve** before handing out contiguous index ranges, so each
+//! executor's range is spatially coherent. Clusters then mostly live
+//! inside one partition: far fewer partial clusters, far fewer SEEDs,
+//! and a cheaper driver merge — quantified by ablation A4.
+//!
+//! The permutation is driver-side and cheap (`O(n log n)`); labels are
+//! mapped back to the original point order afterwards, so callers see
+//! no difference except performance.
+
+use dbscan_spatial::Dataset;
+
+/// Bits of quantization per dimension for the Morton key. With d = 10
+/// the key uses 60 bits of a `u64`; with fewer dimensions, more bits
+/// per axis are used automatically up to this total budget.
+const TOTAL_KEY_BITS: u32 = 60;
+
+/// Morton key of one point, given per-axis bounds.
+fn morton_key(row: &[f64], lo: &[f64], hi: &[f64], bits_per_dim: u32) -> u64 {
+    let d = row.len();
+    let levels = (1u64 << bits_per_dim) - 1;
+    let mut cells = Vec::with_capacity(d);
+    for k in 0..d {
+        let span = (hi[k] - lo[k]).max(f64::MIN_POSITIVE);
+        let t = ((row[k] - lo[k]) / span).clamp(0.0, 1.0);
+        cells.push((t * levels as f64) as u64);
+    }
+    // interleave bits round-robin across dimensions, most significant
+    // bit first so the key orders space hierarchically
+    let mut key = 0u64;
+    for level in (0..bits_per_dim).rev() {
+        for &c in &cells {
+            key = (key << 1) | ((c >> level) & 1);
+        }
+    }
+    key
+}
+
+/// Compute the Z-order permutation of a dataset: `perm[new] = old`.
+pub fn zorder_permutation(data: &Dataset) -> Vec<u32> {
+    let n = data.len();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let Some((lo, hi)) = data.bounds() else {
+        return perm;
+    };
+    let bits_per_dim = (TOTAL_KEY_BITS / data.dim() as u32).clamp(1, 16);
+    let mut keys: Vec<u64> = Vec::with_capacity(n);
+    for (_, row) in data.iter() {
+        keys.push(morton_key(row, &lo, &hi, bits_per_dim));
+    }
+    perm.sort_by_key(|&i| keys[i as usize]);
+    perm
+}
+
+/// Apply a permutation, producing the reordered dataset and the inverse
+/// map (`inverse[old] = new`).
+pub fn apply_permutation(data: &Dataset, perm: &[u32]) -> (Dataset, Vec<u32>) {
+    assert_eq!(perm.len(), data.len(), "permutation must cover the dataset");
+    let mut out = Dataset::empty(data.dim());
+    let mut inverse = vec![0u32; perm.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        out.push(data.row(old as usize));
+        inverse[old as usize] = new as u32;
+    }
+    (out, inverse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        // two blobs interleaved in index order
+        let mut rows = Vec::new();
+        for i in 0..40 {
+            if i % 2 == 0 {
+                rows.push(vec![i as f64 * 0.01, 0.0]);
+            } else {
+                rows.push(vec![100.0 + i as f64 * 0.01, 100.0]);
+            }
+        }
+        Dataset::from_rows(rows)
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let ds = blobs();
+        let perm = zorder_permutation(&ds);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..40).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn zorder_groups_blobs_contiguously() {
+        let ds = blobs();
+        let perm = zorder_permutation(&ds);
+        // after reordering, the first 20 positions hold one blob and the
+        // last 20 the other (each blob is tiny vs their separation)
+        let first_half_blob: Vec<bool> =
+            perm[..20].iter().map(|&i| ds.row(i as usize)[0] < 50.0).collect();
+        assert!(
+            first_half_blob.iter().all(|&b| b) || first_half_blob.iter().all(|&b| !b),
+            "blob split across the curve: {first_half_blob:?}"
+        );
+    }
+
+    #[test]
+    fn apply_permutation_reorders_and_inverts() {
+        let ds = blobs();
+        let perm = zorder_permutation(&ds);
+        let (re, inverse) = apply_permutation(&ds, &perm);
+        assert_eq!(re.len(), ds.len());
+        for old in 0..ds.len() {
+            let new = inverse[old] as usize;
+            assert_eq!(re.row(new), ds.row(old), "old={old} new={new}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        let ds = Dataset::empty(3);
+        let perm = zorder_permutation(&ds);
+        assert!(perm.is_empty());
+        let (re, inv) = apply_permutation(&ds, &perm);
+        assert!(re.is_empty());
+        assert!(inv.is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let ds = Dataset::from_rows(vec![vec![5.0, 5.0]]);
+        let perm = zorder_permutation(&ds);
+        assert_eq!(perm, vec![0]);
+    }
+
+    #[test]
+    fn high_dimensional_keys_still_order() {
+        // d = 10 like the paper: two 10-d blobs must separate on the curve
+        let mut rows = Vec::new();
+        for i in 0..30 {
+            let offset = if i % 2 == 0 { 0.0 } else { 500.0 };
+            rows.push((0..10).map(|k| offset + (i * k) as f64 * 0.001).collect());
+        }
+        let ds = Dataset::from_rows(rows);
+        let perm = zorder_permutation(&ds);
+        let halves: Vec<bool> = perm[..15].iter().map(|&i| ds.row(i as usize)[0] < 250.0).collect();
+        assert!(halves.iter().all(|&b| b) || halves.iter().all(|&b| !b));
+    }
+}

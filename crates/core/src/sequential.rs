@@ -1,0 +1,213 @@
+//! Sequential DBSCAN — Algorithm 1 of the paper (Ester et al. 1996),
+//! with the queue-based expansion the Spark version also uses: a
+//! `VecDeque` for the candidate queue (the paper's Java `LinkedList`
+//! queue) and a visited set (the paper's `Hashtable`).
+
+use crate::label::{Clustering, Label};
+use crate::params::DbscanParams;
+use dbscan_spatial::{Dataset, KdTree, PointId, SpatialIndex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The single-machine reference implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct SequentialDbscan {
+    params: DbscanParams,
+}
+
+impl SequentialDbscan {
+    /// Configure with the given parameters.
+    pub fn new(params: DbscanParams) -> Self {
+        SequentialDbscan { params }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> DbscanParams {
+        self.params
+    }
+
+    /// Run over a dataset, building a kd-tree internally.
+    pub fn run(&self, data: Arc<Dataset>) -> Clustering {
+        let tree = KdTree::build(Arc::clone(&data));
+        self.run_with_index(&tree)
+    }
+
+    /// Run with a caller-provided spatial index (kd-tree, brute force,
+    /// grid — anything implementing [`SpatialIndex`]).
+    pub fn run_with_index(&self, index: &dyn SpatialIndex) -> Clustering {
+        let data = index.dataset();
+        let n = data.len();
+        let eps = self.params.eps;
+        let min_pts = self.params.min_pts;
+
+        let mut labels = vec![Label::Noise; n];
+        let mut core = vec![false; n];
+        let mut visited = vec![false; n];
+        let mut assigned = vec![false; n];
+        let mut next_cluster = 0u32;
+
+        // reusable buffers (workhorse-collection pattern)
+        let mut neighbors: Vec<PointId> = Vec::new();
+        let mut queue: VecDeque<u32> = VecDeque::new();
+
+        for p in 0..n as u32 {
+            if visited[p as usize] {
+                continue;
+            }
+            visited[p as usize] = true;
+            neighbors.clear();
+            index.range_into(data.point(PointId(p)), eps, &mut neighbors);
+            if neighbors.len() < min_pts {
+                // noise for now; may become a border point later
+                continue;
+            }
+            // p is a core point: start a new cluster and expand
+            core[p as usize] = true;
+            let cid = next_cluster;
+            next_cluster += 1;
+            labels[p as usize] = Label::Cluster(cid);
+            assigned[p as usize] = true;
+
+            queue.clear();
+            for &q in &neighbors {
+                queue.push_back(q.0);
+            }
+            while let Some(q) = queue.pop_front() {
+                let qi = q as usize;
+                if !visited[qi] {
+                    visited[qi] = true;
+                    neighbors.clear();
+                    index.range_into(data.point(PointId(q)), eps, &mut neighbors);
+                    if neighbors.len() >= min_pts {
+                        core[qi] = true;
+                        for &r in &neighbors {
+                            // enqueue everything; visited/assigned checks
+                            // on dequeue keep this linear
+                            queue.push_back(r.0);
+                        }
+                    }
+                }
+                if !assigned[qi] {
+                    labels[qi] = Label::Cluster(cid);
+                    assigned[qi] = true;
+                }
+            }
+        }
+        Clustering { labels, core }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_spatial::BruteForceIndex;
+
+    fn run(rows: Vec<Vec<f64>>, eps: f64, min_pts: usize) -> Clustering {
+        let ds = Arc::new(Dataset::from_rows(rows));
+        SequentialDbscan::new(DbscanParams::new(eps, min_pts).unwrap()).run(ds)
+    }
+
+    #[test]
+    fn two_blobs_and_noise() {
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![i as f64 * 0.1, 0.0]); // blob A
+            rows.push(vec![100.0 + i as f64 * 0.1, 0.0]); // blob B
+        }
+        rows.push(vec![50.0, 50.0]); // outlier
+        let c = run(rows, 0.5, 3);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.noise_count(), 1);
+        assert_eq!(c.labels[20], Label::Noise);
+    }
+
+    #[test]
+    fn single_cluster_chain_is_density_connected() {
+        // points 1.0 apart, eps 1.1: a chain forms one cluster
+        let rows = (0..20).map(|i| vec![i as f64]).collect();
+        let c = run(rows, 1.1, 2);
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.noise_count(), 0);
+        assert_eq!(c.core_count(), 20);
+    }
+
+    #[test]
+    fn chain_breaks_without_density() {
+        // same chain, minpts 3: interior points have 3 neighbors
+        // (self + 2), endpoints only 2 -> endpoints are border points
+        let rows = (0..20).map(|i| vec![i as f64]).collect();
+        let c = run(rows, 1.1, 3);
+        assert_eq!(c.num_clusters(), 1);
+        assert!(!c.core[0] && !c.core[19]);
+        assert!(c.labels[0].is_cluster(), "endpoint is border, not noise");
+    }
+
+    #[test]
+    fn all_noise_when_sparse() {
+        let rows = (0..10).map(|i| vec![i as f64 * 100.0]).collect();
+        let c = run(rows, 1.0, 2);
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.noise_count(), 10);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Arc::new(Dataset::empty(3));
+        let c = SequentialDbscan::new(DbscanParams::paper()).run(ds);
+        assert!(c.is_empty());
+        assert_eq!(c.num_clusters(), 0);
+    }
+
+    #[test]
+    fn single_point_is_noise_unless_minpts_one() {
+        let c1 = run(vec![vec![0.0]], 1.0, 2);
+        assert_eq!(c1.noise_count(), 1);
+        let c2 = run(vec![vec![0.0]], 1.0, 1);
+        assert_eq!(c2.num_clusters(), 1);
+        assert!(c2.core[0]);
+    }
+
+    #[test]
+    fn duplicates_cluster_together() {
+        let rows = vec![vec![1.0, 1.0]; 6];
+        let c = run(rows, 0.0, 5);
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.core_count(), 6);
+    }
+
+    #[test]
+    fn min_pts_counts_the_point_itself() {
+        // 3 points pairwise within eps: each has neighborhood size 3
+        let rows = vec![vec![0.0], vec![0.3], vec![0.6]];
+        let yes = run(rows.clone(), 0.7, 3);
+        assert_eq!(yes.num_clusters(), 1);
+        let no = run(rows, 0.7, 4);
+        assert_eq!(no.num_clusters(), 0);
+    }
+
+    #[test]
+    fn index_choice_does_not_change_result() {
+        let rows: Vec<Vec<f64>> =
+            (0..60).map(|i| vec![(i % 10) as f64, (i / 10) as f64 * 0.3]).collect();
+        let ds = Arc::new(Dataset::from_rows(rows));
+        let alg = SequentialDbscan::new(DbscanParams::new(1.2, 4).unwrap());
+        let via_tree = alg.run_with_index(&KdTree::build(Arc::clone(&ds)));
+        let via_scan = alg.run_with_index(&BruteForceIndex::new(Arc::clone(&ds)));
+        assert_eq!(via_tree.canonicalize(), via_scan.canonicalize());
+    }
+
+    #[test]
+    fn border_point_between_two_clusters_gets_exactly_one() {
+        // two dense pairs with one shared border point in the middle
+        let rows = vec![
+            vec![0.0],
+            vec![0.5],  // cluster A cores (eps 0.6, minpts 2 w/ self->3? )
+            vec![5.0],
+            vec![5.5],  // cluster B cores
+            vec![2.75], // border of neither (too far) -> noise
+        ];
+        let c = run(rows, 0.6, 2);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.labels[4], Label::Noise);
+    }
+}

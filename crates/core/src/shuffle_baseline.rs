@@ -1,0 +1,255 @@
+//! The design the paper argues *against*: DBSCAN by propagating cluster
+//! labels through shuffles.
+//!
+//! "After we update one data point's state in one executor we need to
+//! spread this \[update\] across the cluster. So this will introduce
+//! shuffle operations which are very expensive in Spark." This module
+//! implements exactly that strawman so ablation A3 can price it: core
+//! points start labeled with their own index; every round, labels flow
+//! along core→neighbor edges via `group_by_key` + `reduce_by_key(min)`
+//! until a fixpoint — standard min-label connected components. Correct
+//! (core components match sequential DBSCAN), but every round moves the
+//! whole label/edge state through the shuffle machinery.
+
+use crate::label::{Clustering, Label};
+use crate::params::DbscanParams;
+use dbscan_spatial::{Dataset, KdTree, PointId, SpatialIndex};
+use sparklet::{Context, SparkResult};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const UNLABELED: u32 = u32::MAX;
+
+/// Result of a [`ShuffleDbscan`] run.
+#[derive(Debug, Clone)]
+pub struct ShuffleDbscanResult {
+    /// The global clustering.
+    pub clustering: Clustering,
+    /// Label-propagation rounds until fixpoint.
+    pub rounds: usize,
+    /// Records moved through shuffles by this run.
+    pub shuffle_records: u64,
+    /// Estimated bytes moved through shuffles by this run.
+    pub shuffle_bytes: u64,
+    /// Whole run.
+    pub total: Duration,
+}
+
+/// Label-propagation DBSCAN (the shuffle-based strawman).
+#[derive(Debug, Clone)]
+pub struct ShuffleDbscan {
+    params: DbscanParams,
+    num_partitions: Option<usize>,
+    max_rounds: usize,
+}
+
+/// A message in the propagation round: either a point's current label or
+/// one of its outgoing core edges.
+#[derive(Clone)]
+enum Item {
+    LabelOf(u32),
+    EdgeTo(u32),
+}
+
+impl ShuffleDbscan {
+    /// Configure the strawman.
+    pub fn new(params: DbscanParams) -> Self {
+        ShuffleDbscan { params, num_partitions: None, max_rounds: 64 }
+    }
+
+    /// Override the partition count.
+    pub fn partitions(mut self, p: usize) -> Self {
+        self.num_partitions = Some(p.max(1));
+        self
+    }
+
+    /// Bound the number of propagation rounds (safety valve).
+    pub fn max_rounds(mut self, r: usize) -> Self {
+        self.max_rounds = r.max(1);
+        self
+    }
+
+    /// Run on `ctx` over `data`.
+    pub fn run(&self, ctx: &Context, data: Arc<Dataset>) -> SparkResult<ShuffleDbscanResult> {
+        let start = Instant::now();
+        let n = data.len();
+        let p = self.num_partitions.unwrap_or_else(|| ctx.num_executors()).max(1);
+        let records_before = ctx.shuffle_records();
+        let bytes_before = ctx.shuffle_bytes();
+
+        let tree = ctx.broadcast_sized(KdTree::build(Arc::clone(&data)), data.size_bytes());
+        let eps = self.params.eps;
+        let min_pts = self.params.min_pts;
+
+        // core flags + core->neighbor edges, computed narrowly
+        let t1 = tree.clone();
+        let d1 = Arc::clone(&data);
+        let info = ctx
+            .range(0, n as u64, p)
+            .map(move |u| {
+                let u = u as u32;
+                let nb = t1.value().range(d1.point(PointId(u)), eps);
+                let is_core = nb.len() >= min_pts;
+                let edges: Vec<u32> =
+                    if is_core { nb.iter().map(|q| q.0).filter(|&q| q != u).collect() } else { Vec::new() };
+                (u, is_core, edges)
+            })
+            .cache();
+        let core_info: Vec<(u32, bool, Vec<u32>)> = info.collect()?;
+        let mut core = vec![false; n];
+        for (u, is_core, _) in &core_info {
+            core[*u as usize] = *is_core;
+        }
+
+        // initial labels: a core point starts as its own label
+        let mut labels: HashMap<u32, u32> = core_info
+            .iter()
+            .map(|(u, is_core, _)| (*u, if *is_core { *u } else { UNLABELED }))
+            .collect();
+
+        let edges = info.flat_map(|(u, _, es)| es.into_iter().map(move |v| (u, Item::EdgeTo(v))).collect::<Vec<_>>());
+
+        // propagation rounds, each paying two shuffles
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            let labels_rdd = ctx.parallelize(
+                labels.iter().map(|(&u, &l)| (u, Item::LabelOf(l))).collect::<Vec<_>>(),
+                p,
+            );
+            let next: Vec<(u32, u32)> = labels_rdd
+                .union(&edges)
+                .group_by_key(p)
+                .flat_map(|(u, items)| {
+                    let mut label = UNLABELED;
+                    let mut outs: Vec<u32> = Vec::new();
+                    for it in &items {
+                        match it {
+                            Item::LabelOf(l) => label = label.min(*l),
+                            Item::EdgeTo(v) => outs.push(*v),
+                        }
+                    }
+                    let mut msgs = Vec::with_capacity(outs.len() + 1);
+                    msgs.push((u, label));
+                    if label != UNLABELED {
+                        for v in outs {
+                            msgs.push((v, label));
+                        }
+                    }
+                    msgs
+                })
+                .reduce_by_key(p, |a, b| a.min(b))
+                .collect()?;
+
+            let mut changed = false;
+            for (u, l) in next {
+                let slot = labels.entry(u).or_insert(UNLABELED);
+                if l < *slot {
+                    *slot = l;
+                    changed = true;
+                }
+            }
+            if !changed || rounds >= self.max_rounds {
+                break;
+            }
+        }
+
+        // assemble: non-core points keep a label only if some core
+        // neighbor reached them (border); otherwise noise
+        let mut final_labels = vec![Label::Noise; n];
+        let mut dense: HashMap<u32, u32> = HashMap::new();
+        let mut next_id = 0u32;
+        for (u, l) in &labels {
+            if *l == UNLABELED {
+                continue;
+            }
+            let id = *dense.entry(*l).or_insert_with(|| {
+                let id = next_id;
+                next_id += 1;
+                id
+            });
+            final_labels[*u as usize] = Label::Cluster(id);
+        }
+
+        Ok(ShuffleDbscanResult {
+            clustering: Clustering { labels: final_labels, core },
+            rounds,
+            shuffle_records: ctx.shuffle_records() - records_before,
+            shuffle_bytes: ctx.shuffle_bytes() - bytes_before,
+            total: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::SequentialDbscan;
+    use crate::validate::core_labels_equivalent;
+    use sparklet::ClusterConfig;
+
+    fn blobs() -> Arc<Dataset> {
+        let mut rows = Vec::new();
+        for c in 0..3 {
+            for i in 0..25 {
+                rows.push(vec![c as f64 * 40.0 + i as f64 * 0.02]);
+            }
+        }
+        Arc::new(Dataset::from_rows(rows))
+    }
+
+    #[test]
+    fn matches_sequential_core_structure() {
+        let data = blobs();
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let ctx = Context::new(ClusterConfig::local(4));
+        let r = ShuffleDbscan::new(params).run(&ctx, Arc::clone(&data)).unwrap();
+        let seq = SequentialDbscan::new(params).run(data);
+        assert_eq!(r.clustering.num_clusters(), 3);
+        assert!(core_labels_equivalent(&r.clustering, &seq));
+    }
+
+    #[test]
+    fn pays_for_shuffles() {
+        let data = blobs();
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let ctx = Context::new(ClusterConfig::local(4));
+        let r = ShuffleDbscan::new(params).run(&ctx, data).unwrap();
+        assert!(r.shuffle_records > 0, "the whole point of the strawman");
+        assert!(r.shuffle_bytes > 0);
+        assert!(r.rounds >= 1);
+    }
+
+    #[test]
+    fn chain_converges_across_partitions() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let data = Arc::new(Dataset::from_rows(rows));
+        let params = DbscanParams::new(1.1, 2).unwrap();
+        let ctx = Context::new(ClusterConfig::local(4));
+        let r = ShuffleDbscan::new(params).run(&ctx, data).unwrap();
+        assert_eq!(r.clustering.num_clusters(), 1);
+        assert_eq!(r.clustering.noise_count(), 0);
+    }
+
+    #[test]
+    fn all_noise_dataset() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 100.0]).collect();
+        let data = Arc::new(Dataset::from_rows(rows));
+        let params = DbscanParams::new(1.0, 2).unwrap();
+        let ctx = Context::new(ClusterConfig::local(2));
+        let r = ShuffleDbscan::new(params).run(&ctx, data).unwrap();
+        assert_eq!(r.clustering.num_clusters(), 0);
+        assert_eq!(r.clustering.noise_count(), 10);
+    }
+
+    #[test]
+    fn max_rounds_is_respected() {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let data = Arc::new(Dataset::from_rows(rows));
+        let params = DbscanParams::new(1.1, 2).unwrap();
+        let ctx = Context::new(ClusterConfig::local(2));
+        let r = ShuffleDbscan::new(params).max_rounds(2).run(&ctx, data).unwrap();
+        assert_eq!(r.rounds, 2, "stopped early");
+    }
+}

@@ -1,0 +1,130 @@
+//! Disjoint-set (union-find) with path compression and union by rank.
+//!
+//! Used by [`crate::MergeStrategy::UnionFind`] — and a nod to the
+//! disjoint-set parallel DBSCAN of Patwary et al. (SC'12), the baseline
+//! the paper compares its cluster quality against.
+
+/// Classic array-based disjoint set over `0..n`.
+#[derive(Debug, Clone)]
+pub struct DisjointSet {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl DisjointSet {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSet { parent: (0..n).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint components.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // compress
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were
+    /// distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.components -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut d = DisjointSet::new(4);
+        assert_eq!(d.components(), 4);
+        assert!(!d.connected(0, 1));
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn union_connects_transitively() {
+        let mut d = DisjointSet::new(5);
+        assert!(d.union(0, 1));
+        assert!(d.union(1, 2));
+        assert!(d.connected(0, 2));
+        assert_eq!(d.components(), 3);
+        assert!(!d.union(0, 2), "already connected");
+        assert_eq!(d.components(), 3);
+    }
+
+    #[test]
+    fn find_is_stable_per_component() {
+        let mut d = DisjointSet::new(6);
+        d.union(0, 1);
+        d.union(2, 3);
+        d.union(1, 3);
+        let r = d.find(0);
+        for x in [1, 2, 3] {
+            assert_eq!(d.find(x), r);
+        }
+        assert_ne!(d.find(4), r);
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let n = 1000;
+        let mut d = DisjointSet::new(n);
+        for i in 1..n {
+            d.union(i - 1, i);
+        }
+        assert_eq!(d.components(), 1);
+        assert!(d.connected(0, n - 1));
+    }
+
+    #[test]
+    fn empty_set() {
+        let d = DisjointSet::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.components(), 0);
+    }
+}

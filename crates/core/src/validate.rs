@@ -1,0 +1,234 @@
+//! Clustering validation.
+//!
+//! The paper states "all parallel executions generate the same result as
+//! the serial execution" and validates against Patwary et al. Exact
+//! label equality is too strict for DBSCAN in general — border points
+//! are legitimately assignment-order dependent — so we provide:
+//!
+//! * [`core_labels_equivalent`]: the partition induced on **core
+//!   points** must be identical (this *is* deterministic for DBSCAN);
+//! * [`adjusted_rand_index`]: overall agreement including borders and
+//!   noise (noise points are treated as singleton clusters).
+
+use crate::label::{Clustering, Label};
+use std::collections::HashMap;
+
+/// Summary comparison between two clusterings of the same points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonReport {
+    /// Adjusted Rand Index in `[-1, 1]`; 1.0 = identical partitions.
+    pub ari: f64,
+    /// Whether core points are partitioned identically.
+    pub core_equivalent: bool,
+    /// Cluster counts of both sides.
+    pub clusters: (usize, usize),
+    /// Noise counts of both sides.
+    pub noise: (usize, usize),
+}
+
+/// Compare two clusterings.
+pub fn compare(a: &Clustering, b: &Clustering) -> ComparisonReport {
+    ComparisonReport {
+        ari: adjusted_rand_index(a, b),
+        core_equivalent: core_labels_equivalent(a, b),
+        clusters: (a.num_clusters(), b.num_clusters()),
+        noise: (a.noise_count(), b.noise_count()),
+    }
+}
+
+/// Whether the two clusterings agree on core points: same core sets, and
+/// the partition restricted to core points is identical up to renaming.
+pub fn core_labels_equivalent(a: &Clustering, b: &Clustering) -> bool {
+    if a.len() != b.len() || a.core != b.core {
+        return false;
+    }
+    let mut a_to_b: HashMap<Label, Label> = HashMap::new();
+    let mut b_to_a: HashMap<Label, Label> = HashMap::new();
+    for i in 0..a.len() {
+        if !a.core[i] {
+            continue;
+        }
+        let (la, lb) = (a.labels[i], b.labels[i]);
+        if !la.is_cluster() || !lb.is_cluster() {
+            return false; // a core point must always be clustered
+        }
+        if *a_to_b.entry(la).or_insert(lb) != lb {
+            return false;
+        }
+        if *b_to_a.entry(lb).or_insert(la) != la {
+            return false;
+        }
+    }
+    true
+}
+
+/// Map labels to dense ids, giving each noise point its own singleton
+/// cluster.
+fn dense_ids(c: &Clustering) -> Vec<usize> {
+    let mut map: HashMap<u32, usize> = HashMap::new();
+    let mut next = 0usize;
+    let mut out = Vec::with_capacity(c.len());
+    for l in &c.labels {
+        match l {
+            Label::Cluster(id) => {
+                let v = *map.entry(*id).or_insert_with(|| {
+                    let v = next;
+                    next += 1;
+                    v
+                });
+                out.push(v);
+            }
+            Label::Noise => {
+                out.push(next);
+                next += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Adjusted Rand Index between two clusterings (noise = singletons).
+pub fn adjusted_rand_index(a: &Clustering, b: &Clustering) -> f64 {
+    assert_eq!(a.len(), b.len(), "clusterings must cover the same points");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ia = dense_ids(a);
+    let ib = dense_ids(b);
+
+    // contingency table
+    let mut table: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut row: HashMap<usize, u64> = HashMap::new();
+    let mut col: HashMap<usize, u64> = HashMap::new();
+    for i in 0..n {
+        *table.entry((ia[i], ib[i])).or_insert(0) += 1;
+        *row.entry(ia[i]).or_insert(0) += 1;
+        *col.entry(ib[i]).or_insert(0) += 1;
+    }
+    let c2 = |x: u64| -> f64 { (x * x.saturating_sub(1)) as f64 / 2.0 };
+    let sum_ij: f64 = table.values().map(|&v| c2(v)).sum();
+    let sum_a: f64 = row.values().map(|&v| c2(v)).sum();
+    let sum_b: f64 = col.values().map(|&v| c2(v)).sum();
+    let total = c2(n as u64);
+    let expected = sum_a * sum_b / total;
+    let max_index = (sum_a + sum_b) / 2.0;
+    if (max_index - expected).abs() < f64::EPSILON {
+        return 1.0; // both partitions trivial (all same or all singleton)
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustering(labels: Vec<Label>, core: Vec<bool>) -> Clustering {
+        Clustering { labels, core }
+    }
+
+    fn simple(ids: &[i64]) -> Clustering {
+        // -1 = noise; core = all cluster members
+        let labels: Vec<Label> = ids
+            .iter()
+            .map(|&i| if i < 0 { Label::Noise } else { Label::Cluster(i as u32) })
+            .collect();
+        let core = labels.iter().map(|l| l.is_cluster()).collect();
+        clustering(labels, core)
+    }
+
+    #[test]
+    fn identical_clusterings_have_ari_one() {
+        let a = simple(&[0, 0, 1, 1, -1]);
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        assert!(core_labels_equivalent(&a, &a));
+    }
+
+    #[test]
+    fn relabeled_clusterings_are_equivalent() {
+        let a = simple(&[0, 0, 1, 1]);
+        let b = simple(&[5, 5, 2, 2]);
+        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+        assert!(core_labels_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn merged_clusters_are_not_equivalent() {
+        let a = simple(&[0, 0, 1, 1]);
+        let b = simple(&[0, 0, 0, 0]);
+        assert!(adjusted_rand_index(&a, &b) < 1.0);
+        assert!(!core_labels_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn split_cluster_not_equivalent() {
+        let a = simple(&[0, 0, 0, 0]);
+        let b = simple(&[0, 0, 1, 1]);
+        assert!(!core_labels_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn border_disagreement_is_tolerated_by_core_check() {
+        // point 2 is a border point (non-core) assigned differently
+        let a = clustering(
+            vec![Label::Cluster(0), Label::Cluster(1), Label::Cluster(0)],
+            vec![true, true, false],
+        );
+        let b = clustering(
+            vec![Label::Cluster(0), Label::Cluster(1), Label::Cluster(1)],
+            vec![true, true, false],
+        );
+        assert!(core_labels_equivalent(&a, &b));
+        assert!(adjusted_rand_index(&a, &b) < 1.0, "ARI still sees the difference");
+    }
+
+    #[test]
+    fn differing_core_flags_fail_equivalence() {
+        let a = clustering(vec![Label::Cluster(0)], vec![true]);
+        let b = clustering(vec![Label::Cluster(0)], vec![false]);
+        assert!(!core_labels_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn unclustered_core_point_fails_equivalence() {
+        let a = clustering(vec![Label::Noise], vec![true]);
+        assert!(!core_labels_equivalent(&a, &a.clone()) || a.labels[0] == Label::Noise);
+        let b = clustering(vec![Label::Cluster(0)], vec![true]);
+        assert!(!core_labels_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn noise_as_singletons_in_ari() {
+        // two all-noise clusterings over distinct points: every point its
+        // own singleton in both -> identical partitions
+        let a = simple(&[-1, -1, -1]);
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn ari_penalizes_noise_vs_cluster() {
+        let a = simple(&[0, 0, 0, 0, 0, 0]);
+        let b = simple(&[0, 0, 0, -1, -1, -1]);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari < 0.6, "ari {ari}");
+    }
+
+    #[test]
+    fn compare_builds_full_report() {
+        let a = simple(&[0, 0, 1, -1]);
+        let b = simple(&[1, 1, 0, -1]);
+        let r = compare(&a, &b);
+        assert_eq!(r.ari, 1.0);
+        assert!(r.core_equivalent);
+        assert_eq!(r.clusters, (2, 2));
+        assert_eq!(r.noise, (1, 1));
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let a = simple(&[0]);
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        let e = Clustering::all_noise(0);
+        assert_eq!(adjusted_rand_index(&e, &e), 1.0);
+    }
+}

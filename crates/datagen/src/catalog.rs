@@ -1,0 +1,187 @@
+//! The five named datasets of the paper's Table I.
+//!
+//! | Name  | Points    | d  | eps | minpts |
+//! |-------|-----------|----|-----|--------|
+//! | c10k  | 10,000    | 10 | 25  | 5      |
+//! | c100k | 102,400   | 10 | 25  | 5      |
+//! | r10k  | 10,000    | 10 | 25  | 5      |
+//! | r100k | 102,400   | 10 | 25  | 5      |
+//! | r1m   | 1,024,000 | 10 | 25  | 5      |
+//!
+//! The paper says both groups come from the same IBM generator; we give
+//! the `c` (clean) series few, well-separated clusters with little noise
+//! and the `r` (rough) series more, smaller clusters with substantially
+//! more noise — which reproduces the paper's observation that the `r`
+//! datasets yield many more partial clusters (Fig. 6).
+
+use crate::cluster_gen::{ClusterGenerator, GeneratorParams, GroundTruth};
+use dbscan_spatial::Dataset;
+
+/// The five datasets of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StandardDataset {
+    /// 10k points, clean cluster structure.
+    C10k,
+    /// 102,400 points, clean cluster structure.
+    C100k,
+    /// 10k points, rough structure (more clusters + noise).
+    R10k,
+    /// 102,400 points, rough structure.
+    R100k,
+    /// 1,024,000 points, rough structure.
+    R1m,
+}
+
+/// A fully-pinned dataset description (what Table I reports, plus the
+/// generator parameters we chose).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Table I name.
+    pub name: &'static str,
+    /// DBSCAN radius from Table I.
+    pub eps: f64,
+    /// DBSCAN density threshold from Table I.
+    pub min_pts: usize,
+    /// Generator parameters (n, d, clusters, noise, seed).
+    pub params: GeneratorParams,
+}
+
+impl StandardDataset {
+    /// All five, in Table I order.
+    pub const ALL: [StandardDataset; 5] = [
+        StandardDataset::C10k,
+        StandardDataset::C100k,
+        StandardDataset::R10k,
+        StandardDataset::R100k,
+        StandardDataset::R1m,
+    ];
+
+    /// Parse a Table I name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "c10k" => Some(StandardDataset::C10k),
+            "c100k" => Some(StandardDataset::C100k),
+            "r10k" => Some(StandardDataset::R10k),
+            "r100k" => Some(StandardDataset::R100k),
+            "r1m" => Some(StandardDataset::R1m),
+            _ => None,
+        }
+    }
+
+    /// The pinned spec for this dataset.
+    pub fn spec(self) -> DatasetSpec {
+        let (name, n, rough, seed) = match self {
+            StandardDataset::C10k => ("c10k", 10_000, false, 0xC10C),
+            StandardDataset::C100k => ("c100k", 102_400, false, 0xC100),
+            StandardDataset::R10k => ("r10k", 10_000, true, 0x0010),
+            StandardDataset::R100k => ("r100k", 102_400, true, 0x0100),
+            StandardDataset::R1m => ("r1m", 1_024_000, true, 0x1000),
+        };
+        let mut params = GeneratorParams::new(n, 10, 0, seed);
+        if rough {
+            params.num_clusters = (n / 800).max(4);
+            params.sigma = 8.0;
+            params.noise_fraction = 0.15;
+        } else {
+            params.num_clusters = (n / 1600).max(4);
+            params.sigma = 8.0;
+            params.noise_fraction = 0.05;
+        }
+        if self == StandardDataset::R1m {
+            // r1m is processed with 64-512 partitions plus the
+            // small-partial-cluster filter (paper §V-E). Its clusters
+            // must be large enough that a 1/512 index slice of a
+            // cluster still carries evidence; ~26 clusters of ~33k
+            // points puts the partial-cluster counts in the growing
+            // regime the paper's Fig. 6b annotates (1875 ... 7532).
+            params.num_clusters = 26;
+        }
+        DatasetSpec { name, eps: 25.0, min_pts: 5, params }
+    }
+
+    /// Generate the dataset (deterministic).
+    pub fn generate(self) -> (Dataset, GroundTruth) {
+        ClusterGenerator::new(self.spec().params).generate()
+    }
+
+    /// A scaled-down variant: same structure and parameters, `1/factor`
+    /// of the points and clusters. Used by the Criterion benches so
+    /// `cargo bench` stays laptop-fast; the figure binaries run full
+    /// scale.
+    pub fn scaled_spec(self, factor: usize) -> DatasetSpec {
+        let mut spec = self.spec();
+        let factor = factor.max(1);
+        spec.params.n = (spec.params.n / factor).max(256);
+        spec.params.num_clusters = (spec.params.num_clusters / factor).max(4);
+        spec
+    }
+}
+
+impl DatasetSpec {
+    /// Generate this spec's dataset.
+    pub fn generate(&self) -> (Dataset, GroundTruth) {
+        ClusterGenerator::new(self.params.clone()).generate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_sizes_match_paper() {
+        assert_eq!(StandardDataset::C10k.spec().params.n, 10_000);
+        assert_eq!(StandardDataset::C100k.spec().params.n, 102_400);
+        assert_eq!(StandardDataset::R10k.spec().params.n, 10_000);
+        assert_eq!(StandardDataset::R100k.spec().params.n, 102_400);
+        assert_eq!(StandardDataset::R1m.spec().params.n, 1_024_000);
+    }
+
+    #[test]
+    fn table1_common_parameters() {
+        for d in StandardDataset::ALL {
+            let s = d.spec();
+            assert_eq!(s.params.dim, 10);
+            assert_eq!(s.eps, 25.0);
+            assert_eq!(s.min_pts, 5);
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for d in StandardDataset::ALL {
+            assert_eq!(StandardDataset::from_name(d.spec().name), Some(d));
+        }
+        assert_eq!(StandardDataset::from_name("x"), None);
+    }
+
+    #[test]
+    fn rough_series_has_more_clusters_and_noise() {
+        let c = StandardDataset::C10k.spec();
+        let r = StandardDataset::R10k.spec();
+        assert!(r.params.num_clusters > c.params.num_clusters);
+        assert!(r.params.noise_fraction > c.params.noise_fraction);
+    }
+
+    #[test]
+    fn generate_small_dataset() {
+        let (ds, gt) = StandardDataset::C10k.scaled_spec(10).generate();
+        assert_eq!(ds.len(), 1000);
+        assert_eq!(ds.dim(), 10);
+        assert!(gt.num_clusters() >= 4);
+    }
+
+    #[test]
+    fn scaled_spec_floors() {
+        let s = StandardDataset::C10k.scaled_spec(1_000_000);
+        assert_eq!(s.params.n, 256);
+        assert!(s.params.num_clusters >= 4);
+    }
+
+    #[test]
+    fn specs_are_deterministic() {
+        let (a, _) = StandardDataset::R10k.scaled_spec(20).generate();
+        let (b, _) = StandardDataset::R10k.scaled_spec(20).generate();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,278 @@
+//! The synthetic-cluster generator (our stand-in for IBM Quest).
+//!
+//! `k` Gaussian clusters with centers drawn uniformly in `[0, side]^d`
+//! (rejected if too close to an existing center, so clusters are
+//! separated at the paper's `eps` scale), plus a uniform noise fraction.
+//! Points are emitted in shuffled order so index-range partitioning does
+//! not trivially align with cluster structure — the regime in which the
+//! paper's SEED mechanism actually has work to do.
+
+use crate::normal::NormalSampler;
+use dbscan_spatial::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorParams {
+    /// Total number of points (cluster members + noise).
+    pub n: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Number of Gaussian clusters.
+    pub num_clusters: usize,
+    /// Per-axis standard deviation of each cluster.
+    pub sigma: f64,
+    /// Fraction of points drawn uniformly as noise, in `[0, 1)`.
+    pub noise_fraction: f64,
+    /// Side length of the bounding hyper-cube.
+    pub side: f64,
+    /// Minimum distance between cluster centers (0 disables the check).
+    pub min_center_distance: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GeneratorParams {
+    /// Reasonable defaults matched to the paper's `eps = 25`: cluster
+    /// members are dense at that radius, noise is not.
+    pub fn new(n: usize, dim: usize, num_clusters: usize, seed: u64) -> Self {
+        GeneratorParams {
+            n,
+            dim,
+            num_clusters: num_clusters.max(1),
+            sigma: 8.0,
+            noise_fraction: 0.05,
+            side: 1000.0,
+            min_center_distance: 150.0,
+            seed,
+        }
+    }
+}
+
+/// Which cluster (or noise) each generated point came from — ground
+/// truth for validating clusterings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// `Some(cluster)` for members, `None` for noise, indexed by point.
+    pub source: Vec<Option<u32>>,
+}
+
+impl GroundTruth {
+    /// Number of generated noise points.
+    pub fn noise_count(&self) -> usize {
+        self.source.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Number of distinct generating clusters.
+    pub fn num_clusters(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for s in self.source.iter().flatten() {
+            seen.insert(*s);
+        }
+        seen.len()
+    }
+}
+
+/// The generator itself.
+#[derive(Debug, Clone)]
+pub struct ClusterGenerator {
+    params: GeneratorParams,
+}
+
+impl ClusterGenerator {
+    /// Create with the given parameters.
+    ///
+    /// # Panics
+    /// Panics on nonsensical parameters (zero dim, noise fraction ≥ 1).
+    pub fn new(params: GeneratorParams) -> Self {
+        assert!(params.dim > 0, "dimension must be positive");
+        assert!(
+            (0.0..1.0).contains(&params.noise_fraction),
+            "noise fraction must be in [0, 1)"
+        );
+        assert!(params.sigma > 0.0, "sigma must be positive");
+        assert!(params.side > 0.0, "side must be positive");
+        ClusterGenerator { params }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &GeneratorParams {
+        &self.params
+    }
+
+    /// Generate the dataset and its ground truth.
+    pub fn generate(&self) -> (Dataset, GroundTruth) {
+        let p = &self.params;
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let mut normal = NormalSampler::new();
+
+        let centers = self.place_centers(&mut rng);
+        let noise_n = (p.n as f64 * p.noise_fraction).round() as usize;
+        let member_n = p.n - noise_n;
+
+        // labelled rows, then shuffled so point index carries no cluster info
+        let mut rows: Vec<(Option<u32>, Vec<f64>)> = Vec::with_capacity(p.n);
+        for i in 0..member_n {
+            let c = i % centers.len();
+            let row: Vec<f64> = centers[c]
+                .iter()
+                .map(|&m| normal.sample(&mut rng, m, p.sigma))
+                .collect();
+            rows.push((Some(c as u32), row));
+        }
+        for _ in 0..noise_n {
+            let row: Vec<f64> = (0..p.dim).map(|_| rng.random_range(0.0..p.side)).collect();
+            rows.push((None, row));
+        }
+        rows.shuffle(&mut rng);
+
+        let mut ds = Dataset::empty(p.dim);
+        let mut source = Vec::with_capacity(p.n);
+        for (label, row) in rows {
+            ds.push(&row);
+            source.push(label);
+        }
+        (ds, GroundTruth { source })
+    }
+
+    fn place_centers(&self, rng: &mut StdRng) -> Vec<Vec<f64>> {
+        let p = &self.params;
+        let mut centers: Vec<Vec<f64>> = Vec::with_capacity(p.num_clusters);
+        let mut attempts = 0usize;
+        while centers.len() < p.num_clusters {
+            let cand: Vec<f64> = (0..p.dim).map(|_| rng.random_range(0.0..p.side)).collect();
+            attempts += 1;
+            let ok = p.min_center_distance <= 0.0
+                || attempts > 1000 * p.num_clusters // give up separating, accept
+                || centers.iter().all(|c| {
+                    dbscan_spatial::euclidean(c, &cand) >= p.min_center_distance
+                });
+            if ok {
+                centers.push(cand);
+            }
+        }
+        centers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_spatial::{KdTree, SpatialIndex};
+    use std::sync::Arc;
+
+    fn small_params() -> GeneratorParams {
+        GeneratorParams::new(2000, 10, 3, 42)
+    }
+
+    #[test]
+    fn generates_requested_size_and_dim() {
+        let (ds, gt) = ClusterGenerator::new(small_params()).generate();
+        assert_eq!(ds.len(), 2000);
+        assert_eq!(ds.dim(), 10);
+        assert_eq!(gt.source.len(), 2000);
+        assert_eq!(gt.num_clusters(), 3);
+    }
+
+    #[test]
+    fn noise_fraction_respected() {
+        let (_, gt) = ClusterGenerator::new(small_params()).generate();
+        let frac = gt.noise_count() as f64 / 2000.0;
+        assert!((frac - 0.05).abs() < 0.01, "noise fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = ClusterGenerator::new(small_params()).generate();
+        let (b, _) = ClusterGenerator::new(small_params()).generate();
+        assert_eq!(a, b);
+        let mut other = small_params();
+        other.seed = 43;
+        let (c, _) = ClusterGenerator::new(other).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn points_inside_reasonable_bounds() {
+        let (ds, _) = ClusterGenerator::new(small_params()).generate();
+        let (lo, hi) = ds.bounds().unwrap();
+        for k in 0..ds.dim() {
+            // Gaussians can leak past the cube, but not far (5 sigma)
+            assert!(lo[k] > -60.0, "axis {k} lo {}", lo[k]);
+            assert!(hi[k] < 1060.0, "axis {k} hi {}", hi[k]);
+        }
+    }
+
+    #[test]
+    fn cluster_members_are_dense_at_paper_eps() {
+        // the property that makes Table I's eps=25/minpts=5 meaningful
+        let (ds, gt) = ClusterGenerator::new(small_params()).generate();
+        let ds = Arc::new(ds);
+        let tree = KdTree::build(Arc::clone(&ds));
+        let mut dense = 0usize;
+        let mut members = 0usize;
+        for (id, row) in ds.iter() {
+            if gt.source[id.idx()].is_some() {
+                members += 1;
+                if tree.count_within(row, 25.0) >= 5 {
+                    dense += 1;
+                }
+            }
+        }
+        assert!(
+            dense as f64 >= 0.95 * members as f64,
+            "only {dense}/{members} cluster members are core-dense"
+        );
+    }
+
+    #[test]
+    fn noise_is_sparse_at_paper_eps() {
+        let (ds, gt) = ClusterGenerator::new(small_params()).generate();
+        let ds = Arc::new(ds);
+        let tree = KdTree::build(Arc::clone(&ds));
+        let mut sparse = 0usize;
+        let mut noise = 0usize;
+        for (id, row) in ds.iter() {
+            if gt.source[id.idx()].is_none() {
+                noise += 1;
+                if tree.count_within(row, 25.0) < 5 {
+                    sparse += 1;
+                }
+            }
+        }
+        assert!(
+            sparse as f64 >= 0.9 * noise as f64,
+            "only {sparse}/{noise} noise points are sparse"
+        );
+    }
+
+    #[test]
+    fn shuffling_decouples_index_from_cluster() {
+        let (_, gt) = ClusterGenerator::new(small_params()).generate();
+        // the first 50 points must not all come from the same source
+        let firsts: std::collections::HashSet<_> =
+            gt.source[..50].iter().cloned().collect();
+        assert!(firsts.len() > 1, "points not shuffled");
+    }
+
+    #[test]
+    #[should_panic(expected = "noise fraction")]
+    fn rejects_bad_noise_fraction() {
+        let mut p = small_params();
+        p.noise_fraction = 1.0;
+        let _ = ClusterGenerator::new(p);
+    }
+
+    #[test]
+    fn single_cluster_no_noise() {
+        let mut p = small_params();
+        p.num_clusters = 1;
+        p.noise_fraction = 0.0;
+        let (ds, gt) = ClusterGenerator::new(p).generate();
+        assert_eq!(ds.len(), 2000);
+        assert_eq!(gt.noise_count(), 0);
+        assert_eq!(gt.num_clusters(), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Gaussian sampling via the Box–Muller transform.
+//!
+//! Implemented locally (a dozen lines) instead of pulling `rand_distr`,
+//! keeping the dependency set to the sanctioned list.
+
+use rand::Rng;
+
+/// A standard-normal sampler that caches the second Box–Muller variate.
+#[derive(Debug, Default, Clone)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// New sampler with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One sample from N(0, 1).
+    pub fn standard(&mut self, rng: &mut impl Rng) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms -> two independent standard normals
+        let u1: f64 = loop {
+            let u: f64 = rng.random();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// One sample from N(mean, sigma^2).
+    pub fn sample(&mut self, rng: &mut impl Rng, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.standard(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_close_to_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = NormalSampler::new();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.standard(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn mean_and_sigma_are_applied() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut s = NormalSampler::new();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.sample(&mut rng, 10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = NormalSampler::new();
+            (0..10).map(|_| s.standard(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(42), gen(42));
+        assert_ne!(gen(42), gen(43));
+    }
+
+    #[test]
+    fn all_samples_finite() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = NormalSampler::new();
+        for _ in 0..10_000 {
+            assert!(s.standard(&mut rng).is_finite());
+        }
+    }
+}

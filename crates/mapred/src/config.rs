@@ -1,0 +1,136 @@
+//! Job configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Configuration of one MapReduce job.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Concurrent map slots ("cores" in Fig. 7).
+    pub map_slots: usize,
+    /// Concurrent reduce slots.
+    pub reduce_slots: usize,
+    /// Number of reduce partitions.
+    pub num_reducers: usize,
+    /// Directory for intermediate spill files; a per-job subdirectory is
+    /// created inside and removed when the job finishes.
+    pub spill_root: PathBuf,
+    /// Simulated network latency added to every remote spill-file fetch
+    /// (models the reducers' RPC reads from map workers' local disks).
+    pub fetch_latency: Duration,
+    /// Maximum attempts per task (1 = no retry).
+    pub max_task_attempts: usize,
+    /// Probability that a task attempt fails (injected, deterministic in
+    /// `seed`); the first `max_injected_failures` attempts are eligible.
+    pub task_failure_prob: f64,
+    /// Number of attempts per task eligible for injected failure.
+    pub max_injected_failures: usize,
+    /// Seed for deterministic injection decisions.
+    pub seed: u64,
+}
+
+impl JobConfig {
+    /// A job with `slots` concurrent map/reduce slots and `slots`
+    /// reducers — the "p cores" setup of the paper's Fig. 7.
+    pub fn with_slots(slots: usize) -> Self {
+        let slots = slots.max(1);
+        JobConfig {
+            map_slots: slots,
+            reduce_slots: slots,
+            num_reducers: slots,
+            spill_root: std::env::temp_dir(),
+            fetch_latency: Duration::ZERO,
+            max_task_attempts: 4,
+            task_failure_prob: 0.0,
+            max_injected_failures: 0,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Builder-style: number of reduce partitions.
+    pub fn num_reducers(mut self, n: usize) -> Self {
+        self.num_reducers = n.max(1);
+        self
+    }
+
+    /// Builder-style: spill directory root.
+    pub fn spill_root(mut self, p: impl Into<PathBuf>) -> Self {
+        self.spill_root = p.into();
+        self
+    }
+
+    /// Builder-style: simulated remote-fetch latency.
+    pub fn fetch_latency(mut self, d: Duration) -> Self {
+        self.fetch_latency = d;
+        self
+    }
+
+    /// Builder-style: fault injection.
+    pub fn with_faults(mut self, prob: f64, max_failures: usize) -> Self {
+        self.task_failure_prob = prob;
+        self.max_injected_failures = max_failures;
+        self
+    }
+
+    /// Deterministic injected-failure decision for a task attempt.
+    pub(crate) fn should_fail(&self, phase: u64, task: usize, attempt: usize) -> bool {
+        if attempt >= self.max_injected_failures || self.task_failure_prob <= 0.0 {
+            return false;
+        }
+        if self.task_failure_prob >= 1.0 {
+            return true;
+        }
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(phase)
+            .wrapping_add((task as u64) << 24)
+            .wrapping_add(attempt as u64);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x as f64 / u64::MAX as f64) < self.task_failure_prob
+    }
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig::with_slots(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_slots_sets_all_parallelism() {
+        let c = JobConfig::with_slots(8);
+        assert_eq!(c.map_slots, 8);
+        assert_eq!(c.reduce_slots, 8);
+        assert_eq!(c.num_reducers, 8);
+    }
+
+    #[test]
+    fn zero_slots_clamped() {
+        let c = JobConfig::with_slots(0);
+        assert_eq!(c.map_slots, 1);
+    }
+
+    #[test]
+    fn fault_injection_deterministic() {
+        let c = JobConfig::with_slots(1).with_faults(0.5, 1);
+        for t in 0..20 {
+            assert_eq!(c.should_fail(0, t, 0), c.should_fail(0, t, 0));
+            assert!(!c.should_fail(0, t, 1), "only first attempt eligible");
+        }
+    }
+
+    #[test]
+    fn always_fail_prob_one() {
+        let c = JobConfig::with_slots(1).with_faults(1.0, 2);
+        assert!(c.should_fail(1, 0, 0));
+        assert!(c.should_fail(1, 0, 1));
+        assert!(!c.should_fail(1, 0, 2));
+    }
+}

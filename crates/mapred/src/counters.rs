@@ -1,0 +1,78 @@
+//! Job counters (Hadoop's `Counters`): built-in I/O accounting plus
+//! user-defined named counters usable from mappers and reducers.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counter set shared across all tasks of a job.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Records consumed by mappers.
+    pub map_input_records: AtomicU64,
+    /// Records emitted by mappers.
+    pub map_output_records: AtomicU64,
+    /// Records remaining after map-side combining (0 if no combiner).
+    pub combined_records: AtomicU64,
+    /// Bytes written to spill files.
+    pub spilled_bytes: AtomicU64,
+    /// Bytes read back during the shuffle.
+    pub shuffled_bytes: AtomicU64,
+    /// Distinct keys seen by reducers.
+    pub reduce_input_groups: AtomicU64,
+    /// Records produced by reducers.
+    pub reduce_output_records: AtomicU64,
+    custom: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Counters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment a user-defined named counter.
+    pub fn incr(&self, name: &str, by: u64) {
+        *self.custom.lock().entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Read a user-defined named counter (0 if never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.custom.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all user-defined counters.
+    pub fn custom_snapshot(&self) -> BTreeMap<String, u64> {
+        self.custom.lock().clone()
+    }
+
+    pub(crate) fn add(&self, field: &AtomicU64, by: u64) {
+        field.fetch_add(by, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_counters_accumulate() {
+        let c = Counters::new();
+        c.add(&c.map_input_records, 5);
+        c.add(&c.map_input_records, 3);
+        assert_eq!(c.map_input_records.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn custom_counters() {
+        let c = Counters::new();
+        assert_eq!(c.get("noise"), 0);
+        c.incr("noise", 2);
+        c.incr("noise", 1);
+        c.incr("core", 7);
+        assert_eq!(c.get("noise"), 3);
+        let snap = c.custom_snapshot();
+        assert_eq!(snap["core"], 7);
+        assert_eq!(snap.len(), 2);
+    }
+}

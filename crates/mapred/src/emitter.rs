@@ -1,0 +1,55 @@
+//! The mapper's output collector.
+
+/// Collects `(key, value)` pairs emitted by a map task.
+#[derive(Debug)]
+pub struct Emitter<K, V> {
+    pairs: Vec<(K, V)>,
+}
+
+impl<K, V> Emitter<K, V> {
+    /// New empty collector.
+    pub fn new() -> Self {
+        Emitter { pairs: Vec::new() }
+    }
+
+    /// Emit one pair (Hadoop's `context.write`).
+    pub fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Consume the collector.
+    pub(crate) fn into_pairs(self) -> Vec<(K, V)> {
+        self.pairs
+    }
+}
+
+impl<K, V> Default for Emitter<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_in_order() {
+        let mut e = Emitter::new();
+        assert!(e.is_empty());
+        e.emit(1, "a");
+        e.emit(2, "b");
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.into_pairs(), vec![(1, "a"), (2, "b")]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for MapReduce jobs.
+
+/// Result alias.
+pub type MrResult<T> = Result<T, MrError>;
+
+/// Job-level failures.
+#[derive(Debug)]
+pub enum MrError {
+    /// A task exhausted its retry budget.
+    TaskFailed {
+        /// "map" or "reduce".
+        phase: &'static str,
+        /// Task index within the phase.
+        task: usize,
+        /// Attempts made.
+        attempts: usize,
+        /// Last error message.
+        message: String,
+    },
+    /// Spill-file I/O failed.
+    Io(std::io::Error),
+    /// (De)serialization of intermediate records failed.
+    Serde(serde_json::Error),
+    /// Invalid job configuration.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for MrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrError::TaskFailed { phase, task, attempts, message } => {
+                write!(f, "{phase} task {task} failed after {attempts} attempts: {message}")
+            }
+            MrError::Io(e) => write!(f, "spill i/o error: {e}"),
+            MrError::Serde(e) => write!(f, "intermediate serialization error: {e}"),
+            MrError::InvalidConfig(m) => write!(f, "invalid job config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+impl From<std::io::Error> for MrError {
+    fn from(e: std::io::Error) -> Self {
+        MrError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for MrError {
+    fn from(e: serde_json::Error) -> Self {
+        MrError::Serde(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_phase_and_task() {
+        let e = MrError::TaskFailed { phase: "map", task: 2, attempts: 3, message: "x".into() };
+        assert!(e.to_string().contains("map task 2"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: MrError = std::io::Error::other("disk").into();
+        assert!(matches!(e, MrError::Io(_)));
+    }
+}

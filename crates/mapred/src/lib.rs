@@ -1,0 +1,38 @@
+//! # mapred — a Hadoop-MapReduce-like engine
+//!
+//! The paper compares its Spark DBSCAN against "our own DBSCAN with
+//! MapReduce approach" (Fig. 7) and attributes MapReduce's slowness to
+//! the data path: "map's intermediate results should be written to local
+//! disks and then they are remotely read \[by\] reduce workers, and disk
+//! I/O operations are very expensive". This crate reproduces that data
+//! path physically:
+//!
+//! * **Map phase**: map tasks run on a slot pool; their output is
+//!   partitioned by key hash, **sorted by key**, serialized (serde_json)
+//!   and **spilled to real local files** — one spill file per
+//!   `(map task, reduce partition)`.
+//! * **Shuffle**: each reduce task reads its column of spill files back
+//!   from disk (optionally with simulated remote-read latency) and
+//!   deserializes them.
+//! * **Sort/merge + reduce**: runs are merged by key, grouped, and fed
+//!   to the reducer.
+//! * **Task retry**: map and reduce attempts are retried on failure
+//!   (including injected failures), the fault-tolerance behaviour the
+//!   paper credits frameworks with.
+//! * **Counters and phase metrics**: records and bytes spilled/shuffled,
+//!   and wall time per phase, so Fig. 7's cost structure is inspectable.
+
+pub mod config;
+pub mod counters;
+pub mod emitter;
+pub mod error;
+pub mod job;
+pub mod spill;
+pub mod traits;
+
+pub use config::JobConfig;
+pub use counters::Counters;
+pub use emitter::Emitter;
+pub use error::{MrError, MrResult};
+pub use job::{JobResult, MapReduceJob, PhaseMetrics};
+pub use traits::{Combiner, Mapper, Reducer};

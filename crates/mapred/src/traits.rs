@@ -1,0 +1,104 @@
+//! Mapper / Reducer traits — Hadoop's `map()` and `reduce()` methods.
+
+use crate::counters::Counters;
+use crate::emitter::Emitter;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Bounds every intermediate key must satisfy: serializable for the
+/// spill files, ordered for the sort phase, hashable for partitioning.
+pub trait MrKey:
+    Serialize + DeserializeOwned + Ord + std::hash::Hash + Clone + Send + Sync + 'static
+{
+}
+impl<T: Serialize + DeserializeOwned + Ord + std::hash::Hash + Clone + Send + Sync + 'static> MrKey
+    for T
+{
+}
+
+/// Bounds every intermediate value must satisfy.
+pub trait MrValue: Serialize + DeserializeOwned + Clone + Send + Sync + 'static {}
+impl<T: Serialize + DeserializeOwned + Clone + Send + Sync + 'static> MrValue for T {}
+
+/// The user's map function.
+pub trait Mapper: Send + Sync {
+    /// Input record type (one element of an input split).
+    type In: Clone + Send + Sync + 'static;
+    /// Intermediate key.
+    type KOut: MrKey;
+    /// Intermediate value.
+    type VOut: MrValue;
+
+    /// Process one record, emitting any number of `(key, value)` pairs.
+    fn map(&self, record: Self::In, emit: &mut Emitter<Self::KOut, Self::VOut>, counters: &Counters);
+}
+
+/// An optional map-side combiner (Hadoop's `job.setCombinerClass`):
+/// folds each map task's values per key *before* they are spilled,
+/// shrinking the intermediate files. Must be semantically idempotent
+/// with the reducer (`reduce(combine(xs) ++ combine(ys)) ==
+/// reduce(xs ++ ys)`).
+pub trait Combiner: Send + Sync {
+    /// Intermediate key.
+    type K: MrKey;
+    /// Intermediate value.
+    type V: MrValue;
+
+    /// Fold one key's local values into (usually fewer) values.
+    fn combine(&self, key: &Self::K, values: Vec<Self::V>) -> Vec<Self::V>;
+}
+
+/// The user's reduce function.
+pub trait Reducer: Send + Sync {
+    /// Intermediate key (must match the mapper's `KOut`).
+    type KIn: MrKey;
+    /// Intermediate value (must match the mapper's `VOut`).
+    type VIn: MrValue;
+    /// Final output record.
+    type Out: Send + 'static;
+
+    /// Process one key group; push results into `out`.
+    fn reduce(&self, key: Self::KIn, values: Vec<Self::VIn>, out: &mut Vec<Self::Out>, counters: &Counters);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Tokenize;
+
+    impl Mapper for Tokenize {
+        type In = String;
+        type KOut = String;
+        type VOut = u64;
+
+        fn map(&self, record: String, emit: &mut Emitter<String, u64>, _c: &Counters) {
+            for w in record.split_whitespace() {
+                emit.emit(w.to_string(), 1);
+            }
+        }
+    }
+
+    struct Sum;
+
+    impl Reducer for Sum {
+        type KIn = String;
+        type VIn = u64;
+        type Out = (String, u64);
+
+        fn reduce(&self, key: String, values: Vec<u64>, out: &mut Vec<(String, u64)>, _c: &Counters) {
+            out.push((key, values.iter().sum()));
+        }
+    }
+
+    #[test]
+    fn traits_are_object_safe_enough_for_direct_use() {
+        let c = Counters::new();
+        let mut e = Emitter::new();
+        Tokenize.map("a b a".into(), &mut e, &c);
+        assert_eq!(e.len(), 3);
+        let mut out = Vec::new();
+        Sum.reduce("a".into(), vec![1, 1], &mut out, &c);
+        assert_eq!(out, vec![("a".to_string(), 2)]);
+    }
+}

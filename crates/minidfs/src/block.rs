@@ -1,0 +1,43 @@
+//! Block identifiers and per-block metadata.
+
+use crate::datanode::NodeId;
+
+/// Globally unique block identifier, allocated by the namenode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u64);
+
+/// Namenode-side record of one block of a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// The block's id.
+    pub id: BlockId,
+    /// Payload length in bytes (the final block of a file may be short).
+    pub len: usize,
+    /// Datanodes currently holding a replica.
+    pub replicas: Vec<NodeId>,
+}
+
+impl BlockInfo {
+    /// Whether `node` holds a replica.
+    pub fn is_replica(&self, node: NodeId) -> bool {
+        self.replicas.contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_membership() {
+        let b = BlockInfo { id: BlockId(1), len: 10, replicas: vec![NodeId(0), NodeId(2)] };
+        assert!(b.is_replica(NodeId(0)));
+        assert!(b.is_replica(NodeId(2)));
+        assert!(!b.is_replica(NodeId(1)));
+    }
+
+    #[test]
+    fn block_ids_are_ordered() {
+        assert!(BlockId(1) < BlockId(2));
+    }
+}

@@ -1,0 +1,521 @@
+//! The DFS cluster facade: namenode + datanodes + placement policy.
+
+use crate::block::{BlockId, BlockInfo};
+use crate::datanode::{DataNode, NodeId};
+use crate::error::{DfsError, DfsResult};
+use crate::namenode::{FileStatus, NameNode};
+use crate::reader::DfsReader;
+use crate::writer::DfsWriter;
+use std::sync::Arc;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct DfsConfig {
+    /// Number of datanodes.
+    pub num_datanodes: usize,
+    /// Replication factor per block (clamped to the datanode count).
+    pub replication: usize,
+    /// Block size in bytes.
+    pub block_size: usize,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig { num_datanodes: 4, replication: 3, block_size: 64 * 1024 }
+    }
+}
+
+/// Aggregate usage statistics, for reports and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfsStats {
+    /// Number of files in the namespace.
+    pub files: usize,
+    /// Replicas stored across all datanodes.
+    pub replicas: usize,
+    /// Total stored bytes (including replication overhead).
+    pub stored_bytes: u64,
+    /// Datanodes currently alive.
+    pub alive_datanodes: usize,
+}
+
+/// An in-process replicated block store.
+pub struct DfsCluster {
+    namenode: NameNode,
+    datanodes: Vec<Arc<DataNode>>,
+    config: DfsConfig,
+}
+
+impl DfsCluster {
+    /// Spin up a cluster per `config`.
+    ///
+    /// # Errors
+    /// Returns [`DfsError::InvalidConfig`] for zero datanodes, zero
+    /// replication, or zero block size.
+    pub fn new(config: DfsConfig) -> DfsResult<Self> {
+        if config.num_datanodes == 0 {
+            return Err(DfsError::InvalidConfig("num_datanodes must be > 0".into()));
+        }
+        if config.replication == 0 {
+            return Err(DfsError::InvalidConfig("replication must be > 0".into()));
+        }
+        if config.block_size == 0 {
+            return Err(DfsError::InvalidConfig("block_size must be > 0".into()));
+        }
+        let datanodes = (0..config.num_datanodes)
+            .map(|i| Arc::new(DataNode::new(NodeId(i))))
+            .collect();
+        Ok(DfsCluster { namenode: NameNode::new(), datanodes, config })
+    }
+
+    /// A small default cluster, convenient for tests and examples.
+    pub fn single_node() -> Self {
+        DfsCluster::new(DfsConfig { num_datanodes: 1, replication: 1, block_size: 64 * 1024 })
+            .expect("static config is valid")
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &DfsConfig {
+        &self.config
+    }
+
+    /// The namenode (for advanced/namespace-level operations).
+    pub fn namenode(&self) -> &NameNode {
+        &self.namenode
+    }
+
+    /// Number of datanodes (alive or dead).
+    pub fn num_datanodes(&self) -> usize {
+        self.datanodes.len()
+    }
+
+    fn node(&self, id: NodeId) -> DfsResult<&Arc<DataNode>> {
+        self.datanodes.get(id.0).ok_or(DfsError::UnknownDatanode(id.0))
+    }
+
+    /// Choose `replication` alive datanodes for a new block, least-loaded
+    /// first (a simplification of HDFS placement).
+    fn place_block(&self) -> DfsResult<Vec<NodeId>> {
+        let mut alive: Vec<&Arc<DataNode>> =
+            self.datanodes.iter().filter(|d| d.is_alive()).collect();
+        if alive.is_empty() {
+            return Err(DfsError::NoDatanodesAvailable);
+        }
+        alive.sort_by_key(|d| (d.used_bytes(), d.id().0));
+        let k = self.config.replication.min(alive.len());
+        Ok(alive[..k].iter().map(|d| d.id()).collect())
+    }
+
+    /// Store one complete block for `path`, replicating it.
+    pub(crate) fn store_block(&self, path: &str, data: Vec<u8>) -> DfsResult<()> {
+        let id = self.namenode.allocate_block();
+        let targets = self.place_block()?;
+        let len = data.len();
+        let shared = Arc::new(data);
+        let mut replicas = Vec::with_capacity(targets.len());
+        for t in targets {
+            if self.node(t)?.put(id, Arc::clone(&shared)) {
+                replicas.push(t);
+            }
+        }
+        if replicas.is_empty() {
+            return Err(DfsError::NoDatanodesAvailable);
+        }
+        self.namenode.commit_block(path, BlockInfo { id, len, replicas })
+    }
+
+    /// Read one block, falling back across replicas; on partial replica
+    /// loss the block is re-replicated back to the target factor.
+    pub fn read_block(&self, path: &str, info: &BlockInfo) -> DfsResult<Arc<Vec<u8>>> {
+        let mut data = None;
+        let mut live_replicas = Vec::new();
+        for &r in &info.replicas {
+            if let Ok(node) = self.node(r) {
+                if let Some(d) = node.get(info.id) {
+                    live_replicas.push(r);
+                    if data.is_none() {
+                        data = Some(d);
+                    }
+                }
+            }
+        }
+        let data = data.ok_or(DfsError::AllReplicasLost(info.id))?;
+        if live_replicas.len() < info.replicas.len() {
+            // heal: re-replicate onto other alive nodes
+            let mut replicas = live_replicas.clone();
+            for d in &self.datanodes {
+                if replicas.len() >= self.config.replication.min(self.alive_count()) {
+                    break;
+                }
+                if d.is_alive() && !replicas.contains(&d.id()) && d.put(info.id, Arc::clone(&data))
+                {
+                    replicas.push(d.id());
+                }
+            }
+            self.namenode.update_replicas(path, info.id, replicas)?;
+        }
+        Ok(data)
+    }
+
+    /// Write a whole byte buffer as a new file.
+    pub fn write_file(&self, path: &str, bytes: &[u8]) -> DfsResult<()> {
+        use std::io::Write;
+        let mut w = self.create(path)?;
+        w.write_all(bytes).map_err(|_| DfsError::NoDatanodesAvailable)?;
+        w.close()
+    }
+
+    /// Open a streaming writer for a new file.
+    pub fn create(&self, path: &str) -> DfsResult<DfsWriter<'_>> {
+        self.namenode.create(path)?;
+        Ok(DfsWriter::new(self, path.to_string(), self.config.block_size))
+    }
+
+    /// Read a whole file into memory.
+    pub fn read_file(&self, path: &str) -> DfsResult<Vec<u8>> {
+        let blocks = self.namenode.blocks(path)?;
+        let total: usize = blocks.iter().map(|b| b.len).sum();
+        let mut out = Vec::with_capacity(total);
+        for b in &blocks {
+            out.extend_from_slice(&self.read_block(path, b)?);
+        }
+        Ok(out)
+    }
+
+    /// Open a streaming reader.
+    pub fn open(&self, path: &str) -> DfsResult<DfsReader<'_>> {
+        let blocks = self.namenode.blocks(path)?;
+        Ok(DfsReader::new(self, path.to_string(), blocks))
+    }
+
+    /// File status.
+    pub fn stat(&self, path: &str) -> DfsResult<FileStatus> {
+        self.namenode.stat(path)
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.namenode.exists(path)
+    }
+
+    /// Delete a file and evict its replicas.
+    pub fn delete(&self, path: &str) -> DfsResult<()> {
+        for b in self.namenode.delete(path)? {
+            for r in b.replicas {
+                if let Ok(node) = self.node(r) {
+                    node.evict(b.id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// List files under a prefix.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.namenode.list(prefix)
+    }
+
+    /// Locality map of a file: for every block, the nodes hosting it.
+    /// Compute engines use this to build local input splits.
+    pub fn locality(&self, path: &str) -> DfsResult<Vec<(BlockId, Vec<NodeId>)>> {
+        Ok(self
+            .namenode
+            .blocks(path)?
+            .into_iter()
+            .map(|b| (b.id, b.replicas))
+            .collect())
+    }
+
+    /// Kill a datanode (drops its replicas and stops serving).
+    pub fn kill_datanode(&self, id: usize) -> DfsResult<()> {
+        self.node(NodeId(id))?.kill();
+        Ok(())
+    }
+
+    /// Revive a previously killed datanode (empty).
+    pub fn revive_datanode(&self, id: usize) -> DfsResult<()> {
+        self.node(NodeId(id))?.revive();
+        Ok(())
+    }
+
+    fn alive_count(&self) -> usize {
+        self.datanodes.iter().filter(|d| d.is_alive()).count()
+    }
+
+    /// Aggregate usage statistics.
+    pub fn stats(&self) -> DfsStats {
+        DfsStats {
+            files: self.namenode.list("").len(),
+            replicas: self.datanodes.iter().map(|d| d.replica_count()).sum(),
+            stored_bytes: self.datanodes.iter().map(|d| d.used_bytes()).sum(),
+            alive_datanodes: self.alive_count(),
+        }
+    }
+
+    /// Filesystem check (HDFS `fsck`): classify every block of every
+    /// file by replica health, without mutating anything.
+    pub fn fsck(&self) -> FsckReport {
+        let mut report = FsckReport::default();
+        let target = self.config.replication;
+        for path in self.namenode.list("") {
+            let Ok(blocks) = self.namenode.blocks(&path) else {
+                continue;
+            };
+            for b in blocks {
+                report.blocks += 1;
+                let live = b
+                    .replicas
+                    .iter()
+                    .filter(|r| {
+                        self.node(**r).map(|n| n.is_alive() && n.get(b.id).is_some()).unwrap_or(false)
+                    })
+                    .count();
+                if live == 0 {
+                    report.lost.push((path.clone(), b.id));
+                } else if live < target.min(self.datanodes.len()) {
+                    report.under_replicated.push((path.clone(), b.id, live));
+                } else {
+                    report.healthy += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Re-replicate every under-replicated block (what the HDFS
+    /// namenode's replication monitor does continuously). Returns the
+    /// number of new replicas created.
+    pub fn replicate_missing(&self) -> DfsResult<usize> {
+        let mut created = 0;
+        for path in self.namenode.list("") {
+            for b in self.namenode.blocks(&path)? {
+                // reading triggers the heal path
+                match self.read_block(&path, &b) {
+                    Ok(_) => {
+                        let after = self
+                            .namenode
+                            .blocks(&path)?
+                            .into_iter()
+                            .find(|x| x.id == b.id)
+                            .map(|x| x.replicas.len())
+                            .unwrap_or(0);
+                        created += after.saturating_sub(
+                            b.replicas
+                                .iter()
+                                .filter(|r| {
+                                    self.node(**r)
+                                        .map(|n| n.is_alive() && n.get(b.id).is_some())
+                                        .unwrap_or(false)
+                                })
+                                .count(),
+                        );
+                    }
+                    Err(DfsError::AllReplicasLost(_)) => {} // reported by fsck
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(created)
+    }
+}
+
+/// Result of [`DfsCluster::fsck`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Total blocks inspected.
+    pub blocks: usize,
+    /// Blocks at full target replication.
+    pub healthy: usize,
+    /// Blocks below target replication: `(path, block, live replicas)`.
+    pub under_replicated: Vec<(String, BlockId, usize)>,
+    /// Blocks with zero live replicas (data loss): `(path, block)`.
+    pub lost: Vec<(String, BlockId)>,
+}
+
+impl FsckReport {
+    /// Whether every block is at target replication.
+    pub fn is_healthy(&self) -> bool {
+        self.under_replicated.is_empty() && self.lost.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster() -> DfsCluster {
+        DfsCluster::new(DfsConfig { num_datanodes: 4, replication: 2, block_size: 8 }).unwrap()
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(DfsCluster::new(DfsConfig { num_datanodes: 0, ..Default::default() }).is_err());
+        assert!(DfsCluster::new(DfsConfig { replication: 0, ..Default::default() }).is_err());
+        assert!(DfsCluster::new(DfsConfig { block_size: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip_multi_block() {
+        let dfs = small_cluster();
+        let payload: Vec<u8> = (0..100u8).collect(); // 13 blocks of 8 bytes
+        dfs.write_file("/f", &payload).unwrap();
+        assert_eq!(dfs.read_file("/f").unwrap(), payload);
+        let st = dfs.stat("/f").unwrap();
+        assert_eq!(st.len, 100);
+        assert_eq!(st.num_blocks, 13);
+    }
+
+    #[test]
+    fn replication_factor_respected() {
+        let dfs = small_cluster();
+        dfs.write_file("/f", &[0u8; 16]).unwrap();
+        for (_, nodes) in dfs.locality("/f").unwrap() {
+            assert_eq!(nodes.len(), 2);
+        }
+        // 2 blocks x 2 replicas
+        assert_eq!(dfs.stats().replicas, 4);
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let dfs = small_cluster();
+        dfs.write_file("/empty", &[]).unwrap();
+        assert_eq!(dfs.read_file("/empty").unwrap(), Vec::<u8>::new());
+        assert_eq!(dfs.stat("/empty").unwrap().num_blocks, 0);
+    }
+
+    #[test]
+    fn read_survives_single_datanode_failure() {
+        let dfs = small_cluster();
+        let payload: Vec<u8> = (0..64u8).collect();
+        dfs.write_file("/f", &payload).unwrap();
+        dfs.kill_datanode(0).unwrap();
+        assert_eq!(dfs.read_file("/f").unwrap(), payload);
+    }
+
+    #[test]
+    fn read_heals_lost_replicas() {
+        let dfs = small_cluster();
+        dfs.write_file("/f", &[7u8; 8]).unwrap();
+        let before = dfs.locality("/f").unwrap()[0].1.clone();
+        dfs.kill_datanode(before[0].0).unwrap();
+        dfs.read_file("/f").unwrap();
+        let after = dfs.locality("/f").unwrap()[0].1.clone();
+        assert_eq!(after.len(), 2, "replica healed back to factor 2");
+        assert!(!after.contains(&before[0]));
+    }
+
+    #[test]
+    fn read_fails_when_all_replicas_lost() {
+        let dfs =
+            DfsCluster::new(DfsConfig { num_datanodes: 2, replication: 2, block_size: 8 }).unwrap();
+        dfs.write_file("/f", &[1u8; 8]).unwrap();
+        dfs.kill_datanode(0).unwrap();
+        dfs.kill_datanode(1).unwrap();
+        assert!(matches!(dfs.read_file("/f"), Err(DfsError::AllReplicasLost(_))));
+    }
+
+    #[test]
+    fn delete_evicts_replicas() {
+        let dfs = small_cluster();
+        dfs.write_file("/f", &[1u8; 32]).unwrap();
+        assert!(dfs.stats().stored_bytes > 0);
+        dfs.delete("/f").unwrap();
+        assert_eq!(dfs.stats().stored_bytes, 0);
+        assert!(!dfs.exists("/f"));
+    }
+
+    #[test]
+    fn write_with_all_nodes_dead_fails() {
+        let dfs = DfsCluster::single_node();
+        dfs.kill_datanode(0).unwrap();
+        assert!(matches!(dfs.write_file("/f", &[1]), Err(DfsError::NoDatanodesAvailable)));
+    }
+
+    #[test]
+    fn placement_balances_load() {
+        let dfs =
+            DfsCluster::new(DfsConfig { num_datanodes: 4, replication: 1, block_size: 4 }).unwrap();
+        dfs.write_file("/f", &[0u8; 64]).unwrap(); // 16 blocks, 1 replica each
+        let stats: Vec<usize> = (0..4)
+            .map(|i| dfs.node(NodeId(i)).unwrap().replica_count())
+            .collect();
+        assert_eq!(stats.iter().sum::<usize>(), 16);
+        // least-loaded placement keeps nodes within one block of each other
+        assert!(stats.iter().max().unwrap() - stats.iter().min().unwrap() <= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn list_and_exists() {
+        let dfs = small_cluster();
+        dfs.write_file("/a/1", &[1]).unwrap();
+        dfs.write_file("/a/2", &[2]).unwrap();
+        dfs.write_file("/b/3", &[3]).unwrap();
+        assert_eq!(dfs.list("/a/").len(), 2);
+        assert!(dfs.exists("/b/3"));
+        assert!(!dfs.exists("/b/4"));
+    }
+
+    #[test]
+    fn revive_comes_back_empty_but_usable() {
+        let dfs = small_cluster();
+        dfs.kill_datanode(1).unwrap();
+        dfs.revive_datanode(1).unwrap();
+        assert_eq!(dfs.stats().alive_datanodes, 4);
+        dfs.write_file("/f", &[1u8; 8]).unwrap();
+        assert_eq!(dfs.read_file("/f").unwrap(), vec![1u8; 8]);
+    }
+}
+
+#[cfg(test)]
+mod fsck_tests {
+    use super::*;
+
+    fn cluster() -> DfsCluster {
+        DfsCluster::new(DfsConfig { num_datanodes: 4, replication: 2, block_size: 8 }).unwrap()
+    }
+
+    #[test]
+    fn healthy_cluster_reports_healthy() {
+        let dfs = cluster();
+        dfs.write_file("/a", &[1u8; 24]).unwrap();
+        let r = dfs.fsck();
+        assert!(r.is_healthy());
+        assert_eq!(r.blocks, 3);
+        assert_eq!(r.healthy, 3);
+    }
+
+    #[test]
+    fn dead_datanode_shows_under_replication() {
+        let dfs = cluster();
+        dfs.write_file("/a", &[1u8; 32]).unwrap();
+        dfs.kill_datanode(0).unwrap();
+        let r = dfs.fsck();
+        assert!(!r.under_replicated.is_empty());
+        assert!(r.lost.is_empty(), "factor-2 survives one failure");
+    }
+
+    #[test]
+    fn replicate_missing_heals_the_cluster() {
+        let dfs = cluster();
+        dfs.write_file("/a", &[7u8; 40]).unwrap();
+        dfs.kill_datanode(1).unwrap();
+        assert!(!dfs.fsck().is_healthy());
+        let created = dfs.replicate_missing().unwrap();
+        assert!(created > 0 || dfs.fsck().is_healthy());
+        assert!(dfs.fsck().is_healthy(), "{:?}", dfs.fsck());
+    }
+
+    #[test]
+    fn total_loss_is_reported_not_hidden() {
+        let dfs = DfsCluster::new(DfsConfig { num_datanodes: 2, replication: 2, block_size: 8 })
+            .unwrap();
+        dfs.write_file("/a", &[1u8; 8]).unwrap();
+        dfs.kill_datanode(0).unwrap();
+        dfs.kill_datanode(1).unwrap();
+        let r = dfs.fsck();
+        assert_eq!(r.lost.len(), 1);
+        assert!(!r.is_healthy());
+        // replicate_missing tolerates lost blocks without erroring
+        assert_eq!(dfs.replicate_missing().unwrap(), 0);
+    }
+}

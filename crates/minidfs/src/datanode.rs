@@ -1,0 +1,166 @@
+//! Datanodes: the storage workers.
+//!
+//! Each datanode holds block replicas in memory behind a lock, tracks I/O
+//! counters, and can be "killed" to exercise the replica-fallback path —
+//! the fault the paper's MPI-vs-frameworks discussion is about (one dead
+//! worker must not take the job down).
+
+use crate::block::BlockId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a datanode within a [`crate::DfsCluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// One storage worker.
+#[derive(Debug)]
+pub struct DataNode {
+    id: NodeId,
+    blocks: RwLock<HashMap<BlockId, Arc<Vec<u8>>>>,
+    alive: AtomicBool,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+impl DataNode {
+    /// Create an empty, alive datanode.
+    pub fn new(id: NodeId) -> Self {
+        DataNode {
+            id,
+            blocks: RwLock::new(HashMap::new()),
+            alive: AtomicBool::new(true),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether the node is serving requests.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Simulate a crash: the node stops serving reads/writes. Stored
+    /// replicas are dropped (as if the disk became unreachable).
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+        self.blocks.write().clear();
+    }
+
+    /// Bring the node back, empty (replicas must be re-replicated).
+    pub fn revive(&self) {
+        self.alive.store(true, Ordering::Release);
+    }
+
+    /// Store a replica. Returns `false` when the node is dead.
+    pub fn put(&self, id: BlockId, data: Arc<Vec<u8>>) -> bool {
+        if !self.is_alive() {
+            return false;
+        }
+        self.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.blocks.write().insert(id, data);
+        true
+    }
+
+    /// Fetch a replica. `None` when dead or missing.
+    pub fn get(&self, id: BlockId) -> Option<Arc<Vec<u8>>> {
+        if !self.is_alive() {
+            return None;
+        }
+        let data = self.blocks.read().get(&id).cloned()?;
+        self.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Some(data)
+    }
+
+    /// Drop a replica (namenode-initiated delete).
+    pub fn evict(&self, id: BlockId) {
+        self.blocks.write().remove(&id);
+    }
+
+    /// Number of replicas currently stored.
+    pub fn replica_count(&self) -> usize {
+        self.blocks.read().len()
+    }
+
+    /// Total bytes held.
+    pub fn used_bytes(&self) -> u64 {
+        self.blocks.read().values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Lifetime write volume in bytes.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime read volume in bytes.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let n = DataNode::new(NodeId(0));
+        assert!(n.put(BlockId(1), Arc::new(vec![1, 2, 3])));
+        assert_eq!(n.get(BlockId(1)).unwrap().as_slice(), &[1, 2, 3]);
+        assert_eq!(n.replica_count(), 1);
+        assert_eq!(n.used_bytes(), 3);
+    }
+
+    #[test]
+    fn missing_block_is_none() {
+        let n = DataNode::new(NodeId(0));
+        assert!(n.get(BlockId(9)).is_none());
+    }
+
+    #[test]
+    fn killed_node_rejects_io_and_drops_data() {
+        let n = DataNode::new(NodeId(3));
+        n.put(BlockId(1), Arc::new(vec![0; 8]));
+        n.kill();
+        assert!(!n.is_alive());
+        assert!(n.get(BlockId(1)).is_none());
+        assert!(!n.put(BlockId(2), Arc::new(vec![1])));
+        assert_eq!(n.replica_count(), 0);
+    }
+
+    #[test]
+    fn revive_restores_service_but_not_data() {
+        let n = DataNode::new(NodeId(0));
+        n.put(BlockId(1), Arc::new(vec![9]));
+        n.kill();
+        n.revive();
+        assert!(n.is_alive());
+        assert!(n.get(BlockId(1)).is_none());
+        assert!(n.put(BlockId(2), Arc::new(vec![1])));
+    }
+
+    #[test]
+    fn io_counters_accumulate() {
+        let n = DataNode::new(NodeId(0));
+        n.put(BlockId(1), Arc::new(vec![0; 10]));
+        n.get(BlockId(1));
+        n.get(BlockId(1));
+        assert_eq!(n.bytes_written(), 10);
+        assert_eq!(n.bytes_read(), 20);
+    }
+
+    #[test]
+    fn evict_removes_replica() {
+        let n = DataNode::new(NodeId(0));
+        n.put(BlockId(1), Arc::new(vec![1]));
+        n.evict(BlockId(1));
+        assert!(n.get(BlockId(1)).is_none());
+    }
+}

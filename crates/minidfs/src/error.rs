@@ -1,0 +1,66 @@
+//! Error type for all DFS operations.
+
+use crate::block::BlockId;
+
+/// Result alias used throughout the crate.
+pub type DfsResult<T> = Result<T, DfsError>;
+
+/// Everything that can go wrong in the mini-DFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// The path does not exist in the namespace.
+    FileNotFound(String),
+    /// Create was called on an existing path.
+    FileExists(String),
+    /// A block id is not known to the namenode.
+    UnknownBlock(BlockId),
+    /// Every replica of a block is on a dead datanode.
+    AllReplicasLost(BlockId),
+    /// The cluster has no (alive) datanodes to place a block on.
+    NoDatanodesAvailable,
+    /// A datanode id is out of range.
+    UnknownDatanode(usize),
+    /// Invalid configuration (e.g. replication 0 or block size 0).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            DfsError::FileExists(p) => write!(f, "file already exists: {p}"),
+            DfsError::UnknownBlock(b) => write!(f, "unknown block: {b:?}"),
+            DfsError::AllReplicasLost(b) => write!(f, "all replicas lost for block {b:?}"),
+            DfsError::NoDatanodesAvailable => write!(f, "no alive datanodes available"),
+            DfsError::UnknownDatanode(i) => write!(f, "unknown datanode: {i}"),
+            DfsError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+impl From<DfsError> for std::io::Error {
+    fn from(e: DfsError) -> Self {
+        std::io::Error::other(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DfsError::FileNotFound("/a/b".into());
+        assert!(e.to_string().contains("/a/b"));
+        let e = DfsError::AllReplicasLost(BlockId(7));
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn converts_to_io_error() {
+        let io: std::io::Error = DfsError::NoDatanodesAvailable.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::Other);
+    }
+}

@@ -1,0 +1,34 @@
+//! # minidfs — an in-process HDFS-like block store
+//!
+//! The paper's pipeline "reads data from the Hadoop Distributed File
+//! System (HDFS) and forms Resilient Distributed Datasets". This crate is
+//! the storage substrate of the reproduction: a namenode/datanode block
+//! store with
+//!
+//! * fixed-size blocks, configurable replication factor,
+//! * block placement across datanodes (round-robin with load awareness),
+//! * locality metadata (which nodes host each block of a file) that the
+//!   compute engines use to form input splits,
+//! * datanode failure injection with transparent fallback to surviving
+//!   replicas, and re-replication on demand,
+//! * `std::io::Read`/`Write` adapters for streaming access.
+//!
+//! Everything lives in one process (the whole reproduction simulates a
+//! cluster on one machine) but the structure — and the failure modes —
+//! mirror HDFS.
+
+pub mod block;
+pub mod cluster;
+pub mod datanode;
+pub mod error;
+pub mod namenode;
+pub mod reader;
+pub mod writer;
+
+pub use block::{BlockId, BlockInfo};
+pub use cluster::{DfsCluster, DfsConfig, DfsStats, FsckReport};
+pub use datanode::{DataNode, NodeId};
+pub use error::{DfsError, DfsResult};
+pub use namenode::{FileStatus, NameNode};
+pub use reader::DfsReader;
+pub use writer::DfsWriter;

@@ -1,0 +1,201 @@
+//! The namenode: file-system namespace and block map.
+
+use crate::block::{BlockId, BlockInfo};
+use crate::datanode::NodeId;
+use crate::error::{DfsError, DfsResult};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Status summary of one file, as reported by [`NameNode::stat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStatus {
+    /// Full path.
+    pub path: String,
+    /// Total length in bytes.
+    pub len: usize,
+    /// Number of blocks.
+    pub num_blocks: usize,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FileMeta {
+    blocks: Vec<BlockInfo>,
+}
+
+/// Namespace + block map. Thread-safe; all mutation goes through `&self`.
+#[derive(Debug, Default)]
+pub struct NameNode {
+    files: RwLock<BTreeMap<String, FileMeta>>,
+    next_block: AtomicU64,
+}
+
+impl NameNode {
+    /// Fresh, empty namespace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a new globally unique block id.
+    pub fn allocate_block(&self) -> BlockId {
+        BlockId(self.next_block.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Create an empty file entry. Fails if the path exists.
+    pub fn create(&self, path: &str) -> DfsResult<()> {
+        let mut files = self.files.write();
+        if files.contains_key(path) {
+            return Err(DfsError::FileExists(path.to_string()));
+        }
+        files.insert(path.to_string(), FileMeta::default());
+        Ok(())
+    }
+
+    /// Append a completed block record to a file.
+    pub fn commit_block(&self, path: &str, info: BlockInfo) -> DfsResult<()> {
+        let mut files = self.files.write();
+        let meta = files
+            .get_mut(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        meta.blocks.push(info);
+        Ok(())
+    }
+
+    /// The block list of a file.
+    pub fn blocks(&self, path: &str) -> DfsResult<Vec<BlockInfo>> {
+        let files = self.files.read();
+        files
+            .get(path)
+            .map(|m| m.blocks.clone())
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))
+    }
+
+    /// Replace the replica set of a block (after re-replication or
+    /// replica loss).
+    pub fn update_replicas(&self, path: &str, block: BlockId, replicas: Vec<NodeId>) -> DfsResult<()> {
+        let mut files = self.files.write();
+        let meta = files
+            .get_mut(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        for b in &mut meta.blocks {
+            if b.id == block {
+                b.replicas = replicas;
+                return Ok(());
+            }
+        }
+        Err(DfsError::UnknownBlock(block))
+    }
+
+    /// Whether a path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    /// File status (length, block count).
+    pub fn stat(&self, path: &str) -> DfsResult<FileStatus> {
+        let files = self.files.read();
+        let meta = files
+            .get(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        Ok(FileStatus {
+            path: path.to_string(),
+            len: meta.blocks.iter().map(|b| b.len).sum(),
+            num_blocks: meta.blocks.len(),
+        })
+    }
+
+    /// Remove a file, returning its block list for replica cleanup.
+    pub fn delete(&self, path: &str) -> DfsResult<Vec<BlockInfo>> {
+        let mut files = self.files.write();
+        files
+            .remove(path)
+            .map(|m| m.blocks)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))
+    }
+
+    /// All paths with the given prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(id: u64, len: usize) -> BlockInfo {
+        BlockInfo { id: BlockId(id), len, replicas: vec![NodeId(0)] }
+    }
+
+    #[test]
+    fn create_then_stat() {
+        let nn = NameNode::new();
+        nn.create("/a").unwrap();
+        nn.commit_block("/a", info(0, 100)).unwrap();
+        nn.commit_block("/a", info(1, 50)).unwrap();
+        let st = nn.stat("/a").unwrap();
+        assert_eq!(st.len, 150);
+        assert_eq!(st.num_blocks, 2);
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let nn = NameNode::new();
+        nn.create("/a").unwrap();
+        assert_eq!(nn.create("/a"), Err(DfsError::FileExists("/a".into())));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let nn = NameNode::new();
+        assert!(matches!(nn.stat("/nope"), Err(DfsError::FileNotFound(_))));
+        assert!(matches!(nn.blocks("/nope"), Err(DfsError::FileNotFound(_))));
+        assert!(matches!(nn.delete("/nope"), Err(DfsError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn block_ids_are_unique() {
+        let nn = NameNode::new();
+        let a = nn.allocate_block();
+        let b = nn.allocate_block();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn delete_returns_blocks() {
+        let nn = NameNode::new();
+        nn.create("/a").unwrap();
+        nn.commit_block("/a", info(0, 10)).unwrap();
+        let blocks = nn.delete("/a").unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert!(!nn.exists("/a"));
+    }
+
+    #[test]
+    fn list_filters_by_prefix() {
+        let nn = NameNode::new();
+        for p in ["/data/a", "/data/b", "/tmp/c"] {
+            nn.create(p).unwrap();
+        }
+        assert_eq!(nn.list("/data/"), vec!["/data/a".to_string(), "/data/b".to_string()]);
+        assert_eq!(nn.list(""), vec!["/data/a", "/data/b", "/tmp/c"]);
+    }
+
+    #[test]
+    fn update_replicas_rewrites_set() {
+        let nn = NameNode::new();
+        nn.create("/a").unwrap();
+        nn.commit_block("/a", info(0, 10)).unwrap();
+        nn.update_replicas("/a", BlockId(0), vec![NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(nn.blocks("/a").unwrap()[0].replicas, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(
+            nn.update_replicas("/a", BlockId(99), vec![]),
+            Err(DfsError::UnknownBlock(BlockId(99)))
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Streaming reader across the blocks of a file.
+
+use crate::block::BlockInfo;
+use crate::cluster::DfsCluster;
+use std::io::{self, Read};
+use std::sync::Arc;
+
+/// A `std::io::Read` adapter that walks a file block by block, fetching
+/// each from a live replica on demand.
+pub struct DfsReader<'a> {
+    cluster: &'a DfsCluster,
+    path: String,
+    blocks: Vec<BlockInfo>,
+    next_block: usize,
+    current: Option<(Arc<Vec<u8>>, usize)>,
+}
+
+impl<'a> DfsReader<'a> {
+    pub(crate) fn new(cluster: &'a DfsCluster, path: String, blocks: Vec<BlockInfo>) -> Self {
+        DfsReader { cluster, path, blocks, next_block: 0, current: None }
+    }
+
+    /// Total file length in bytes.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.len).sum()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn ensure_block(&mut self) -> io::Result<bool> {
+        loop {
+            if let Some((ref data, pos)) = self.current {
+                if pos < data.len() {
+                    return Ok(true);
+                }
+                self.current = None;
+            }
+            if self.next_block >= self.blocks.len() {
+                return Ok(false);
+            }
+            let info = self.blocks[self.next_block].clone();
+            self.next_block += 1;
+            let data = self.cluster.read_block(&self.path, &info).map_err(io::Error::from)?;
+            self.current = Some((data, 0));
+        }
+    }
+}
+
+impl Read for DfsReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() || !self.ensure_block()? {
+            return Ok(0);
+        }
+        let (data, pos) = self.current.as_mut().expect("ensure_block guaranteed a block");
+        let take = buf.len().min(data.len() - *pos);
+        buf[..take].copy_from_slice(&data[*pos..*pos + take]);
+        *pos += take;
+        Ok(take)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{DfsCluster, DfsConfig};
+    use std::io::{BufRead, BufReader};
+
+    fn cluster() -> DfsCluster {
+        DfsCluster::new(DfsConfig { num_datanodes: 3, replication: 2, block_size: 5 }).unwrap()
+    }
+
+    #[test]
+    fn streaming_read_matches_bulk() {
+        let dfs = cluster();
+        let payload: Vec<u8> = (0..37u8).collect();
+        dfs.write_file("/f", &payload).unwrap();
+        let mut r = dfs.open("/f").unwrap();
+        assert_eq!(r.len(), 37);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn small_reads_cross_block_boundaries() {
+        let dfs = cluster();
+        dfs.write_file("/f", b"hello world, blocks!").unwrap();
+        let mut r = dfs.open("/f").unwrap();
+        let mut buf = [0u8; 3];
+        let mut out = Vec::new();
+        loop {
+            let n = r.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(out, b"hello world, blocks!");
+    }
+
+    #[test]
+    fn works_with_bufread_lines() {
+        let dfs = cluster();
+        dfs.write_file("/lines", b"a\nbb\nccc\n").unwrap();
+        let r = dfs.open("/lines").unwrap();
+        let lines: Vec<String> = BufReader::new(r).lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines, vec!["a", "bb", "ccc"]);
+    }
+
+    #[test]
+    fn empty_file_reads_zero() {
+        let dfs = cluster();
+        dfs.write_file("/e", &[]).unwrap();
+        let mut r = dfs.open("/e").unwrap();
+        assert!(r.is_empty());
+        let mut buf = [0u8; 4];
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn zero_length_target_buffer() {
+        let dfs = cluster();
+        dfs.write_file("/f", b"xy").unwrap();
+        let mut r = dfs.open("/f").unwrap();
+        assert_eq!(r.read(&mut []).unwrap(), 0);
+    }
+}

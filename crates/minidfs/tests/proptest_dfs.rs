@@ -1,0 +1,56 @@
+//! Property tests for the mini-DFS: write/read fidelity under arbitrary
+//! payloads, block sizes, chunked writes, and datanode failures.
+
+use minidfs::{DfsCluster, DfsConfig};
+use proptest::prelude::*;
+use std::io::Write;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_any_payload(payload in prop::collection::vec(any::<u8>(), 0..2000),
+                             block_size in 1usize..128,
+                             nodes in 1usize..6,
+                             repl in 1usize..4) {
+        let dfs = DfsCluster::new(DfsConfig { num_datanodes: nodes, replication: repl, block_size }).unwrap();
+        dfs.write_file("/p", &payload).unwrap();
+        prop_assert_eq!(dfs.read_file("/p").unwrap(), payload);
+    }
+
+    #[test]
+    fn chunked_writes_equal_bulk_write(payload in prop::collection::vec(any::<u8>(), 1..1500),
+                                       chunk in 1usize..97,
+                                       block_size in 1usize..64) {
+        let dfs = DfsCluster::new(DfsConfig { num_datanodes: 3, replication: 2, block_size }).unwrap();
+        let mut w = dfs.create("/c").unwrap();
+        for piece in payload.chunks(chunk) {
+            w.write_all(piece).unwrap();
+        }
+        w.close().unwrap();
+        prop_assert_eq!(dfs.read_file("/c").unwrap(), payload);
+    }
+
+    #[test]
+    fn survives_killing_any_single_node(payload in prop::collection::vec(any::<u8>(), 1..800),
+                                        victim in 0usize..4) {
+        let dfs = DfsCluster::new(DfsConfig { num_datanodes: 4, replication: 2, block_size: 16 }).unwrap();
+        dfs.write_file("/s", &payload).unwrap();
+        dfs.kill_datanode(victim).unwrap();
+        prop_assert_eq!(dfs.read_file("/s").unwrap(), payload.clone());
+        // and reads heal the missing replicas so a second failure is survivable
+        let second = (victim + 1) % 4;
+        dfs.kill_datanode(second).unwrap();
+        prop_assert_eq!(dfs.read_file("/s").unwrap(), payload);
+    }
+
+    #[test]
+    fn stat_len_matches_payload(payload in prop::collection::vec(any::<u8>(), 0..1000),
+                                block_size in 1usize..50) {
+        let dfs = DfsCluster::new(DfsConfig { num_datanodes: 2, replication: 1, block_size }).unwrap();
+        dfs.write_file("/l", &payload).unwrap();
+        let st = dfs.stat("/l").unwrap();
+        prop_assert_eq!(st.len, payload.len());
+        prop_assert_eq!(st.num_blocks, payload.len().div_ceil(block_size));
+    }
+}

@@ -1,0 +1,234 @@
+//! Accumulators — write-only shared variables.
+//!
+//! The paper uses an accumulator to bring partial clusters back to the
+//! driver: "Because it can be used as 'Writable' variables in executors,
+//! we use it to implement bringing back the partial clusters." Our
+//! implementation keeps Spark's action-accumulator guarantee: updates
+//! made by a task attempt are buffered and merged into the driver value
+//! **only when that attempt succeeds**; updates from failed/retried
+//! attempts are discarded, so values are exactly-once per task even with
+//! fault injection.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+type AnyBox = Box<dyn Any + Send>;
+type ApplyFn = Arc<dyn Fn(&mut AnyBox, AnyBox) + Send + Sync>;
+
+/// One buffered update produced inside a task.
+pub(crate) struct PendingUpdate {
+    id: usize,
+    update: AnyBox,
+    apply: ApplyFn,
+}
+
+thread_local! {
+    /// Buffer installed by the executor worker for the current task.
+    static TASK_BUFFER: RefCell<Option<Vec<PendingUpdate>>> = const { RefCell::new(None) };
+}
+
+/// Install a fresh buffer for the task about to run on this thread.
+pub(crate) fn begin_task_buffer() {
+    TASK_BUFFER.with(|b| *b.borrow_mut() = Some(Vec::new()));
+}
+
+/// Take the buffer after the task finished (successfully or not).
+pub(crate) fn take_task_buffer() -> Vec<PendingUpdate> {
+    TASK_BUFFER.with(|b| b.borrow_mut().take()).unwrap_or_default()
+}
+
+/// Driver-side store of accumulator values.
+#[derive(Default)]
+pub struct AccumulatorRegistry {
+    values: Mutex<HashMap<usize, AnyBox>>,
+}
+
+impl AccumulatorRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, id: usize, init: AnyBox) {
+        self.values.lock().insert(id, init);
+    }
+
+    fn apply(&self, id: usize, update: AnyBox, apply: &ApplyFn) {
+        let mut v = self.values.lock();
+        let slot = v.get_mut(&id).expect("accumulator registered");
+        apply(slot, update);
+    }
+
+    /// Merge a batch of buffered updates from a successful task.
+    pub(crate) fn apply_all(&self, updates: Vec<PendingUpdate>) {
+        let mut v = self.values.lock();
+        for u in updates {
+            let slot = v.get_mut(&u.id).expect("accumulator registered");
+            (u.apply)(slot, u.update);
+        }
+    }
+
+    fn read<T: Clone + 'static>(&self, id: usize) -> T {
+        let v = self.values.lock();
+        v.get(&id)
+            .and_then(|b| b.downcast_ref::<T>())
+            .expect("accumulator type matches")
+            .clone()
+    }
+}
+
+/// A write-only shared variable: executors `add`, only the driver reads.
+///
+/// `T` is the driver-side value, `U` the per-update payload.
+pub struct Accumulator<T, U = T> {
+    id: usize,
+    registry: Arc<AccumulatorRegistry>,
+    apply: ApplyFn,
+    _pd: PhantomData<fn(U) -> T>,
+}
+
+impl<T, U> Clone for Accumulator<T, U> {
+    fn clone(&self) -> Self {
+        Accumulator {
+            id: self.id,
+            registry: Arc::clone(&self.registry),
+            apply: Arc::clone(&self.apply),
+            _pd: PhantomData,
+        }
+    }
+}
+
+impl<T, U> Accumulator<T, U>
+where
+    T: Send + 'static,
+    U: Send + 'static,
+{
+    /// Create and register an accumulator. Usually called through
+    /// [`crate::Context`] helpers.
+    pub(crate) fn create(
+        id: usize,
+        registry: Arc<AccumulatorRegistry>,
+        init: T,
+        fold: impl Fn(&mut T, U) + Send + Sync + 'static,
+    ) -> Self {
+        registry.register(id, Box::new(init));
+        let apply: ApplyFn = Arc::new(move |slot: &mut AnyBox, update: AnyBox| {
+            let value = slot.downcast_mut::<T>().expect("accumulator value type");
+            let update = *update.downcast::<U>().expect("accumulator update type");
+            fold(value, update);
+        });
+        Accumulator { id, registry, apply, _pd: PhantomData }
+    }
+
+    /// Add an update. Inside a task this is buffered until the attempt
+    /// succeeds; on the driver it applies immediately.
+    pub fn add(&self, update: U) {
+        let leftover = TASK_BUFFER.with(|b| {
+            let mut b = b.borrow_mut();
+            match b.as_mut() {
+                Some(buf) => {
+                    buf.push(PendingUpdate {
+                        id: self.id,
+                        update: Box::new(update),
+                        apply: Arc::clone(&self.apply),
+                    });
+                    None
+                }
+                None => Some(update),
+            }
+        });
+        if let Some(update) = leftover {
+            self.registry.apply(self.id, Box::new(update), &self.apply);
+        }
+    }
+}
+
+impl<T, U> Accumulator<T, U>
+where
+    T: Clone + Send + 'static,
+{
+    /// Read the driver-side value (Spark's `acc.value`).
+    pub fn value(&self) -> T {
+        self.registry.read(self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(reg: &Arc<AccumulatorRegistry>, id: usize) -> Accumulator<u64> {
+        Accumulator::create(id, Arc::clone(reg), 0u64, |a, b| *a += b)
+    }
+
+    #[test]
+    fn driver_side_adds_apply_immediately() {
+        let reg = Arc::new(AccumulatorRegistry::new());
+        let acc = counter(&reg, 0);
+        acc.add(5);
+        acc.add(7);
+        assert_eq!(acc.value(), 12);
+    }
+
+    #[test]
+    fn task_buffered_updates_apply_on_success_only() {
+        let reg = Arc::new(AccumulatorRegistry::new());
+        let acc = counter(&reg, 0);
+
+        // simulate a failed attempt: buffer then drop
+        begin_task_buffer();
+        acc.add(100);
+        let dropped = take_task_buffer();
+        assert_eq!(dropped.len(), 1);
+        drop(dropped);
+        assert_eq!(acc.value(), 0, "failed attempt contributes nothing");
+
+        // successful attempt: buffer then merge
+        begin_task_buffer();
+        acc.add(3);
+        acc.add(4);
+        let updates = take_task_buffer();
+        reg.apply_all(updates);
+        assert_eq!(acc.value(), 7);
+    }
+
+    #[test]
+    fn collection_accumulator_pattern() {
+        let reg = Arc::new(AccumulatorRegistry::new());
+        let acc: Accumulator<Vec<String>, String> =
+            Accumulator::create(1, Arc::clone(&reg), Vec::new(), |v, s| v.push(s));
+        acc.add("a".into());
+        acc.add("b".into());
+        assert_eq!(acc.value(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn clones_share_the_same_slot() {
+        let reg = Arc::new(AccumulatorRegistry::new());
+        let acc = counter(&reg, 2);
+        let acc2 = acc.clone();
+        acc.add(1);
+        acc2.add(2);
+        assert_eq!(acc.value(), 3);
+    }
+
+    #[test]
+    fn multiple_accumulators_are_independent() {
+        let reg = Arc::new(AccumulatorRegistry::new());
+        let a = counter(&reg, 0);
+        let b = counter(&reg, 1);
+        a.add(1);
+        b.add(10);
+        assert_eq!(a.value(), 1);
+        assert_eq!(b.value(), 10);
+    }
+
+    #[test]
+    fn take_without_begin_is_empty() {
+        assert!(take_task_buffer().is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Broadcast variables.
+//!
+//! The paper: "it is necessary for executors to know some parameters and
+//! variables, such as eps, minimum number of points, partition
+//! information, and especially, the kdtree" — all shipped once per
+//! executor as read-only broadcast values. In-process, a broadcast is an
+//! `Arc`, but the context still accounts the logical bytes a real
+//! cluster would move (`size_hint x num_executors`), so the cost model
+//! of the paper's design is visible in reports.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A read-only value shared with every executor.
+#[derive(Debug)]
+pub struct Broadcast<T: ?Sized> {
+    pub(crate) id: usize,
+    pub(crate) size_hint: usize,
+    pub(crate) value: Arc<T>,
+}
+
+impl<T> Broadcast<T> {
+    pub(crate) fn new(id: usize, value: T, size_hint: usize) -> Self {
+        Broadcast { id, size_hint, value: Arc::new(value) }
+    }
+
+    /// The broadcast id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Logical serialized size in bytes (as declared at creation).
+    pub fn size_hint(&self) -> usize {
+        self.size_hint
+    }
+
+    /// Access the shared value (Spark's `bcast.value()`).
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T: ?Sized> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast { id: self.id, size_hint: self.size_hint, value: Arc::clone(&self.value) }
+    }
+}
+
+impl<T: ?Sized> Deref for Broadcast<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deref_and_value_agree() {
+        let b = Broadcast::new(0, vec![1, 2, 3], 24);
+        assert_eq!(b.value(), &vec![1, 2, 3]);
+        assert_eq!(b.len(), 3); // deref to Vec
+        assert_eq!(b.size_hint(), 24);
+        assert_eq!(b.id(), 0);
+    }
+
+    #[test]
+    fn clone_shares_the_value() {
+        let b = Broadcast::new(1, String::from("x"), 1);
+        let c = b.clone();
+        assert!(Arc::ptr_eq(&b.value, &c.value));
+    }
+}

@@ -1,0 +1,143 @@
+//! Cluster configuration.
+
+use crate::fault::FaultConfig;
+
+/// Straggler model for the virtual-cluster time simulation.
+///
+/// The paper's complexity analysis includes `t_straggling^ave`, "the
+/// average wait time for \[the\] framework to allow all stragglers to
+/// finish". We model it as: with probability `prob`, a task's simulated
+/// duration is multiplied by `slowdown` (deterministically derived from
+/// the task identity and the config seed, so runs are reproducible).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerConfig {
+    /// Probability that a task straggles.
+    pub prob: f64,
+    /// Multiplicative slowdown applied to straggling tasks.
+    pub slowdown: f64,
+}
+
+impl StragglerConfig {
+    /// No stragglers (the default).
+    pub const NONE: StragglerConfig = StragglerConfig { prob: 0.0, slowdown: 1.0 };
+}
+
+impl Default for StragglerConfig {
+    fn default() -> Self {
+        StragglerConfig::NONE
+    }
+}
+
+/// Configuration of a [`crate::Context`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of (virtual) executors. Tasks are bound to executors by
+    /// `partition % num_executors`, mirroring the paper's setup where
+    /// each core processes its own contiguous partition.
+    pub num_executors: usize,
+    /// Real worker threads backing the executors. Defaults to
+    /// `min(num_executors, available_parallelism)`; per-task busy time is
+    /// measured regardless, so virtual executor counts may exceed this.
+    pub worker_threads: usize,
+    /// Maximum attempts per task (1 = no retry).
+    pub max_task_attempts: usize,
+    /// Injected-failure model.
+    pub fault: FaultConfig,
+    /// Straggler model for simulated makespans.
+    pub straggler: StragglerConfig,
+    /// Seed for all deterministic pseudo-randomness in the engine.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A local cluster with `n` executors, one worker thread per executor
+    /// (capped by the host's parallelism).
+    pub fn local(n: usize) -> Self {
+        let host = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        ClusterConfig {
+            num_executors: n.max(1),
+            worker_threads: n.clamp(1, host),
+            max_task_attempts: 4,
+            fault: FaultConfig::NONE,
+            straggler: StragglerConfig::NONE,
+            seed: 0x5eed,
+        }
+    }
+
+    /// A *virtual* cluster with `n` executors backed by all host threads:
+    /// task times are measured for real, while makespans for `n` cores
+    /// come from the [`crate::sim`] model. Used for the paper's 64–512
+    /// core experiments.
+    pub fn virtual_cluster(n: usize) -> Self {
+        let host = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        ClusterConfig { worker_threads: host, ..ClusterConfig::local(n) }
+    }
+
+    /// Builder-style: set the fault model.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Builder-style: set the straggler model.
+    pub fn with_straggler(mut self, s: StragglerConfig) -> Self {
+        self.straggler = s;
+        self
+    }
+
+    /// Builder-style: set the retry budget.
+    pub fn with_max_attempts(mut self, n: usize) -> Self {
+        self.max_task_attempts = n.max(1);
+        self
+    }
+
+    /// Builder-style: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::local(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_clamps_to_host() {
+        let c = ClusterConfig::local(10_000);
+        assert_eq!(c.num_executors, 10_000);
+        assert!(c.worker_threads <= 10_000);
+        assert!(c.worker_threads >= 1);
+    }
+
+    #[test]
+    fn zero_executors_becomes_one() {
+        let c = ClusterConfig::local(0);
+        assert_eq!(c.num_executors, 1);
+        assert_eq!(c.worker_threads, 1);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = ClusterConfig::local(2)
+            .with_max_attempts(0)
+            .with_seed(99)
+            .with_straggler(StragglerConfig { prob: 0.5, slowdown: 3.0 });
+        assert_eq!(c.max_task_attempts, 1, "attempt budget is at least 1");
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.straggler.prob, 0.5);
+    }
+
+    #[test]
+    fn virtual_cluster_uses_host_threads() {
+        let c = ClusterConfig::virtual_cluster(512);
+        assert_eq!(c.num_executors, 512);
+        assert!(c.worker_threads < 512 || c.worker_threads >= 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! The executor pool: worker threads that run tasks.
+//!
+//! Workers measure each attempt's busy time, install the accumulator
+//! buffer, apply fault injection, and catch panics so one bad task never
+//! takes the process down — the fault-tolerance contrast with MPI the
+//! paper emphasizes.
+
+use crate::accumulator::{begin_task_buffer, take_task_buffer};
+use crate::fault::FaultConfig;
+use crate::task::{set_current_executor, AttemptResult, TaskSpec};
+use crossbeam::channel::{unbounded, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// An envelope routed to a worker.
+pub(crate) struct Envelope {
+    pub spec: TaskSpec,
+    pub attempt: usize,
+    pub reply: Sender<AttemptResult>,
+}
+
+/// A pool of worker threads with a shared task queue.
+pub struct ExecutorPool {
+    sender: Option<Sender<Envelope>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl ExecutorPool {
+    /// Start `threads` workers applying the given fault model.
+    pub(crate) fn start(threads: usize, fault: FaultConfig, seed: u64) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = unbounded::<Envelope>();
+        let workers = (0..threads)
+            .map(|w| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("sparklet-worker-{w}"))
+                    .spawn(move || {
+                        while let Ok(env) = rx.recv() {
+                            let result = run_attempt(&env, fault, seed);
+                            // the driver may have aborted the job; a closed
+                            // reply channel is not an error for the worker
+                            let _ = env.reply.send(result);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ExecutorPool { sender: Some(tx), workers, size: threads }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submit a task attempt.
+    pub(crate) fn submit(&self, env: Envelope) {
+        self.sender
+            .as_ref()
+            .expect("pool not shut down")
+            .send(env)
+            .expect("workers alive while pool exists");
+    }
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        // closing the channel lets workers drain and exit
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn run_attempt(env: &Envelope, fault: FaultConfig, seed: u64) -> AttemptResult {
+    let spec = &env.spec;
+    set_current_executor(spec.executor);
+    begin_task_buffer();
+    let start = Instant::now();
+
+    let outcome = if fault.should_fail(seed, spec.stage_id, spec.partition, env.attempt) {
+        Err(format!(
+            "injected failure (stage {} partition {} attempt {})",
+            spec.stage_id, spec.partition, env.attempt
+        ))
+    } else {
+        match catch_unwind(AssertUnwindSafe(|| (spec.work)())) {
+            Ok(r) => r,
+            Err(panic) => Err(panic_message(panic)),
+        }
+    };
+
+    let busy = start.elapsed();
+    let accum_updates = take_task_buffer();
+    AttemptResult {
+        partition: spec.partition,
+        executor: spec.executor,
+        attempt: env.attempt,
+        busy,
+        outcome,
+        accum_updates,
+    }
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("task panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("task panicked: {s}")
+    } else {
+        "task panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskOutput, TaskWork};
+    use std::sync::Arc;
+
+    fn spec(work: TaskWork) -> TaskSpec {
+        TaskSpec { stage_id: 0, partition: 0, executor: 0, work }
+    }
+
+    fn run_one(pool: &ExecutorPool, s: TaskSpec, attempt: usize) -> AttemptResult {
+        let (tx, rx) = unbounded();
+        pool.submit(Envelope { spec: s, attempt, reply: tx });
+        rx.recv().unwrap()
+    }
+
+    #[test]
+    fn runs_tasks_and_returns_output() {
+        let pool = ExecutorPool::start(2, FaultConfig::NONE, 0);
+        let r = run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Boxed(Box::new(41i32))))), 0);
+        match r.outcome.unwrap() {
+            TaskOutput::Boxed(b) => assert_eq!(*b.downcast::<i32>().unwrap(), 41),
+            TaskOutput::Unit => panic!("expected boxed output"),
+        }
+    }
+
+    #[test]
+    fn catches_panics() {
+        let pool = ExecutorPool::start(1, FaultConfig::NONE, 0);
+        let r = run_one(&pool, spec(Arc::new(|| panic!("kaboom"))), 0);
+        let err = r.outcome.err().unwrap();
+        assert!(err.contains("kaboom"), "{err}");
+    }
+
+    #[test]
+    fn injects_failures_per_config() {
+        let pool = ExecutorPool::start(1, FaultConfig::always_first(1), 7);
+        let r0 = run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 0);
+        assert!(r0.outcome.is_err());
+        let r1 = run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 1);
+        assert!(r1.outcome.is_ok());
+    }
+
+    #[test]
+    fn busy_time_is_measured() {
+        let pool = ExecutorPool::start(1, FaultConfig::NONE, 0);
+        let r = run_one(
+            &pool,
+            spec(Arc::new(|| {
+                std::thread::sleep(std::time::Duration::from_millis(15));
+                Ok(TaskOutput::Unit)
+            })),
+            0,
+        );
+        assert!(r.busy >= std::time::Duration::from_millis(14));
+    }
+
+    #[test]
+    fn pool_shuts_down_cleanly() {
+        let pool = ExecutorPool::start(4, FaultConfig::NONE, 0);
+        assert_eq!(pool.size(), 4);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        let pool = ExecutorPool::start(0, FaultConfig::NONE, 0);
+        assert_eq!(pool.size(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Deterministic fault injection.
+//!
+//! The paper motivates framework-based parallelism with fault tolerance:
+//! "A single process failure in MPI will cause the whole job to fail. In
+//! \[the\] MapReduce framework, another task will be automatically launched
+//! if one task fails." This module injects task failures so the engine's
+//! retry path is exercised — deterministically, keyed by
+//! `(seed, stage, partition, attempt)`, so tests are reproducible.
+
+/// Injected-failure model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that any given task *attempt* fails.
+    pub task_failure_prob: f64,
+    /// Attempts that may be failed per task. Keeping this below the
+    /// scheduler's `max_task_attempts` guarantees eventual success.
+    pub max_injected_failures_per_task: usize,
+}
+
+impl FaultConfig {
+    /// No injected faults.
+    pub const NONE: FaultConfig =
+        FaultConfig { task_failure_prob: 0.0, max_injected_failures_per_task: 0 };
+
+    /// Fail every task's first `n` attempts — the harshest deterministic
+    /// model, for tests.
+    pub fn always_first(n: usize) -> Self {
+        FaultConfig { task_failure_prob: 1.0, max_injected_failures_per_task: n }
+    }
+
+    /// Should the given attempt be failed?
+    pub fn should_fail(&self, seed: u64, stage: usize, partition: usize, attempt: usize) -> bool {
+        if attempt >= self.max_injected_failures_per_task || self.task_failure_prob <= 0.0 {
+            return false;
+        }
+        if self.task_failure_prob >= 1.0 {
+            return true;
+        }
+        let h = mix(seed ^ mix(stage as u64) ^ mix((partition as u64) << 20 | attempt as u64));
+        (h as f64 / u64::MAX as f64) < self.task_failure_prob
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::NONE
+    }
+}
+
+/// splitmix64 finalizer — a cheap, well-distributed hash for injection
+/// decisions and straggler sampling.
+#[inline]
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fails() {
+        let f = FaultConfig::NONE;
+        for a in 0..10 {
+            assert!(!f.should_fail(1, 2, 3, a));
+        }
+    }
+
+    #[test]
+    fn always_first_fails_exactly_n_attempts() {
+        let f = FaultConfig::always_first(2);
+        assert!(f.should_fail(0, 0, 0, 0));
+        assert!(f.should_fail(0, 0, 0, 1));
+        assert!(!f.should_fail(0, 0, 0, 2));
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let f = FaultConfig { task_failure_prob: 0.5, max_injected_failures_per_task: 1 };
+        for part in 0..50 {
+            assert_eq!(f.should_fail(7, 1, part, 0), f.should_fail(7, 1, part, 0));
+        }
+    }
+
+    #[test]
+    fn probability_is_roughly_respected() {
+        let f = FaultConfig { task_failure_prob: 0.3, max_injected_failures_per_task: 1 };
+        let n = 10_000;
+        let fails = (0..n).filter(|&p| f.should_fail(42, 0, p, 0)).count();
+        let rate = fails as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.05, "observed failure rate {rate}");
+    }
+
+    #[test]
+    fn mix_spreads_bits() {
+        assert_ne!(mix(0), mix(1));
+        assert_ne!(mix(1), mix(2));
+    }
+}

@@ -1,0 +1,485 @@
+//! RDDs: lazy, typed, lineage-tracked distributed collections.
+//!
+//! An [`Rdd<T>`] is a handle over an operator node; transformations build
+//! new nodes without computing anything, and actions (`collect`, `count`,
+//! `reduce`, `foreach_partition`, ...) submit a job through the DAG
+//! scheduler. Wide operations (`reduce_by_key`, `group_by_key`) insert a
+//! shuffle dependency, which the scheduler materializes as a separate
+//! stage — exactly the stage-splitting behaviour the paper describes for
+//! Spark's DAGScheduler.
+
+pub(crate) mod ops;
+pub(crate) mod shuffled;
+pub(crate) mod text;
+
+use crate::context::Context;
+use crate::error::SparkResult;
+use crate::scheduler;
+use crate::Data;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A shuffle dependency, type-erased for the scheduler.
+pub(crate) trait ShuffleDepObj: Send + Sync {
+    /// Unique id of this shuffle.
+    fn shuffle_id(&self) -> usize;
+    /// The map-side parent RDD.
+    fn parent_node(&self) -> Arc<dyn AnyRdd>;
+    /// Number of map partitions.
+    fn num_maps(&self) -> usize;
+    /// Number of reduce partitions.
+    fn num_reduces(&self) -> usize;
+    /// Build the work of map task `part` bound to `executor`.
+    fn make_map_task(&self, part: usize, executor: usize) -> crate::task::TaskWork;
+}
+
+/// A parent edge in the lineage graph.
+pub(crate) enum Parent {
+    /// One-to-one dependency (map, filter, union, ...).
+    Narrow(Arc<dyn AnyRdd>),
+    /// All-to-all dependency through a shuffle.
+    Shuffle(Arc<dyn ShuffleDepObj>),
+}
+
+/// Type-erased view of an RDD node, sufficient for scheduling.
+pub(crate) trait AnyRdd: Send + Sync {
+    /// Unique id of the node.
+    fn rdd_id(&self) -> usize;
+    /// Number of partitions.
+    fn num_partitions(&self) -> usize;
+    /// Lineage edges.
+    fn parents(&self) -> Vec<Parent>;
+    /// Operator name for lineage rendering.
+    fn op_name(&self) -> &'static str {
+        "rdd"
+    }
+}
+
+/// A typed RDD node: the scheduler computes partitions through this.
+pub(crate) trait RddNode: AnyRdd {
+    /// Element type.
+    type Item: Data;
+    /// Materialize one partition. Errors become task failures (retried).
+    fn compute(&self, part: usize) -> Result<Vec<Self::Item>, String>;
+}
+
+/// Result type of [`Rdd::cogroup`]: per key, the values of both sides.
+pub type CoGrouped<K, V, W> = Rdd<(K, (Vec<V>, Vec<W>))>;
+
+/// A lazy distributed collection of `T`.
+pub struct Rdd<T: Data> {
+    pub(crate) node: Arc<dyn RddNode<Item = T>>,
+    pub(crate) ctx: Context,
+}
+
+impl<T: Data> Clone for Rdd<T> {
+    fn clone(&self) -> Self {
+        Rdd { node: Arc::clone(&self.node), ctx: self.ctx.clone() }
+    }
+}
+
+impl<T: Data> Rdd<T> {
+    pub(crate) fn new(node: Arc<dyn RddNode<Item = T>>, ctx: Context) -> Self {
+        Rdd { node, ctx }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.node.num_partitions()
+    }
+
+    /// The owning context.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Render the lineage graph (Spark's `toDebugString`): one line per
+    /// ancestor, indented by depth, `+-shuffle->` marking stage
+    /// boundaries.
+    pub fn debug_lineage(&self) -> String {
+        fn walk(node: &Arc<dyn AnyRdd>, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!(
+                "({}) {} [{} partitions]\n",
+                node.rdd_id(),
+                node.op_name(),
+                node.num_partitions()
+            ));
+            for p in node.parents() {
+                match p {
+                    Parent::Narrow(n) => walk(&n, depth + 1, out),
+                    Parent::Shuffle(dep) => {
+                        out.push_str(&"  ".repeat(depth + 1));
+                        out.push_str(&format!("+-shuffle {}->\n", dep.shuffle_id()));
+                        walk(&dep.parent_node(), depth + 2, out);
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        let any: Arc<dyn AnyRdd> = Arc::clone(&self.node) as Arc<dyn AnyRdd>;
+        walk(&any, 0, &mut out);
+        out
+    }
+
+    // ---- transformations (lazy) -------------------------------------
+
+    /// Element-wise transformation.
+    pub fn map<U: Data>(&self, f: impl Fn(T) -> U + Send + Sync + 'static) -> Rdd<U> {
+        let node = Arc::new(ops::MapRdd {
+            id: self.ctx.inner.next_rdd_id(),
+            prev: Arc::clone(&self.node),
+            f: Arc::new(f),
+        });
+        Rdd::new(node, self.ctx.clone())
+    }
+
+    /// Keep elements satisfying the predicate.
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
+        let node = Arc::new(ops::FilterRdd {
+            id: self.ctx.inner.next_rdd_id(),
+            prev: Arc::clone(&self.node),
+            f: Arc::new(f),
+        });
+        Rdd::new(node, self.ctx.clone())
+    }
+
+    /// One-to-many transformation.
+    pub fn flat_map<U: Data>(
+        &self,
+        f: impl Fn(T) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        let node = Arc::new(ops::FlatMapRdd {
+            id: self.ctx.inner.next_rdd_id(),
+            prev: Arc::clone(&self.node),
+            f: Arc::new(f),
+        });
+        Rdd::new(node, self.ctx.clone())
+    }
+
+    /// Whole-partition transformation with the partition index — the
+    /// primitive the paper's per-executor clustering loop maps onto.
+    pub fn map_partitions<U: Data>(
+        &self,
+        f: impl Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        let node = Arc::new(ops::MapPartitionsRdd {
+            id: self.ctx.inner.next_rdd_id(),
+            prev: Arc::clone(&self.node),
+            f: Arc::new(f),
+        });
+        Rdd::new(node, self.ctx.clone())
+    }
+
+    /// Concatenate two RDDs (partitions of `other` follow ours).
+    pub fn union(&self, other: &Rdd<T>) -> Rdd<T> {
+        let node = Arc::new(ops::UnionRdd {
+            id: self.ctx.inner.next_rdd_id(),
+            first: Arc::clone(&self.node),
+            second: Arc::clone(&other.node),
+        });
+        Rdd::new(node, self.ctx.clone())
+    }
+
+    /// Pair every element with a key.
+    pub fn key_by<K: Data>(&self, f: impl Fn(&T) -> K + Send + Sync + 'static) -> Rdd<(K, T)> {
+        self.map(move |t| (f(&t), t))
+    }
+
+    /// Mark this RDD's partitions for in-memory caching: the first
+    /// action materializes them, later actions reuse them.
+    pub fn cache(&self) -> Rdd<T> {
+        let node = Arc::new(ops::CachedRdd {
+            id: self.ctx.inner.next_rdd_id(),
+            prev: Arc::clone(&self.node),
+            cache: Arc::clone(&self.ctx.inner.cache),
+        });
+        Rdd::new(node, self.ctx.clone())
+    }
+
+    /// Drop this RDD's cached partitions. Returns how many were evicted.
+    /// Only meaningful on a handle returned by [`Rdd::cache`].
+    pub fn unpersist(&self) -> usize {
+        self.ctx.inner.cache.unpersist(self.node.rdd_id())
+    }
+
+    /// Pair each element with its global index (requires a job to count
+    /// partition sizes, like Spark's `zipWithIndex`).
+    pub fn zip_with_index(&self) -> SparkResult<Rdd<(T, u64)>> {
+        let sizes = self.partition_sizes()?;
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut acc = 0u64;
+        for s in sizes {
+            offsets.push(acc);
+            acc += s as u64;
+        }
+        let node = Arc::new(ops::ZipWithIndexRdd {
+            id: self.ctx.inner.next_rdd_id(),
+            prev: Arc::clone(&self.node),
+            offsets: Arc::new(offsets),
+        });
+        Ok(Rdd::new(node, self.ctx.clone()))
+    }
+
+    // ---- actions (eager) --------------------------------------------
+
+    /// Materialize every element on the driver, in partition order.
+    pub fn collect(&self) -> SparkResult<Vec<T>> {
+        let parts = scheduler::run_job(&self.ctx, Arc::clone(&self.node), Arc::new(|_, d| d))?;
+        Ok(parts.into_iter().flatten().collect())
+    }
+
+    /// Count elements.
+    pub fn count(&self) -> SparkResult<usize> {
+        Ok(self.partition_sizes()?.into_iter().sum())
+    }
+
+    /// Per-partition element counts.
+    pub fn partition_sizes(&self) -> SparkResult<Vec<usize>> {
+        scheduler::run_job(&self.ctx, Arc::clone(&self.node), Arc::new(|_, d: Vec<T>| d.len()))
+    }
+
+    /// Reduce all elements with an associative function; `None` if empty.
+    pub fn reduce(&self, f: impl Fn(T, T) -> T + Send + Sync + 'static) -> SparkResult<Option<T>> {
+        let f = Arc::new(f);
+        let g = Arc::clone(&f);
+        let partials = scheduler::run_job(
+            &self.ctx,
+            Arc::clone(&self.node),
+            Arc::new(move |_, d: Vec<T>| d.into_iter().reduce(|a, b| g(a, b))),
+        )?;
+        Ok(partials.into_iter().flatten().reduce(|a, b| f(a, b)))
+    }
+
+    /// Fold with a zero value (applied per partition, then across
+    /// partition results on the driver).
+    pub fn fold(&self, zero: T, f: impl Fn(T, T) -> T + Send + Sync + 'static) -> SparkResult<T> {
+        let f = Arc::new(f);
+        let g = Arc::clone(&f);
+        let z = zero.clone();
+        let partials = scheduler::run_job(
+            &self.ctx,
+            Arc::clone(&self.node),
+            Arc::new(move |_, d: Vec<T>| d.into_iter().fold(z.clone(), |a, b| g(a, b))),
+        )?;
+        Ok(partials.into_iter().fold(zero, |a, b| f(a, b)))
+    }
+
+    /// First `n` elements in partition order.
+    pub fn take(&self, n: usize) -> SparkResult<Vec<T>> {
+        // simple implementation: collect then truncate (fine at our scale)
+        let mut all = self.collect()?;
+        all.truncate(n);
+        Ok(all)
+    }
+
+    /// Run `f` once per partition on the executors — the paper's
+    /// `foreach` closure (Algorithm 2, lines 4–29). Combined with an
+    /// accumulator this is how partial clusters travel to the driver.
+    pub fn foreach_partition(
+        &self,
+        f: impl Fn(usize, Vec<T>) + Send + Sync + 'static,
+    ) -> SparkResult<()> {
+        let f = Arc::new(f);
+        scheduler::run_job(
+            &self.ctx,
+            Arc::clone(&self.node),
+            Arc::new(move |p, d: Vec<T>| f(p, d)),
+        )?;
+        Ok(())
+    }
+
+    /// Keep each element with probability `fraction`, deterministically
+    /// in `seed` (hash-based Bernoulli sampling, Spark's `sample`
+    /// without replacement).
+    pub fn sample(&self, fraction: f64, seed: u64) -> Rdd<T>
+    where
+        T: std::hash::Hash,
+    {
+        let fraction = fraction.clamp(0.0, 1.0);
+        self.filter(move |t| {
+            use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
+            let h = BuildHasherDefault::<DefaultHasher>::default().hash_one((seed, t));
+            (h as f64 / u64::MAX as f64) < fraction
+        })
+    }
+
+    /// Unique elements (wide — shuffles one record per distinct value).
+    pub fn distinct(&self, num_partitions: usize) -> Rdd<T>
+    where
+        T: std::hash::Hash + Eq,
+    {
+        self.map(|t| (t, ()))
+            .reduce_by_key(num_partitions, |a, _| a)
+            .map(|(t, ())| t)
+    }
+
+    /// Redistribute elements into `num_partitions` balanced partitions
+    /// (wide — a full shuffle with an explicit partitioner, Spark's
+    /// `repartition`). Requires a job to index elements first.
+    pub fn repartition(&self, num_partitions: usize) -> SparkResult<Rdd<T>> {
+        let p = num_partitions.max(1);
+        let indexed = self.zip_with_index()?;
+        let keyed = indexed.map(move |(t, i)| (i % p as u64, t));
+        let node = shuffled::ShuffledRdd::create_with_partitioner(
+            &self.ctx,
+            Arc::clone(&keyed.node),
+            p,
+            Arc::new(|k: &u64, parts: usize| (*k % parts as u64) as usize),
+            |v: T| vec![v],
+            |acc: &mut Vec<T>, v| acc.push(v),
+            |acc: &mut Vec<T>, mut o| acc.append(&mut o),
+        );
+        Ok(Rdd::new(node, self.ctx.clone()).flat_map(|(_, vs)| vs))
+    }
+
+    /// Write each partition as `dir/part-NNNNN` into the DFS (Spark's
+    /// `saveAsTextFile`), one line per element. Tasks write their own
+    /// files, so a retried task simply overwrites its previous attempt.
+    pub fn save_as_text_file(
+        &self,
+        dfs: Arc<minidfs::DfsCluster>,
+        dir: &str,
+    ) -> SparkResult<()>
+    where
+        T: std::fmt::Display,
+    {
+        let dir = dir.trim_end_matches('/').to_string();
+        self.foreach_partition(move |p, data| {
+            use std::io::Write;
+            let path = format!("{dir}/part-{p:05}");
+            if dfs.exists(&path) {
+                dfs.delete(&path).expect("replace earlier attempt's file");
+            }
+            let mut w = dfs.create(&path).expect("create part file");
+            for item in data {
+                writeln!(w, "{item}").expect("write part file");
+            }
+            w.close().expect("close part file");
+        })
+    }
+}
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+{
+    /// Generic shuffle: build per-key combiners across all partitions.
+    pub fn combine_by_key<C: Data>(
+        &self,
+        num_partitions: usize,
+        create: impl Fn(V) -> C + Send + Sync + 'static,
+        merge_value: impl Fn(&mut C, V) + Send + Sync + 'static,
+        merge_combiners: impl Fn(&mut C, C) + Send + Sync + 'static,
+    ) -> Rdd<(K, C)> {
+        let node = shuffled::ShuffledRdd::create(
+            &self.ctx,
+            Arc::clone(&self.node),
+            num_partitions,
+            create,
+            merge_value,
+            merge_combiners,
+        );
+        Rdd::new(node, self.ctx.clone())
+    }
+
+    /// Merge values per key with an associative function (wide — incurs
+    /// a shuffle, which the engine accounts).
+    pub fn reduce_by_key(
+        &self,
+        num_partitions: usize,
+        f: impl Fn(V, V) -> V + Send + Sync + 'static,
+    ) -> Rdd<(K, V)> {
+        let f = Arc::new(f);
+        let f2 = Arc::clone(&f);
+        self.combine_by_key(
+            num_partitions,
+            |v| v,
+            move |c, v| {
+                let old = c.clone();
+                *c = f(old, v);
+            },
+            move |c, v| {
+                let old = c.clone();
+                *c = f2(old, v);
+            },
+        )
+    }
+
+    /// Group all values per key (wide — incurs a shuffle).
+    pub fn group_by_key(&self, num_partitions: usize) -> Rdd<(K, Vec<V>)> {
+        self.combine_by_key(
+            num_partitions,
+            |v| vec![v],
+            |c, v| c.push(v),
+            |c, mut v| c.append(&mut v),
+        )
+    }
+
+    /// Count occurrences per key, collected on the driver.
+    pub fn count_by_key(&self) -> SparkResult<std::collections::HashMap<K, usize>> {
+        let counted = self.map(|(k, _)| (k, 1usize)).reduce_by_key(
+            self.num_partitions().max(1),
+            |a, b| a + b,
+        );
+        Ok(counted.collect()?.into_iter().collect())
+    }
+
+    /// Group both sides by key (Spark's `cogroup`): for every key, the
+    /// values from `self` and from `other`. Keys present on one side
+    /// only appear with an empty vector on the other.
+    pub fn cogroup<W: Data>(&self, other: &Rdd<(K, W)>, num_partitions: usize) -> CoGrouped<K, V, W> {
+        #[derive(Clone)]
+        enum Side<V, W> {
+            L(V),
+            R(W),
+        }
+        let left: Rdd<(K, Side<V, W>)> = self.map(|(k, v)| (k, Side::L(v)));
+        let right: Rdd<(K, Side<V, W>)> = other.map(|(k, w)| (k, Side::R(w)));
+        left.union(&right).combine_by_key(
+            num_partitions,
+            |s| match s {
+                Side::L(v) => (vec![v], Vec::new()),
+                Side::R(w) => (Vec::new(), vec![w]),
+            },
+            |acc, s| match s {
+                Side::L(v) => acc.0.push(v),
+                Side::R(w) => acc.1.push(w),
+            },
+            |acc, mut other| {
+                acc.0.append(&mut other.0);
+                acc.1.append(&mut other.1);
+            },
+        )
+    }
+
+    /// Inner join on key (wide — built on [`Rdd::cogroup`]).
+    pub fn join<W: Data>(&self, other: &Rdd<(K, W)>, num_partitions: usize) -> Rdd<(K, (V, W))> {
+        self.cogroup(other, num_partitions).flat_map(|(k, (vs, ws))| {
+            let mut out = Vec::with_capacity(vs.len() * ws.len());
+            for v in &vs {
+                for w in &ws {
+                    out.push((k.clone(), (v.clone(), w.clone())));
+                }
+            }
+            out
+        })
+    }
+
+    /// Keys whose pairs appear in `self` but not in `other` (left
+    /// anti-join on keys).
+    pub fn subtract_by_key<W: Data>(
+        &self,
+        other: &Rdd<(K, W)>,
+        num_partitions: usize,
+    ) -> Rdd<(K, V)> {
+        self.cogroup(other, num_partitions).flat_map(|(k, (vs, ws))| {
+            if ws.is_empty() {
+                vs.into_iter().map(|v| (k.clone(), v)).collect()
+            } else {
+                Vec::new()
+            }
+        })
+    }
+}

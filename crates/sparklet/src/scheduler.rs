@@ -1,0 +1,193 @@
+//! The DAG + task scheduler.
+//!
+//! A job (one action) is executed as: (1) walk the lineage graph and
+//! materialize every missing shuffle output, oldest first — each such
+//! group of map tasks is a **shuffle-map stage**; (2) run the **result
+//! stage** over the action's RDD. Failed attempts are retried up to the
+//! configured budget; accumulator updates of an attempt are merged only
+//! when it succeeds.
+
+use crate::context::Context;
+use crate::error::{SparkError, SparkResult};
+use crate::executor::Envelope;
+use crate::metrics::{straggler_extra, JobMetrics, StageKind, StageMetrics, TaskMetrics};
+use crate::rdd::{AnyRdd, Parent, RddNode, ShuffleDepObj};
+use crate::task::{TaskOutput, TaskSpec};
+use crate::Data;
+use crossbeam::channel::unbounded;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Run one action over `node`, applying `func` to each materialized
+/// partition on the executors, and return the per-partition results in
+/// partition order.
+pub(crate) fn run_job<T: Data, R: Send + 'static>(
+    ctx: &Context,
+    node: Arc<dyn RddNode<Item = T>>,
+    func: Arc<dyn Fn(usize, Vec<T>) -> R + Send + Sync>,
+) -> SparkResult<Vec<R>> {
+    let job_start = Instant::now();
+    let records_before = ctx.inner.shuffles.total_records();
+    let bytes_before = ctx.inner.shuffles.total_bytes();
+
+    let mut stage_metrics = Vec::new();
+    let as_any: Arc<dyn AnyRdd> = node.clone();
+    ensure_shuffles(ctx, &as_any, &mut stage_metrics)?;
+
+    let stage_id = ctx.inner.next_stage_id();
+    let executors = ctx.inner.config.num_executors;
+    let tasks: Vec<TaskSpec> = (0..node.num_partitions())
+        .map(|p| {
+            let node = node.clone();
+            let func = func.clone();
+            TaskSpec {
+                stage_id,
+                partition: p,
+                executor: p % executors,
+                work: Arc::new(move || {
+                    node.compute(p).map(|data| TaskOutput::Boxed(Box::new(func(p, data))))
+                }),
+            }
+        })
+        .collect();
+    let (mut outputs, sm) = run_stage(ctx, stage_id, StageKind::Result, tasks)?;
+    stage_metrics.push(sm);
+
+    let mut results = Vec::with_capacity(node.num_partitions());
+    for p in 0..node.num_partitions() {
+        match outputs.remove(&p) {
+            Some(TaskOutput::Boxed(b)) => {
+                results.push(*b.downcast::<R>().expect("result stage output type"))
+            }
+            _ => unreachable!("result stage produced no output for partition {p}"),
+        }
+    }
+
+    let job = JobMetrics {
+        job_id: ctx.inner.next_job_id(),
+        stages: stage_metrics,
+        wall: job_start.elapsed(),
+        shuffle_records: ctx.inner.shuffles.total_records() - records_before,
+        shuffle_bytes: ctx.inner.shuffles.total_bytes() - bytes_before,
+    };
+    ctx.inner.record_job(job);
+    Ok(results)
+}
+
+/// Collect the job's shuffle dependencies in dependency order (parents
+/// before children) and run map stages for any missing outputs.
+fn ensure_shuffles(
+    ctx: &Context,
+    node: &Arc<dyn AnyRdd>,
+    out: &mut Vec<StageMetrics>,
+) -> SparkResult<()> {
+    let mut ordered: Vec<Arc<dyn ShuffleDepObj>> = Vec::new();
+    let mut seen: HashSet<usize> = HashSet::new();
+    collect_deps(node, &mut ordered, &mut seen);
+
+    for dep in ordered {
+        ctx.inner.shuffles.register(dep.shuffle_id(), dep.num_maps(), dep.num_reduces());
+        let missing = ctx.inner.shuffles.missing_maps(dep.shuffle_id());
+        if missing.is_empty() {
+            continue;
+        }
+        let stage_id = ctx.inner.next_stage_id();
+        let executors = ctx.inner.config.num_executors;
+        let tasks: Vec<TaskSpec> = missing
+            .into_iter()
+            .map(|p| TaskSpec {
+                stage_id,
+                partition: p,
+                executor: p % executors,
+                work: dep.make_map_task(p, p % executors),
+            })
+            .collect();
+        let (_, sm) = run_stage(ctx, stage_id, StageKind::ShuffleMap, tasks)?;
+        out.push(sm);
+    }
+    Ok(())
+}
+
+fn collect_deps(
+    node: &Arc<dyn AnyRdd>,
+    ordered: &mut Vec<Arc<dyn ShuffleDepObj>>,
+    seen: &mut HashSet<usize>,
+) {
+    for parent in node.parents() {
+        match parent {
+            Parent::Narrow(n) => collect_deps(&n, ordered, seen),
+            Parent::Shuffle(dep) => {
+                if seen.insert(dep.shuffle_id()) {
+                    // ancestors of the shuffle's map side come first
+                    collect_deps(&dep.parent_node(), ordered, seen);
+                    ordered.push(dep);
+                }
+            }
+        }
+    }
+}
+
+/// Run a set of tasks as one stage, with retries, returning the outputs
+/// keyed by partition plus the stage metrics.
+fn run_stage(
+    ctx: &Context,
+    stage_id: usize,
+    kind: StageKind,
+    tasks: Vec<TaskSpec>,
+) -> SparkResult<(HashMap<usize, TaskOutput>, StageMetrics)> {
+    let start = Instant::now();
+    let total = tasks.len();
+    let specs: HashMap<usize, TaskSpec> =
+        tasks.iter().map(|t| (t.partition, t.clone())).collect();
+    let (tx, rx) = unbounded();
+    for spec in tasks {
+        ctx.inner.pool.submit(Envelope { spec, attempt: 0, reply: tx.clone() });
+    }
+
+    let cfg = &ctx.inner.config;
+    let mut outputs = HashMap::with_capacity(total);
+    let mut task_metrics = Vec::with_capacity(total);
+    let mut failed_attempts = 0usize;
+    let mut done = 0usize;
+    while done < total {
+        let r = rx.recv().expect("executor pool alive while context exists");
+        match r.outcome {
+            Ok(output) => {
+                ctx.inner.accums.apply_all(r.accum_updates);
+                let extra =
+                    straggler_extra(cfg.straggler, cfg.seed, stage_id, r.partition, r.busy);
+                task_metrics.push(TaskMetrics {
+                    partition: r.partition,
+                    executor: r.executor,
+                    attempt: r.attempt,
+                    busy: r.busy,
+                    straggler_extra: extra,
+                    records_out: 0,
+                });
+                outputs.insert(r.partition, output);
+                done += 1;
+            }
+            Err(message) => {
+                failed_attempts += 1;
+                let next = r.attempt + 1;
+                if next >= cfg.max_task_attempts {
+                    return Err(SparkError::TaskFailed {
+                        stage: stage_id,
+                        partition: r.partition,
+                        attempts: next,
+                        message,
+                    });
+                }
+                let spec = specs
+                    .get(&r.partition)
+                    .expect("result for a submitted partition")
+                    .clone();
+                ctx.inner.pool.submit(Envelope { spec, attempt: next, reply: tx.clone() });
+            }
+        }
+    }
+    task_metrics.sort_by_key(|t| t.partition);
+    let sm = StageMetrics { stage_id, kind, wall: start.elapsed(), tasks: task_metrics, failed_attempts };
+    Ok((outputs, sm))
+}

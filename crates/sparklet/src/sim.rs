@@ -1,0 +1,97 @@
+//! Virtual-cluster makespan model.
+//!
+//! The paper runs on up to 512 physical cores; we reproduce those curves
+//! by measuring real per-task busy times and *scheduling* them onto `p`
+//! virtual executors. Because the paper's executors never communicate
+//! ("each executor just performs its computation without communicating
+//! with others"), the parallel execution time of a stage is exactly the
+//! makespan of independent tasks — no communication term exists to
+//! model. We use the greedy LPT (Longest Processing Time first) rule,
+//! which is what a work-stealing/task-queue scheduler approximates and is
+//! within 4/3 of optimal.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// Greedy LPT makespan of independent tasks on `workers` identical
+/// machines. Returns [`Duration::ZERO`] for no tasks; `workers` is
+/// clamped to at least 1.
+pub fn lpt_makespan(durations: impl IntoIterator<Item = Duration>, workers: usize) -> Duration {
+    let workers = workers.max(1);
+    let mut tasks: Vec<Duration> = durations.into_iter().collect();
+    if tasks.is_empty() {
+        return Duration::ZERO;
+    }
+    tasks.sort_unstable_by(|a, b| b.cmp(a));
+    // min-heap of worker loads
+    let mut loads: BinaryHeap<Reverse<Duration>> = (0..workers).map(|_| Reverse(Duration::ZERO)).collect();
+    for t in tasks {
+        let Reverse(least) = loads.pop().expect("at least one worker");
+        loads.push(Reverse(least + t));
+    }
+    loads.into_iter().map(|Reverse(d)| d).max().unwrap_or(Duration::ZERO)
+}
+
+/// Speedup of `serial` over `parallel`, `0.0` when `parallel` is zero.
+pub fn speedup(serial: Duration, parallel: Duration) -> f64 {
+    if parallel.is_zero() {
+        return 0.0;
+    }
+    serial.as_secs_f64() / parallel.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_tasks_zero_makespan() {
+        assert_eq!(lpt_makespan([], 4), Duration::ZERO);
+    }
+
+    #[test]
+    fn one_worker_sums() {
+        assert_eq!(lpt_makespan([ms(3), ms(4), ms(5)], 1), ms(12));
+    }
+
+    #[test]
+    fn enough_workers_take_max() {
+        assert_eq!(lpt_makespan([ms(3), ms(4), ms(5)], 3), ms(5));
+        assert_eq!(lpt_makespan([ms(3), ms(4), ms(5)], 10), ms(5));
+    }
+
+    #[test]
+    fn classic_lpt_packing() {
+        // LPT on {7,6,5,4,3} with 2 workers: 7+4+3 vs 6+5 -> wait:
+        // 7 -> w1; 6 -> w2; 5 -> w2(11)? no: w2 has 6 < 7 so 5 -> w2 (11);
+        // 4 -> w1 (11); 3 -> either (14). Optimal is 13, LPT gives 14.
+        let m = lpt_makespan([ms(7), ms(6), ms(5), ms(4), ms(3)], 2);
+        assert_eq!(m, ms(14));
+    }
+
+    #[test]
+    fn zero_workers_clamped() {
+        assert_eq!(lpt_makespan([ms(2)], 0), ms(2));
+    }
+
+    #[test]
+    fn makespan_bounded_by_sum_and_max() {
+        let tasks = [ms(10), ms(1), ms(7), ms(3), ms(3)];
+        for w in 1..=6 {
+            let m = lpt_makespan(tasks, w);
+            assert!(m >= ms(10), "never below max task");
+            assert!(m <= ms(24), "never above serial sum");
+        }
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert_eq!(speedup(ms(100), ms(25)), 4.0);
+        assert_eq!(speedup(ms(100), Duration::ZERO), 0.0);
+    }
+}

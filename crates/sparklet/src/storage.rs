@@ -1,0 +1,138 @@
+//! Cached-partition storage (the engine's "memory store").
+//!
+//! Spark's headline feature over MapReduce — and a theme the paper's
+//! background section dwells on — is keeping RDDs in memory for reuse.
+//! `CacheManager` stores materialized partitions keyed by
+//! `(rdd, partition)`, tagged with the executor that produced them so a
+//! simulated executor loss evicts exactly its partitions, which are then
+//! rebuilt from lineage on next access.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+type CachedPartition = Arc<dyn Any + Send + Sync>;
+
+/// In-memory store of cached RDD partitions.
+#[derive(Default)]
+pub struct CacheManager {
+    entries: Mutex<HashMap<(usize, usize), (usize, CachedPartition)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheManager {
+    /// Fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a cached partition, counting hit/miss.
+    pub(crate) fn get(&self, rdd: usize, part: usize) -> Option<CachedPartition> {
+        let e = self.entries.lock();
+        match e.get(&(rdd, part)) {
+            Some((_, data)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(data.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a partition produced on `executor`.
+    pub(crate) fn put(&self, rdd: usize, part: usize, executor: usize, data: CachedPartition) {
+        self.entries.lock().insert((rdd, part), (executor, data));
+    }
+
+    /// Evict all partitions of an RDD (Spark's `unpersist`). Returns the
+    /// number evicted.
+    pub fn unpersist(&self, rdd: usize) -> usize {
+        let mut e = self.entries.lock();
+        let before = e.len();
+        e.retain(|(r, _), _| *r != rdd);
+        before - e.len()
+    }
+
+    /// Evict everything cached by `executor` (executor loss). Returns the
+    /// number evicted.
+    pub fn kill_executor(&self, executor: usize) -> usize {
+        let mut e = self.entries.lock();
+        let before = e.len();
+        e.retain(|_, (ex, _)| *ex != executor);
+        before - e.len()
+    }
+
+    /// Number of cached partitions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(v: Vec<i32>) -> CachedPartition {
+        Arc::new(v)
+    }
+
+    #[test]
+    fn put_get_counts_hits_and_misses() {
+        let c = CacheManager::new();
+        assert!(c.get(1, 0).is_none());
+        c.put(1, 0, 3, data(vec![1, 2]));
+        let got = c.get(1, 0).unwrap();
+        assert_eq!(got.downcast_ref::<Vec<i32>>().unwrap(), &vec![1, 2]);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn unpersist_removes_only_that_rdd() {
+        let c = CacheManager::new();
+        c.put(1, 0, 0, data(vec![]));
+        c.put(1, 1, 0, data(vec![]));
+        c.put(2, 0, 0, data(vec![]));
+        assert_eq!(c.unpersist(1), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(2, 0).is_some());
+    }
+
+    #[test]
+    fn kill_executor_evicts_its_partitions() {
+        let c = CacheManager::new();
+        c.put(1, 0, 0, data(vec![]));
+        c.put(1, 1, 1, data(vec![]));
+        assert_eq!(c.kill_executor(0), 1);
+        assert!(c.get(1, 0).is_none());
+        assert!(c.get(1, 1).is_some());
+    }
+
+    #[test]
+    fn empty_cache_reports_empty() {
+        let c = CacheManager::new();
+        assert!(c.is_empty());
+        c.put(0, 0, 0, data(vec![]));
+        assert!(!c.is_empty());
+    }
+}

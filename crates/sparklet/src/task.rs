@@ -1,0 +1,78 @@
+//! Task types shared by the scheduler and the executor pool.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a finished task hands back to the driver.
+pub(crate) enum TaskOutput {
+    /// Shuffle-map tasks produce side effects only.
+    Unit,
+    /// Result-stage tasks return a boxed value.
+    Boxed(Box<dyn Any + Send>),
+}
+
+/// The (re-runnable) work of one task: retries call it again.
+pub(crate) type TaskWork = Arc<dyn Fn() -> Result<TaskOutput, String> + Send + Sync>;
+
+/// A task as submitted by the scheduler.
+#[derive(Clone)]
+pub(crate) struct TaskSpec {
+    /// Stage this task belongs to.
+    pub stage_id: usize,
+    /// Partition index it computes.
+    pub partition: usize,
+    /// Virtual executor it is bound to (`partition % num_executors`).
+    pub executor: usize,
+    /// The work itself.
+    pub work: TaskWork,
+}
+
+/// One attempt's outcome, reported by a worker.
+pub(crate) struct AttemptResult {
+    pub partition: usize,
+    pub executor: usize,
+    pub attempt: usize,
+    pub busy: Duration,
+    pub outcome: Result<TaskOutput, String>,
+    /// Buffered accumulator updates (merged only on success).
+    pub accum_updates: Vec<crate::accumulator::PendingUpdate>,
+}
+
+thread_local! {
+    /// Virtual executor id of the task currently running on this thread.
+    static CURRENT_EXECUTOR: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Set by the worker before running a task.
+pub(crate) fn set_current_executor(e: usize) {
+    CURRENT_EXECUTOR.with(|c| c.set(e));
+}
+
+/// Virtual executor of the current thread's task (0 on the driver).
+pub(crate) fn current_executor() -> usize {
+    CURRENT_EXECUTOR.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_tls_roundtrip() {
+        assert_eq!(current_executor(), 0);
+        set_current_executor(7);
+        assert_eq!(current_executor(), 7);
+        set_current_executor(0);
+    }
+
+    #[test]
+    fn task_spec_is_cloneable_and_rerunnable() {
+        let work: TaskWork = Arc::new(|| Ok(TaskOutput::Unit));
+        let spec = TaskSpec { stage_id: 0, partition: 1, executor: 1, work };
+        let spec2 = spec.clone();
+        assert!(matches!((spec.work)(), Ok(TaskOutput::Unit)));
+        assert!(matches!((spec2.work)(), Ok(TaskOutput::Unit)));
+    }
+}

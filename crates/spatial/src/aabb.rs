@@ -1,0 +1,198 @@
+//! Axis-aligned bounding boxes.
+//!
+//! Used by the kd-tree for subtree pruning: a subtree whose bounding box
+//! lies entirely outside the query ball can be skipped, and one entirely
+//! inside can be reported wholesale.
+
+use crate::metric::Metric;
+
+/// An axis-aligned box `[lo, hi]` in `d` dimensions (inclusive bounds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aabb {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Aabb {
+    /// Create a box from inclusive lower/upper corners.
+    ///
+    /// # Panics
+    /// Panics if the corners have different lengths or `lo[k] > hi[k]`.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "corner dimensionality mismatch");
+        for k in 0..lo.len() {
+            assert!(lo[k] <= hi[k], "inverted bounds on axis {k}");
+        }
+        Aabb { lo, hi }
+    }
+
+    /// The smallest box containing every point of `points` (row-major with
+    /// dimension `dim`). Returns `None` for an empty slice.
+    pub fn from_points(dim: usize, points: &[f64]) -> Option<Self> {
+        if points.is_empty() {
+            return None;
+        }
+        let mut lo = points[..dim].to_vec();
+        let mut hi = lo.clone();
+        for row in points.chunks_exact(dim).skip(1) {
+            for (k, &v) in row.iter().enumerate() {
+                if v < lo[k] {
+                    lo[k] = v;
+                }
+                if v > hi[k] {
+                    hi[k] = v;
+                }
+            }
+        }
+        Some(Aabb { lo, hi })
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Inclusive lower corner.
+    #[inline]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Inclusive upper corner.
+    #[inline]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Whether the point lies inside (inclusive).
+    pub fn contains(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(p.len(), self.dim());
+        p.iter()
+            .zip(self.lo.iter().zip(self.hi.iter()))
+            .all(|(&v, (&l, &h))| v >= l && v <= h)
+    }
+
+    /// Reduced-space distance from `p` to the nearest point of the box
+    /// (0 when `p` is inside). A lower bound used for pruning.
+    pub fn min_reduced_distance(&self, p: &[f64], metric: Metric) -> f64 {
+        debug_assert_eq!(p.len(), self.dim());
+        match metric {
+            Metric::Euclidean => self
+                .axis_deltas(p)
+                .map(|d| d * d)
+                .sum(),
+            Metric::Manhattan => self.axis_deltas(p).map(f64::abs).sum(),
+            Metric::Chebyshev => self.axis_deltas(p).map(f64::abs).fold(0.0, f64::max),
+        }
+    }
+
+    /// Per-axis clamped deltas from `p` to the box.
+    fn axis_deltas<'a>(&'a self, p: &'a [f64]) -> impl Iterator<Item = f64> + 'a {
+        p.iter()
+            .zip(self.lo.iter().zip(self.hi.iter()))
+            .map(|(&v, (&l, &h))| clamp_delta(v, l, h))
+    }
+
+    /// Reduced-space distance from `p` to the farthest point of the box.
+    /// An upper bound: if it is within the query radius the whole subtree
+    /// matches and can be reported without per-point checks.
+    pub fn max_reduced_distance(&self, p: &[f64], metric: Metric) -> f64 {
+        debug_assert_eq!(p.len(), self.dim());
+        let axis_far =
+            |k: usize| -> f64 { (p[k] - self.lo[k]).abs().max((p[k] - self.hi[k]).abs()) };
+        match metric {
+            Metric::Euclidean => (0..p.len())
+                .map(|k| {
+                    let d = axis_far(k);
+                    d * d
+                })
+                .sum(),
+            Metric::Manhattan => (0..p.len()).map(axis_far).sum(),
+            Metric::Chebyshev => (0..p.len()).map(axis_far).fold(0.0, f64::max),
+        }
+    }
+}
+
+#[inline]
+fn clamp_delta(v: f64, lo: f64, hi: f64) -> f64 {
+    if v < lo {
+        lo - v
+    } else if v > hi {
+        v - hi
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box() -> Aabb {
+        Aabb::new(vec![0.0, 0.0], vec![1.0, 1.0])
+    }
+
+    #[test]
+    fn contains_inclusive_edges() {
+        let b = unit_box();
+        assert!(b.contains(&[0.0, 0.0]));
+        assert!(b.contains(&[1.0, 1.0]));
+        assert!(b.contains(&[0.5, 0.5]));
+        assert!(!b.contains(&[1.0001, 0.5]));
+        assert!(!b.contains(&[0.5, -0.0001]));
+    }
+
+    #[test]
+    fn min_distance_zero_inside() {
+        let b = unit_box();
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            assert_eq!(b.min_reduced_distance(&[0.5, 0.5], m), 0.0);
+        }
+    }
+
+    #[test]
+    fn min_distance_outside_euclidean() {
+        let b = unit_box();
+        // point (2, 2): nearest box point is (1,1); squared dist = 2
+        assert_eq!(b.min_reduced_distance(&[2.0, 2.0], Metric::Euclidean), 2.0);
+    }
+
+    #[test]
+    fn max_distance_dominates_min() {
+        let b = unit_box();
+        let p = [3.0, -1.0];
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            assert!(b.max_reduced_distance(&p, m) >= b.min_reduced_distance(&p, m));
+        }
+    }
+
+    #[test]
+    fn max_distance_from_inside() {
+        let b = unit_box();
+        // from the center, farthest corner is at squared distance 0.5
+        assert!((b.max_reduced_distance(&[0.5, 0.5], Metric::Euclidean) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [0.0, 0.0, 2.0, -1.0, 1.0, 5.0];
+        let b = Aabb::from_points(2, &pts).unwrap();
+        assert_eq!(b.lo(), &[0.0, -1.0]);
+        assert_eq!(b.hi(), &[2.0, 5.0]);
+        for row in pts.chunks_exact(2) {
+            assert!(b.contains(row));
+        }
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(Aabb::from_points(3, &[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn new_rejects_inverted_bounds() {
+        let _ = Aabb::new(vec![1.0], vec![0.0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Linear-scan index — the `O(n^2)` baseline the paper contrasts the
+//! kd-tree against, and the ground truth oracle for property tests.
+
+use crate::dataset::Dataset;
+use crate::index::SpatialIndex;
+use crate::metric::Metric;
+use crate::point::PointId;
+use std::sync::Arc;
+
+/// Exhaustive-scan range queries over a [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct BruteForceIndex {
+    dataset: Arc<Dataset>,
+    metric: Metric,
+}
+
+impl BruteForceIndex {
+    /// Build (trivially) over `dataset` with the Euclidean metric.
+    pub fn new(dataset: Arc<Dataset>) -> Self {
+        Self::with_metric(dataset, Metric::Euclidean)
+    }
+
+    /// Build with an explicit metric.
+    pub fn with_metric(dataset: Arc<Dataset>, metric: Metric) -> Self {
+        BruteForceIndex { dataset, metric }
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+}
+
+impl SpatialIndex for BruteForceIndex {
+    fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn range_into(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
+        let thr = self.metric.threshold(eps);
+        for (id, row) in self.dataset.iter() {
+            if self.metric.reduced_distance(query, row) <= thr {
+                out.push(id);
+            }
+        }
+    }
+
+    fn count_within(&self, query: &[f64], eps: f64) -> usize {
+        let thr = self.metric.threshold(eps);
+        self.dataset
+            .iter()
+            .filter(|(_, row)| self.metric.reduced_distance(query, row) <= thr)
+            .count()
+    }
+
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_dataset() -> Arc<Dataset> {
+        Arc::new(Dataset::from_rows(
+            (0..10).map(|i| vec![i as f64]).collect(),
+        ))
+    }
+
+    #[test]
+    fn finds_inclusive_radius() {
+        let idx = BruteForceIndex::new(line_dataset());
+        let r = idx.range(&[5.0], 2.0);
+        let ids: Vec<u32> = r.iter().map(|p| p.0).collect();
+        assert_eq!(ids, vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn zero_radius_matches_exact_point_only() {
+        let idx = BruteForceIndex::new(line_dataset());
+        assert_eq!(idx.range(&[5.0], 0.0), vec![PointId(5)]);
+        assert!(idx.range(&[5.5], 0.0).is_empty());
+    }
+
+    #[test]
+    fn count_matches_range_len() {
+        let idx = BruteForceIndex::new(line_dataset());
+        for eps in [0.0, 0.5, 1.0, 3.7, 100.0] {
+            assert_eq!(idx.count_within(&[4.2], eps), idx.range(&[4.2], eps).len());
+        }
+    }
+
+    #[test]
+    fn empty_dataset_returns_nothing() {
+        let idx = BruteForceIndex::new(Arc::new(Dataset::empty(3)));
+        assert!(idx.range(&[0.0, 0.0, 0.0], 10.0).is_empty());
+    }
+
+    #[test]
+    fn manhattan_metric_respected() {
+        let ds = Arc::new(Dataset::from_rows(vec![vec![0.0, 0.0], vec![1.0, 1.0]]));
+        let idx = BruteForceIndex::with_metric(ds, Metric::Manhattan);
+        // L1 distance from origin to (1,1) is 2
+        assert_eq!(idx.range(&[0.0, 0.0], 1.9).len(), 1);
+        assert_eq!(idx.range(&[0.0, 0.0], 2.0).len(), 2);
+        assert_eq!(idx.metric(), Metric::Manhattan);
+    }
+
+    #[test]
+    fn range_into_appends_without_clearing() {
+        let idx = BruteForceIndex::new(line_dataset());
+        let mut buf = vec![PointId(99)];
+        idx.range_into(&[0.0], 0.5, &mut buf);
+        assert_eq!(buf, vec![PointId(99), PointId(0)]);
+    }
+}

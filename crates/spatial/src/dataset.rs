@@ -1,0 +1,232 @@
+//! The shared point matrix.
+//!
+//! In the paper, the driver reads the input from HDFS, turns it into RDDs
+//! of `Point`, and *broadcasts* the full dataset (together with the
+//! kd-tree) to every executor so each can compute exact eps-neighborhoods
+//! locally. `Dataset` is that broadcastable value: a dense row-major
+//! `n x d` matrix behind an `Arc` so broadcasting is a refcount bump in
+//! our in-process cluster while the engine still accounts its logical
+//! size in bytes.
+
+use crate::point::PointId;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major collection of `n` points in `d` dimensions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl Dataset {
+    /// Create a dataset from a flat row-major coordinate buffer.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `coords.len()` is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, coords: Vec<f64>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            coords.len().is_multiple_of(dim),
+            "coordinate buffer length {} is not a multiple of dim {}",
+            coords.len(),
+            dim
+        );
+        Dataset { dim, coords }
+    }
+
+    /// Create a dataset from per-point rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths or `rows` is empty with no
+    /// way to infer a dimension (use [`Dataset::empty`] instead).
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        assert!(!rows.is_empty(), "use Dataset::empty(dim) for empty data");
+        let dim = rows[0].len();
+        assert!(dim > 0, "points must have at least one coordinate");
+        let mut coords = Vec::with_capacity(rows.len() * dim);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), dim, "row {i} has dimension {} != {dim}", r.len());
+            coords.extend_from_slice(r);
+        }
+        Dataset { dim, coords }
+    }
+
+    /// An empty dataset of the given dimensionality.
+    pub fn empty(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Dataset { dim, coords: Vec::new() }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// Whether the dataset holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Dimensionality of every point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of point `id`.
+    #[inline]
+    pub fn point(&self, id: PointId) -> &[f64] {
+        let i = id.idx();
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Coordinates of the point at raw index `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The raw coordinate buffer (row-major).
+    #[inline]
+    pub fn flat(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Iterator over `(PointId, coords)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f64])> {
+        self.coords
+            .chunks_exact(self.dim)
+            .enumerate()
+            .map(|(i, c)| (PointId(i as u32), c))
+    }
+
+    /// All point ids, in index order.
+    pub fn ids(&self) -> impl Iterator<Item = PointId> {
+        (0..self.len() as u32).map(PointId)
+    }
+
+    /// Append one point, returning its new id.
+    ///
+    /// # Panics
+    /// Panics if `coords.len() != self.dim()`.
+    pub fn push(&mut self, coords: &[f64]) -> PointId {
+        assert_eq!(coords.len(), self.dim, "pushed point has wrong dimension");
+        let id = PointId(self.len() as u32);
+        self.coords.extend_from_slice(coords);
+        id
+    }
+
+    /// Logical size in bytes (what a real cluster would ship when
+    /// broadcasting this dataset).
+    pub fn size_bytes(&self) -> usize {
+        self.coords.len() * std::mem::size_of::<f64>() + std::mem::size_of::<Self>()
+    }
+
+    /// Axis-aligned bounding box of all points, or `None` when empty.
+    pub fn bounds(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut lo = self.row(0).to_vec();
+        let mut hi = lo.clone();
+        for r in self.coords.chunks_exact(self.dim).skip(1) {
+            for (k, &v) in r.iter().enumerate() {
+                if v < lo[k] {
+                    lo[k] = v;
+                }
+                if v > hi[k] {
+                    hi[k] = v;
+                }
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::from_rows(vec![vec![0.0, 0.0], vec![1.0, 2.0], vec![-3.0, 4.0]])
+    }
+
+    #[test]
+    fn from_rows_basic_accessors() {
+        let ds = small();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 2);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.point(PointId(1)), &[1.0, 2.0]);
+        assert_eq!(ds.row(2), &[-3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_flat_matches_from_rows() {
+        let a = Dataset::from_flat(2, vec![0.0, 0.0, 1.0, 2.0, -3.0, 4.0]);
+        assert_eq!(a, small());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged_buffer() {
+        let _ = Dataset::from_flat(2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn from_rows_rejects_ragged_rows() {
+        let _ = Dataset::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::empty(5);
+        assert_eq!(ds.len(), 0);
+        assert!(ds.is_empty());
+        assert_eq!(ds.dim(), 5);
+        assert!(ds.bounds().is_none());
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let ds = small();
+        let ids: Vec<u32> = ds.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let ids2: Vec<PointId> = ds.ids().collect();
+        assert_eq!(ids2.len(), 3);
+    }
+
+    #[test]
+    fn push_appends_and_returns_id() {
+        let mut ds = small();
+        let id = ds.push(&[9.0, 9.0]);
+        assert_eq!(id, PointId(3));
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.point(id), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn bounds_cover_all_points() {
+        let ds = small();
+        let (lo, hi) = ds.bounds().unwrap();
+        assert_eq!(lo, vec![-3.0, 0.0]);
+        assert_eq!(hi, vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn size_bytes_scales_with_points() {
+        let ds = small();
+        assert!(ds.size_bytes() >= 6 * 8);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ds = small();
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(ds, back);
+    }
+}

@@ -1,0 +1,173 @@
+//! Uniform grid index — ablation baseline.
+//!
+//! Buckets points into axis-aligned cells of side `cell`, answering a
+//! range query with radius `eps <= cell` by scanning the 3^d neighbouring
+//! cells. Excellent in low dimensions; degrades exponentially with `d`,
+//! which is exactly the contrast the ablation bench (A2) demonstrates
+//! against the kd-tree on the paper's d=10 data.
+
+use crate::dataset::Dataset;
+use crate::index::SpatialIndex;
+use crate::metric::Metric;
+use crate::point::PointId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A uniform grid over a [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    dataset: Arc<Dataset>,
+    cell: f64,
+    cells: HashMap<Vec<i64>, Vec<u32>>,
+    metric: Metric,
+}
+
+impl GridIndex {
+    /// Build with the given cell side length (must be positive and should
+    /// be at least the largest query radius you intend to use — larger
+    /// radii still return correct results but scan more than 3^d cells).
+    pub fn build(dataset: Arc<Dataset>, cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
+        let mut cells: HashMap<Vec<i64>, Vec<u32>> = HashMap::new();
+        for (id, row) in dataset.iter() {
+            cells.entry(cell_of(row, cell)).or_default().push(id.0);
+        }
+        GridIndex { dataset, cell, cells, metric: Metric::Euclidean }
+    }
+
+    /// Cell side length.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of non-empty cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+fn cell_of(row: &[f64], cell: f64) -> Vec<i64> {
+    row.iter().map(|&v| (v / cell).floor() as i64).collect()
+}
+
+impl SpatialIndex for GridIndex {
+    fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn range_into(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
+        debug_assert_eq!(query.len(), self.dataset.dim());
+        let thr = self.metric.threshold(eps);
+        let reach = (eps / self.cell).ceil() as i64;
+        let center = cell_of(query, self.cell);
+        // enumerate the (2*reach+1)^d neighbouring cells with an odometer
+        let d = center.len();
+        let mut offset = vec![-reach; d];
+        loop {
+            let key: Vec<i64> = center.iter().zip(&offset).map(|(c, o)| c + o).collect();
+            if let Some(ids) = self.cells.get(&key) {
+                for &i in ids {
+                    let row = self.dataset.row(i as usize);
+                    if self.metric.reduced_distance(query, row) <= thr {
+                        out.push(PointId(i));
+                    }
+                }
+            }
+            // increment odometer
+            let mut k = 0;
+            loop {
+                if k == d {
+                    return;
+                }
+                offset[k] += 1;
+                if offset[k] <= reach {
+                    break;
+                }
+                offset[k] = -reach;
+                k += 1;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-grid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::BruteForceIndex;
+
+    fn cloud() -> Arc<Dataset> {
+        let rows = (0..30)
+            .map(|i| vec![(i % 6) as f64 * 0.7, (i / 6) as f64 * 1.3])
+            .collect();
+        Arc::new(Dataset::from_rows(rows))
+    }
+
+    fn sorted(mut v: Vec<PointId>) -> Vec<PointId> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let ds = cloud();
+        let g = GridIndex::build(ds.clone(), 1.0);
+        let bf = BruteForceIndex::new(ds.clone());
+        for eps in [0.3, 0.9, 1.0, 2.2] {
+            for (_, row) in ds.iter() {
+                assert_eq!(sorted(g.range(row, eps)), sorted(bf.range(row, eps)));
+            }
+        }
+    }
+
+    #[test]
+    fn radius_larger_than_cell_still_correct() {
+        let ds = cloud();
+        let g = GridIndex::build(ds.clone(), 0.5);
+        let bf = BruteForceIndex::new(ds.clone());
+        assert_eq!(
+            sorted(g.range(&[1.0, 1.0], 3.0)),
+            sorted(bf.range(&[1.0, 1.0], 3.0))
+        );
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let ds = Arc::new(Dataset::from_rows(vec![
+            vec![-0.1, -0.1],
+            vec![0.1, 0.1],
+            vec![-5.0, -5.0],
+        ]));
+        let g = GridIndex::build(ds, 1.0);
+        let r = g.range(&[0.0, 0.0], 0.5);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn occupied_cells_counts_buckets() {
+        let ds = Arc::new(Dataset::from_rows(vec![
+            vec![0.1, 0.1],
+            vec![0.2, 0.2],
+            vec![5.0, 5.0],
+        ]));
+        let g = GridIndex::build(ds, 1.0);
+        assert_eq!(g.occupied_cells(), 2);
+        assert_eq!(g.cell_size(), 1.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let g = GridIndex::build(Arc::new(Dataset::empty(2)), 1.0);
+        assert!(g.range(&[0.0, 0.0], 1.0).is_empty());
+        assert_eq!(g.occupied_cells(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_rejected() {
+        let _ = GridIndex::build(Arc::new(Dataset::empty(2)), 0.0);
+    }
+}

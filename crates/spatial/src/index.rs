@@ -1,0 +1,69 @@
+//! The common query interface all spatial indexes implement.
+
+use crate::dataset::Dataset;
+use crate::point::PointId;
+
+/// An eps-range query structure over a [`Dataset`].
+///
+/// The clustering algorithms are generic over this trait so the kd-tree
+/// (the paper's index), the brute-force scan (the paper's `O(n^2)`
+/// strawman), and the grid index (our ablation) are interchangeable.
+pub trait SpatialIndex: Send + Sync {
+    /// The dataset this index was built over.
+    fn dataset(&self) -> &Dataset;
+
+    /// Append all points within distance `eps` of `query` (including the
+    /// query point itself if it is in the dataset) to `out`.
+    ///
+    /// `out` is *not* cleared: callers reuse one buffer across queries to
+    /// avoid per-query allocation (the "workhorse collection" pattern).
+    fn range_into(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>);
+
+    /// Convenience wrapper returning a fresh vector.
+    fn range(&self, query: &[f64], eps: f64) -> Vec<PointId> {
+        let mut out = Vec::new();
+        self.range_into(query, eps, &mut out);
+        out
+    }
+
+    /// Number of points within distance `eps` of `query`.
+    ///
+    /// Default implementation materializes the neighbor list; indexes can
+    /// override with a counting traversal.
+    fn count_within(&self, query: &[f64], eps: f64) -> usize {
+        let mut out = Vec::new();
+        self.range_into(query, eps, &mut out);
+        out.len()
+    }
+
+    /// Human-readable index name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::BruteForceIndex;
+    use std::sync::Arc;
+
+    #[test]
+    fn trait_default_methods_agree_with_range_into() {
+        let ds = Arc::new(Dataset::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![0.5, 0.0],
+            vec![10.0, 0.0],
+        ]));
+        let idx = BruteForceIndex::new(ds);
+        let r = idx.range(&[0.0, 0.0], 1.0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(idx.count_within(&[0.0, 0.0], 1.0), 2);
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let ds = Arc::new(Dataset::from_rows(vec![vec![0.0], vec![3.0]]));
+        let idx: Box<dyn SpatialIndex> = Box::new(BruteForceIndex::new(ds));
+        assert_eq!(idx.range(&[0.0], 1.0).len(), 1);
+        assert_eq!(idx.name(), "brute-force");
+    }
+}

@@ -1,0 +1,41 @@
+//! Spatial substrate for the scalable-DBSCAN reproduction.
+//!
+//! The paper relies on a Java kd-tree (Bentley 1975) to reduce the cost of
+//! every eps-neighborhood query from `O(n)` to roughly `O(log n)`
+//! (worst case `O(n^(1-1/d) + k)` for range search). This crate provides:
+//!
+//! * [`Dataset`] — a dense, cache-friendly `n x d` point matrix with stable
+//!   global point indices (`u32`), the unit of work the whole pipeline
+//!   shares.
+//! * [`KdTree`] — an `O(n log n)`-construction kd-tree supporting exact
+//!   eps range queries, counted queries, and nearest-neighbour search.
+//! * [`PruneConfig`] / pruned queries — the paper's "kd-tree with pruning
+//!   branches" used for the 1M-point runs: caps the number of reported
+//!   neighbours and prunes subtrees aggressively.
+//! * [`BruteForceIndex`] — the `O(n^2)` linear-scan baseline.
+//! * [`RTree`] — a packed R-tree (the paper's reference \[2\] family) with
+//!   whole-subtree reporting, for the index ablation.
+//! * [`GridIndex`] — a uniform-grid index used for ablation studies.
+//!
+//! All indexes implement the [`SpatialIndex`] trait so the clustering code
+//! is generic over the index choice.
+
+pub mod aabb;
+pub mod bruteforce;
+pub mod dataset;
+pub mod grid;
+pub mod index;
+pub mod kdtree;
+pub mod metric;
+pub mod point;
+pub mod rtree;
+
+pub use aabb::Aabb;
+pub use bruteforce::BruteForceIndex;
+pub use dataset::Dataset;
+pub use grid::GridIndex;
+pub use index::SpatialIndex;
+pub use kdtree::{KdTree, PruneConfig};
+pub use metric::{chebyshev, euclidean, manhattan, squared_euclidean, Metric};
+pub use point::PointId;
+pub use rtree::RTree;

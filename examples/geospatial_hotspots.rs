@@ -1,0 +1,95 @@
+//! Geospatial hotspot detection — the classic DBSCAN motivation: find
+//! arbitrarily-shaped dense regions (e.g. ride-pickup hotspots in a
+//! city grid) and ignore background noise, without knowing the number
+//! of hotspots in advance.
+//!
+//! Synthesizes a city: two compact hotspots, one elongated "avenue"
+//! (an arbitrary-shaped cluster k-means could not represent), and
+//! uniform background traffic. Clusters with the paper's partitioned
+//! DBSCAN and reports each hotspot's centroid and extent.
+//!
+//! Run: `cargo run --release --example geospatial_hotspots`
+
+use scalable_dbscan::dbscan::Label;
+use scalable_dbscan::prelude::*;
+use std::sync::Arc;
+
+/// Tiny deterministic LCG so the example needs no rand dependency.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+fn main() {
+    let mut rng = Lcg(0xC0FFEE);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+
+    // hotspot A: train station plaza (compact, very dense)
+    for _ in 0..300 {
+        rows.push(vec![rng.uniform(10.0, 11.0), rng.uniform(20.0, 21.0)]);
+    }
+    // hotspot B: stadium entrance
+    for _ in 0..200 {
+        rows.push(vec![rng.uniform(40.0, 41.5), rng.uniform(5.0, 6.0)]);
+    }
+    // the "avenue": a long thin strip — an arbitrarily shaped cluster
+    for i in 0..400 {
+        let t = i as f64 / 400.0;
+        rows.push(vec![15.0 + 30.0 * t + rng.uniform(-0.3, 0.3), 35.0 + rng.uniform(-0.3, 0.3)]);
+    }
+    // background noise across the whole city
+    for _ in 0..150 {
+        rows.push(vec![rng.uniform(0.0, 60.0), rng.uniform(0.0, 45.0)]);
+    }
+    let data = Arc::new(Dataset::from_rows(rows));
+
+    let params = DbscanParams::new(0.8, 8).expect("valid parameters");
+    let ctx = Context::new(ClusterConfig::local(4));
+    let result = SparkDbscan::new(params).run(&ctx, Arc::clone(&data));
+    let clustering = &result.clustering;
+
+    println!("pickups analyzed:  {}", data.len());
+    println!("hotspots found:    {}", clustering.num_clusters());
+    println!("background noise:  {}", clustering.noise_count());
+    println!();
+
+    for (cluster, size) in clustering.cluster_sizes() {
+        let members: Vec<&[f64]> = clustering
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == Label::Cluster(cluster))
+            .map(|(i, _)| data.row(i))
+            .collect();
+        let centroid: Vec<f64> = (0..2)
+            .map(|k| members.iter().map(|m| m[k]).sum::<f64>() / members.len() as f64)
+            .collect();
+        let extent: Vec<f64> = (0..2)
+            .map(|k| {
+                let lo = members.iter().map(|m| m[k]).fold(f64::INFINITY, f64::min);
+                let hi = members.iter().map(|m| m[k]).fold(f64::NEG_INFINITY, f64::max);
+                hi - lo
+            })
+            .collect();
+        println!(
+            "hotspot {cluster}: {size:4} pickups, centroid ({:5.1}, {:5.1}), extent {:.1} x {:.1}",
+            centroid[0], centroid[1], extent[0], extent[1]
+        );
+    }
+
+    // The avenue must come out as ONE cluster despite being 30 units
+    // long with eps = 0.8 — density-reachability chains it together.
+    let sizes: Vec<usize> = clustering.cluster_sizes().values().copied().collect();
+    assert_eq!(clustering.num_clusters(), 3, "station, stadium, avenue");
+    assert!(sizes.iter().any(|&s| s >= 380), "the avenue stayed in one piece");
+    println!("\nthe elongated avenue was recovered as a single cluster — the");
+    println!("arbitrary-shape property the paper's introduction leads with.");
+}

@@ -1,0 +1,87 @@
+//! Choosing DBSCAN parameters and using the library's extensions:
+//!
+//! 1. estimate `eps` from the data with the k-distance knee heuristic
+//!    (Ester et al. 1996 §4.2 — the paper takes eps=25 as given, a real
+//!    user has to find it);
+//! 2. cluster with the paper's algorithm, then again with **spatial
+//!    pre-partitioning** (the paper's stated future work) and compare
+//!    the partial-cluster/merge workload;
+//! 3. keep the clustering **incrementally** up to date as new points
+//!    stream in (the MR-IDBSCAN direction the paper cites).
+//!
+//! Run: `cargo run --release --example parameter_tuning`
+
+use scalable_dbscan::datagen::{ClusterGenerator, GeneratorParams};
+use scalable_dbscan::dbscan::{suggest_eps, IncrementalDbscan, SequentialDbscan};
+use scalable_dbscan::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // unlabeled data: 5 blobs + noise in 6 dimensions
+    let mut gen_params = GeneratorParams::new(4000, 6, 5, 0x7A57E);
+    gen_params.noise_fraction = 0.10;
+    let (data, _) = ClusterGenerator::new(gen_params).generate();
+    let data = Arc::new(data);
+
+    // ---- 1. estimate eps --------------------------------------------
+    let min_pts = 5;
+    let eps = suggest_eps(&data, min_pts).expect("enough data to estimate");
+    println!("k-distance knee suggests eps = {eps:.2} for min_pts = {min_pts}");
+    let params = DbscanParams::new(eps, min_pts).expect("estimated params are valid");
+
+    let reference = SequentialDbscan::new(params).run(Arc::clone(&data));
+    println!(
+        "sequential DBSCAN at the suggested eps: {} clusters, {} noise",
+        reference.num_clusters(),
+        reference.noise_count()
+    );
+    assert_eq!(reference.num_clusters(), 5, "the knee found all five blobs");
+
+    // ---- 2. spatial pre-partitioning (future work) -------------------
+    let ctx = Context::new(ClusterConfig::local(8));
+    let plain = SparkDbscan::new(params).partitions(8).run(&ctx, Arc::clone(&data));
+    let zordered = SparkDbscan::new(params)
+        .partitions(8)
+        .spatial_partitioning(true)
+        .run(&ctx, Arc::clone(&data));
+    println!();
+    println!(
+        "index-range partitions:   {} partial clusters, {} merge ops",
+        plain.num_partial_clusters, plain.merge_ops
+    );
+    println!(
+        "Z-order partitions:       {} partial clusters, {} merge ops (reorder cost {:?})",
+        zordered.num_partial_clusters, zordered.merge_ops, zordered.timings.reorder
+    );
+    assert!(zordered.num_partial_clusters < plain.num_partial_clusters);
+
+    // ---- 3. incremental maintenance ----------------------------------
+    println!();
+    let mut live = IncrementalDbscan::new(params, data.dim());
+    for (_, row) in data.iter() {
+        live.insert(row);
+    }
+    let before = live.clustering();
+    println!(
+        "incremental after initial load: {} clusters, {} noise",
+        before.num_clusters(),
+        before.noise_count()
+    );
+    assert!(scalable_dbscan::dbscan::core_labels_equivalent(&before, &reference));
+
+    // a new dense blob streams in, one point at a time
+    for i in 0..60 {
+        let row: Vec<f64> = (0..data.dim())
+            .map(|k| 2_000.0 + (i % 8) as f64 * 2.0 + k as f64)
+            .collect();
+        live.insert(&row);
+    }
+    let after = live.clustering();
+    println!(
+        "after streaming a new blob:     {} clusters, {} noise",
+        after.num_clusters(),
+        after.noise_count()
+    );
+    assert_eq!(after.num_clusters(), before.num_clusters() + 1, "new blob became a cluster");
+    println!("\nincremental clustering tracked the stream without any re-run ✔");
+}

@@ -1,0 +1,50 @@
+//! Quickstart: cluster a small 2-d dataset with the paper's parallel
+//! DBSCAN and inspect the result.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use scalable_dbscan::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // Three dense blobs plus a few scattered outliers.
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (cx, cy) in [(0.0, 0.0), (8.0, 8.0), (0.0, 9.0)] {
+        for i in 0..40 {
+            let dx = (i % 8) as f64 * 0.1;
+            let dy = (i / 8) as f64 * 0.1;
+            rows.push(vec![cx + dx, cy + dy]);
+        }
+    }
+    rows.push(vec![50.0, 50.0]);
+    rows.push(vec![-40.0, 20.0]);
+    let data = Arc::new(Dataset::from_rows(rows));
+
+    // eps-neighborhood radius 0.5, at least 4 points to be "dense".
+    let params = DbscanParams::new(0.5, 4).expect("valid parameters");
+
+    // A local in-process "cluster" with 4 executors; the algorithm uses
+    // one index-range partition per executor, exactly like the paper.
+    let ctx = Context::new(ClusterConfig::local(4));
+    let result = SparkDbscan::new(params).run(&ctx, Arc::clone(&data));
+
+    println!("points:            {}", data.len());
+    println!("clusters found:    {}", result.clustering.num_clusters());
+    println!("noise points:      {}", result.clustering.noise_count());
+    println!("core points:       {}", result.clustering.core_count());
+    println!("partial clusters:  {}", result.num_partial_clusters);
+    println!("merge operations:  {}", result.merge_ops);
+    println!("shuffle records:   {} (zero by design)", result.shuffle_records);
+    println!(
+        "kd-tree build:     {:?}  executors: {:?}  merge: {:?}",
+        result.timings.kdtree_build, result.timings.executor_wall, result.timings.merge
+    );
+
+    // Cross-check against the sequential reference implementation.
+    let sequential = SequentialDbscan::new(params).run(data);
+    let same = scalable_dbscan::dbscan::core_labels_equivalent(&result.clustering, &sequential);
+    println!("matches sequential DBSCAN on core points: {same}");
+    assert!(same);
+    assert_eq!(result.clustering.num_clusters(), 3);
+    assert_eq!(result.clustering.noise_count(), 2);
+}

@@ -1,0 +1,123 @@
+//! Fault-tolerance integration: the framework-level resilience the
+//! paper contrasts with MPI ("one failed process causes the whole job
+//! to fail") must hold across the whole stack.
+
+use scalable_dbscan::datagen::StandardDataset;
+use scalable_dbscan::dbscan::MrDbscan;
+use scalable_dbscan::engine::FaultConfig;
+use scalable_dbscan::prelude::*;
+use std::sync::Arc;
+
+fn data_and_params() -> (Arc<Dataset>, DbscanParams) {
+    let spec = StandardDataset::C10k.scaled_spec(32);
+    let (data, _) = spec.generate();
+    (Arc::new(data), DbscanParams::new(spec.eps, spec.min_pts).unwrap())
+}
+
+#[test]
+fn task_failures_do_not_change_the_clustering() {
+    let (data, params) = data_and_params();
+    let clean_ctx = Context::new(ClusterConfig::local(4));
+    let clean = SparkDbscan::new(params).run(&clean_ctx, Arc::clone(&data));
+
+    for prob in [0.3, 1.0] {
+        let cfg = ClusterConfig::local(4)
+            .with_fault(FaultConfig { task_failure_prob: prob, max_injected_failures_per_task: 2 })
+            .with_max_attempts(5);
+        let ctx = Context::new(cfg);
+        let faulty = SparkDbscan::new(params).run(&ctx, Arc::clone(&data));
+        assert_eq!(
+            faulty.clustering.canonicalize().labels,
+            clean.clustering.canonicalize().labels,
+            "prob={prob}"
+        );
+        assert_eq!(
+            faulty.num_partial_clusters, clean.num_partial_clusters,
+            "accumulator stays exactly-once under retries (prob={prob})"
+        );
+    }
+}
+
+#[test]
+fn executor_loss_between_jobs_is_recovered_from_lineage() {
+    let (data, params) = data_and_params();
+    let ctx = Context::new(ClusterConfig::local(4));
+    let first = SparkDbscan::new(params).run(&ctx, Arc::clone(&data));
+    // lose an executor (drops its cached partitions + shuffle outputs)
+    ctx.kill_executor(1);
+    let second = SparkDbscan::new(params).run(&ctx, Arc::clone(&data));
+    assert_eq!(
+        first.clustering.canonicalize().labels,
+        second.clustering.canonicalize().labels
+    );
+}
+
+#[test]
+fn mapreduce_retries_map_and_reduce_tasks() {
+    let (data, params) = data_and_params();
+    let clean = MrDbscan::new(params, 3).run(Arc::clone(&data), 2).unwrap();
+
+    // exercise injected failures at the engine level: a job where every
+    // task's first attempt fails must still produce the clean answer
+    use scalable_dbscan::mr::{Counters, Emitter, JobConfig, MapReduceJob, Mapper, Reducer};
+    struct Double;
+    impl Mapper for Double {
+        type In = u32;
+        type KOut = u32;
+        type VOut = u32;
+        fn map(&self, x: u32, emit: &mut Emitter<u32, u32>, _c: &Counters) {
+            emit.emit(x % 10, x);
+        }
+    }
+    struct Count;
+    impl Reducer for Count {
+        type KIn = u32;
+        type VIn = u32;
+        type Out = (u32, usize);
+        fn reduce(&self, k: u32, vs: Vec<u32>, out: &mut Vec<(u32, usize)>, _c: &Counters) {
+            out.push((k, vs.len()));
+        }
+    }
+    let splits: Vec<Vec<u32>> = (0..4).map(|s| (s * 25..(s + 1) * 25).collect()).collect();
+    let clean_job =
+        MapReduceJob::new(Double, Count, JobConfig::with_slots(2)).run(splits.clone()).unwrap();
+    let faulty_job = MapReduceJob::new(
+        Double,
+        Count,
+        JobConfig::with_slots(2).with_faults(1.0, 1),
+    )
+    .run(splits)
+    .unwrap();
+    let sort = |mut v: Vec<(u32, usize)>| {
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(sort(clean_job.outputs), sort(faulty_job.outputs));
+    assert!(faulty_job.metrics.map_retries >= 2);
+    assert!(faulty_job.metrics.reduce_retries >= 1);
+
+    // and the DBSCAN-level MR result is stable run to run
+    let again = MrDbscan::new(params, 3).run(Arc::clone(&data), 2).unwrap();
+    assert_eq!(
+        clean.clustering.canonicalize().labels,
+        again.clustering.canonicalize().labels
+    );
+}
+
+#[test]
+fn datanode_loss_does_not_lose_input_data() {
+    use scalable_dbscan::datagen;
+    use scalable_dbscan::dfs::{DfsCluster, DfsConfig};
+    let (data, _) = data_and_params();
+    let dfs = Arc::new(
+        DfsCluster::new(DfsConfig { num_datanodes: 4, replication: 2, block_size: 4096 }).unwrap(),
+    );
+    datagen::write_dataset_to_dfs(&dfs, "/d.csv", &data).unwrap();
+    dfs.kill_datanode(2).unwrap();
+    let back = datagen::read_dataset_from_dfs(&dfs, "/d.csv").unwrap();
+    assert_eq!(back, *data);
+    // the read healed replication; another failure is survivable too
+    dfs.kill_datanode(3).unwrap();
+    let back2 = datagen::read_dataset_from_dfs(&dfs, "/d.csv").unwrap();
+    assert_eq!(back2, *data);
+}

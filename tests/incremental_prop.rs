@@ -1,0 +1,81 @@
+//! Property test: incremental DBSCAN equals batch DBSCAN on core points
+//! for arbitrary clumpy data and insertion orders.
+
+use proptest::prelude::*;
+use scalable_dbscan::dbscan::{
+    core_labels_equivalent, DbscanParams, IncrementalDbscan, SequentialDbscan,
+};
+use scalable_dbscan::prelude::*;
+use std::sync::Arc;
+
+fn arb_rows() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (2usize..4, prop::collection::vec((0usize..4, -1.0f64..1.0, -1.0f64..1.0), 8..100)).prop_map(
+        |(k, pts)| {
+            let centers = [(0.0, 0.0), (8.0, 0.0), (0.0, 8.0), (8.0, 8.0)];
+            pts.into_iter()
+                .map(|(c, dx, dy)| {
+                    let (cx, cy) = centers[c % k];
+                    vec![cx + dx, cy + dy]
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_equals_batch(
+        rows in arb_rows(),
+        eps in 0.3f64..2.5,
+        min_pts in 2usize..6,
+        rotate in 0usize..50,
+    ) {
+        let params = DbscanParams::new(eps, min_pts).unwrap();
+        // arbitrary insertion order: rotate the row list
+        let r = rotate % rows.len();
+        let order: Vec<Vec<f64>> =
+            rows[r..].iter().chain(rows[..r].iter()).cloned().collect();
+
+        let mut inc = IncrementalDbscan::new(params, 2);
+        for row in &order {
+            inc.insert(row);
+        }
+        let incremental = inc.clustering();
+        let batch = SequentialDbscan::new(params)
+            .run(Arc::new(Dataset::from_rows(order)));
+        prop_assert!(
+            core_labels_equivalent(&incremental, &batch),
+            "inc: {} clusters {} noise, batch: {} clusters {} noise",
+            incremental.num_clusters(), incremental.noise_count(),
+            batch.num_clusters(), batch.noise_count()
+        );
+        prop_assert_eq!(incremental.noise_count(), batch.noise_count());
+    }
+
+    #[test]
+    fn prefix_consistency(
+        rows in arb_rows(),
+        eps in 0.3f64..2.0,
+        min_pts in 2usize..5,
+    ) {
+        // after EVERY prefix of insertions the incremental state must
+        // match a batch run over that prefix (sampled every 10 inserts
+        // to keep runtime sane)
+        let params = DbscanParams::new(eps, min_pts).unwrap();
+        let mut inc = IncrementalDbscan::new(params, 2);
+        for (i, row) in rows.iter().enumerate() {
+            inc.insert(row);
+            if i % 10 == 9 || i + 1 == rows.len() {
+                let batch = SequentialDbscan::new(params)
+                    .run(Arc::new(Dataset::from_rows(rows[..=i].to_vec())));
+                prop_assert!(
+                    core_labels_equivalent(&inc.clustering(), &batch),
+                    "diverged after {} inserts",
+                    i + 1
+                );
+            }
+        }
+    }
+}

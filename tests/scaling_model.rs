@@ -1,0 +1,74 @@
+//! Integration checks on the virtual-cluster time model and the figure
+//! runners: the structural properties the paper's curves rely on must
+//! hold on real measured task times.
+
+use dbscan_bench::{driver_time, executor_time, fig8_series, run_spark_at, RunOptions};
+use dbscan_datagen::StandardDataset;
+use scalable_dbscan::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn simulated_executor_time_is_monotone_in_cores() {
+    let spec = StandardDataset::R10k.scaled_spec(16);
+    let (data, _) = spec.generate();
+    let data = Arc::new(data);
+    let params = DbscanParams::new(spec.eps, spec.min_pts).unwrap();
+    let r = run_spark_at(&data, params, 16, RunOptions::default());
+    let mut prev = Duration::MAX;
+    for p in [1, 2, 4, 8, 16] {
+        let t = executor_time(&r, p);
+        assert!(t <= prev, "makespan rose from {prev:?} to {t:?} at p={p}");
+        prev = t;
+    }
+    // with one executor the makespan is the total work
+    assert_eq!(executor_time(&r, 1), r.job.executor_busy());
+}
+
+#[test]
+fn fig8_speedup_is_sane() {
+    let spec = StandardDataset::C10k.scaled_spec(16);
+    let series = fig8_series(&spec, &[2, 4, 8], RunOptions::default());
+    for p in &series {
+        assert!(p.speedup_executor > 0.5, "cores={} speedup {}", p.cores, p.speedup_executor);
+        assert!(
+            p.speedup_executor <= p.cores as f64 * 1.5,
+            "superlinear beyond noise: {} at {} cores",
+            p.speedup_executor,
+            p.cores
+        );
+    }
+    assert!(series[2].speedup_executor > series[0].speedup_executor);
+}
+
+#[test]
+fn driver_time_grows_with_partition_count() {
+    // Fig. 6's observation: more partitions -> more partial clusters ->
+    // more merge work in the driver (asserted on counts, since the
+    // single-core timing of microsecond merges is noisy)
+    let spec = StandardDataset::R10k.scaled_spec(8);
+    let (data, _) = spec.generate();
+    let data = Arc::new(data);
+    let params = DbscanParams::new(spec.eps, spec.min_pts).unwrap();
+    let few = run_spark_at(&data, params, 2, RunOptions::default());
+    let many = run_spark_at(&data, params, 32, RunOptions::default());
+    assert!(many.num_partial_clusters > few.num_partial_clusters);
+    assert!(many.merge_ops >= few.merge_ops);
+    assert!(driver_time(&few) > Duration::ZERO);
+}
+
+#[test]
+fn r1m_options_filter_and_prune() {
+    let spec = StandardDataset::R1m.scaled_spec(64); // 16k points
+    let (data, _) = spec.generate();
+    let data = Arc::new(data);
+    let params = DbscanParams::new(spec.eps, spec.min_pts).unwrap();
+    let plain = run_spark_at(&data, params, 8, RunOptions::default());
+    let r1m = run_spark_at(&data, params, 8, RunOptions::r1m());
+    // pruning caps neighborhoods; filtering drops tiny partials
+    assert!(r1m.num_partial_clusters <= plain.num_partial_clusters + r1m.filtered_partials);
+    // accuracy must not collapse: compare against sequential by ARI
+    let seq = scalable_dbscan::dbscan::SequentialDbscan::new(params).run(Arc::clone(&data));
+    let ari = scalable_dbscan::dbscan::adjusted_rand_index(&r1m.clustering, &seq);
+    assert!(ari > 0.8, "r1m-mode accuracy collapsed: ARI {ari}");
+}
