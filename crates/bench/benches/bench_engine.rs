@@ -29,11 +29,8 @@ fn bench_sparklet(c: &mut Criterion) {
         let ctx = Context::new(ClusterConfig::local(4));
         let pairs: Vec<(u32, u64)> = (0..50_000).map(|i| (i % 100, 1u64)).collect();
         b.iter(|| {
-            let out = ctx
-                .parallelize(pairs.clone(), 8)
-                .reduce_by_key(4, |a, b| a + b)
-                .collect()
-                .unwrap();
+            let out =
+                ctx.parallelize(pairs.clone(), 8).reduce_by_key(4, |a, b| a + b).collect().unwrap();
             black_box(out.len())
         })
     });

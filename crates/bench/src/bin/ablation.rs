@@ -104,7 +104,15 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Seed policy", "Merge", "Clusters", "ARI", "Core-equivalent", "Merge ops", "Merge time"],
+            &[
+                "Seed policy",
+                "Merge",
+                "Clusters",
+                "ARI",
+                "Core-equivalent",
+                "Merge ops",
+                "Merge time"
+            ],
             &rows
         )
     );

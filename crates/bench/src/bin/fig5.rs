@@ -19,7 +19,8 @@ fn main() {
     let mut results = Vec::new();
     for ds in StandardDataset::ALL {
         let spec = scale.spec(ds);
-        let opts = if ds == StandardDataset::R1m { RunOptions::r1m() } else { RunOptions::default() };
+        let opts =
+            if ds == StandardDataset::R1m { RunOptions::r1m() } else { RunOptions::default() };
         let row = fig5_row(spec.name, &spec, opts);
         rows.push(vec![
             row.dataset.clone(),

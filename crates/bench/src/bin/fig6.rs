@@ -16,9 +16,7 @@ use std::path::Path;
 fn panel(ds: StandardDataset) -> (&'static [usize], RunOptions) {
     match ds {
         StandardDataset::R10k | StandardDataset::C10k => (&[1, 2, 4, 8], RunOptions::default()),
-        StandardDataset::C100k | StandardDataset::R100k => {
-            (&[4, 8, 16, 32], RunOptions::default())
-        }
+        StandardDataset::C100k | StandardDataset::R100k => (&[4, 8, 16, 32], RunOptions::default()),
         StandardDataset::R1m => (&[64, 128, 256, 512], RunOptions::r1m()),
     }
 }

@@ -176,9 +176,8 @@ pub fn fig7_series(spec: &DatasetSpec, cores: &[usize]) -> Vec<Fig7Point> {
                 + executor_time(&spark_run, p)
                 + spark_run.timings.merge;
 
-            let mr_run = MrDbscanIterative::new(params, p)
-                .run(Arc::clone(&data), 1)
-                .expect("mapreduce run");
+            let mr_run =
+                MrDbscanIterative::new(params, p).run(Arc::clone(&data), 1).expect("mapreduce run");
             // per-round makespans: map and reduce phases are barriers,
             // so simulate each phase's tasks on `p` slots
             let mapreduce = mr_run.setup

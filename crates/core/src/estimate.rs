@@ -8,7 +8,7 @@
 //! "valley"/knee of that curve — points left of the knee are noise,
 //! points right of it cluster members.
 
-use dbscan_spatial::{Dataset, KdTree, SpatialIndex};
+use dbscan_spatial::{BkdTree, Dataset, QueryScratch};
 use std::sync::Arc;
 
 /// Distance from each point to its `k`-th nearest neighbour (excluding
@@ -20,9 +20,10 @@ pub fn k_distances(data: &Arc<Dataset>, k: usize) -> Vec<f64> {
     if n <= k {
         return vec![f64::INFINITY; n];
     }
-    let tree = KdTree::build(Arc::clone(data));
+    let tree = BkdTree::build(Arc::clone(data));
     let mut out = Vec::with_capacity(n);
     let mut neighbors = Vec::new();
+    let mut scratch = QueryScratch::new();
 
     // initial search radius: from a global density guess, grown per
     // query until at least k+1 matches (the point itself included)
@@ -37,16 +38,14 @@ pub fn k_distances(data: &Arc<Dataset>, k: usize) -> Vec<f64> {
         let mut r = radius_guess;
         loop {
             neighbors.clear();
-            tree.range_into(row, r, &mut neighbors);
+            tree.range_into_scratch(row, r, &mut scratch, &mut neighbors);
             if neighbors.len() > k || r >= diag {
                 break;
             }
             r *= 2.0;
         }
-        let mut dists: Vec<f64> = neighbors
-            .iter()
-            .map(|&q| dbscan_spatial::euclidean(row, data.point(q)))
-            .collect();
+        let mut dists: Vec<f64> =
+            neighbors.iter().map(|&q| dbscan_spatial::euclidean(row, data.point(q))).collect();
         dists.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite distances"));
         // dists[0] == 0.0 is the point itself; k-th neighbour is dists[k]
         out.push(dists.get(k).copied().unwrap_or(diag));

@@ -10,11 +10,11 @@ use crate::model::PartialCluster;
 /// Keep only partial clusters with at least `min_size` *regular*
 /// members (SEEDs don't count — a cluster that is all SEEDs carries no
 /// local evidence).
-pub fn filter_small_partials(partials: Vec<PartialCluster>, min_size: usize) -> Vec<PartialCluster> {
-    partials
-        .into_iter()
-        .filter(|c| c.regulars().count() >= min_size)
-        .collect()
+pub fn filter_small_partials(
+    partials: Vec<PartialCluster>,
+    min_size: usize,
+) -> Vec<PartialCluster> {
+    partials.into_iter().filter(|c| c.regulars().count() >= min_size).collect()
 }
 
 #[cfg(test)]
@@ -29,11 +29,7 @@ mod tests {
 
     #[test]
     fn drops_below_threshold() {
-        let partials = vec![
-            pc((0, 10), &[1, 2, 3]),
-            pc((0, 10), &[4]),
-            pc((0, 10), &[5, 6]),
-        ];
+        let partials = vec![pc((0, 10), &[1, 2, 3]), pc((0, 10), &[4]), pc((0, 10), &[5, 6])];
         let kept = filter_small_partials(partials, 2);
         assert_eq!(kept.len(), 2);
     }

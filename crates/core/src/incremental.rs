@@ -165,12 +165,7 @@ impl IncrementalDbscan {
             if self.core[q as usize] {
                 continue;
             }
-            self.grid.neighbors(
-                &self.data,
-                self.data.row(q as usize),
-                self.params.eps,
-                &mut probe,
-            );
+            self.grid.neighbors(&self.data, self.data.row(q as usize), self.params.eps, &mut probe);
             if probe.len() >= self.params.min_pts {
                 self.core[q as usize] = true;
                 fresh_cores.push(q); // includes `id` itself when p is core
@@ -181,12 +176,7 @@ impl IncrementalDbscan {
         // already have one, found a cluster if none, absorb noise
         // neighbours as borders
         for &q in &fresh_cores {
-            self.grid.neighbors(
-                &self.data,
-                self.data.row(q as usize),
-                self.params.eps,
-                &mut probe,
-            );
+            self.grid.neighbors(&self.data, self.data.row(q as usize), self.params.eps, &mut probe);
             let mut target: Option<u32> = None;
             for &r in &probe {
                 if r != q && self.core[r as usize] && self.raw[r as usize] != NOISE {
@@ -212,9 +202,8 @@ impl IncrementalDbscan {
         // p non-core and not absorbed above: border of any adjacent
         // clustered core, else noise
         if self.raw[id as usize] == NOISE {
-            if let Some(&c) = nb
-                .iter()
-                .find(|&&q| self.core[q as usize] && self.raw[q as usize] != NOISE)
+            if let Some(&c) =
+                nb.iter().find(|&&q| self.core[q as usize] && self.raw[q as usize] != NOISE)
             {
                 self.raw[id as usize] = self.find(self.raw[c as usize]);
             }
@@ -343,9 +332,8 @@ mod tests {
         rev.reverse();
         check_against_batch(&rev, 0.8, 3);
         // interleaved order
-        let inter: Vec<Vec<f64>> = (0..rows.len())
-            .map(|i| rows[(i * 7) % rows.len()].clone())
-            .collect();
+        let inter: Vec<Vec<f64>> =
+            (0..rows.len()).map(|i| rows[(i * 7) % rows.len()].clone()).collect();
         check_against_batch(&inter, 0.8, 3);
     }
 

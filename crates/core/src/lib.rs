@@ -42,8 +42,8 @@ pub mod model;
 pub mod mr;
 pub mod mr_iterative;
 pub mod params;
-pub mod reorder;
 pub mod partitioned;
+pub mod reorder;
 pub mod sequential;
 pub mod shuffle_baseline;
 pub mod unionfind;
@@ -57,11 +57,11 @@ pub use model::{PartialCluster, PartitionRanges};
 pub use mr::{MrDbscan, MrDbscanResult};
 pub use mr_iterative::{MrDbscanIterative, MrIterativeResult, PointState};
 pub use params::DbscanParams;
-pub use reorder::{apply_permutation, zorder_permutation};
 pub use partitioned::driver::{SparkDbscan, SparkDbscanResult, Timings};
 pub use partitioned::executor_side::{local_partial_clusters, ExecutorStats, LocalClustering};
 pub use partitioned::merge::{merge_partial_clusters, MergeOutcome, MergeStrategy};
 pub use partitioned::SeedPolicy;
+pub use reorder::{apply_permutation, zorder_permutation};
 pub use sequential::SequentialDbscan;
 pub use shuffle_baseline::{ShuffleDbscan, ShuffleDbscanResult};
 pub use unionfind::DisjointSet;

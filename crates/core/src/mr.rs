@@ -237,7 +237,8 @@ mod tests {
 
     #[test]
     fn exact_mode_matches_sequential_many_partitions() {
-        let rows: Vec<Vec<f64>> = (0..90).map(|i| vec![(i % 45) as f64, (i / 45) as f64 * 0.2]).collect();
+        let rows: Vec<Vec<f64>> =
+            (0..90).map(|i| vec![(i % 45) as f64, (i / 45) as f64 * 0.2]).collect();
         let data = Arc::new(Dataset::from_rows(rows));
         let params = DbscanParams::new(1.2, 3).unwrap();
         let r = MrDbscan::new(params, 6).exact().run(Arc::clone(&data), 3).unwrap();

@@ -101,8 +101,11 @@ impl MrDbscanIterative {
         for (id, row) in data.iter() {
             let nb = tree.range(row, self.params.eps);
             let core = nb.len() >= self.params.min_pts;
-            let adj: Vec<u32> =
-                if core { nb.iter().map(|p| p.0).filter(|&q| q != id.0).collect() } else { Vec::new() };
+            let adj: Vec<u32> = if core {
+                nb.iter().map(|p| p.0).filter(|&q| q != id.0).collect()
+            } else {
+                Vec::new()
+            };
             state.push(PointState {
                 id: id.0,
                 label: if core { id.0 } else { UNLABELED },

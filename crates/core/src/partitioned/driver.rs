@@ -16,7 +16,7 @@ use crate::partitioned::executor_side::local_partial_clusters;
 use crate::partitioned::merge::{merge_partial_clusters, MergeStrategy};
 use crate::partitioned::SeedPolicy;
 use crate::reorder::{apply_permutation, zorder_permutation};
-use dbscan_spatial::{Dataset, KdTree, PointId, PruneConfig, SpatialIndex};
+use dbscan_spatial::{BkdTree, Dataset, PointId, PruneConfig, QueryScratch, SpatialIndex};
 use sparklet::{Context, JobMetrics};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -161,7 +161,7 @@ impl SparkDbscan {
 
         // ---- driver: build + broadcast the kd-tree ----
         let t = Instant::now();
-        let tree = KdTree::build(Arc::clone(&data));
+        let tree = BkdTree::build(Arc::clone(&data));
         let kdtree_build = t.elapsed();
         let broadcast_size = data.size_bytes() + tree.size_bytes();
         let shared = ctx.broadcast_sized(
@@ -187,12 +187,16 @@ impl SparkDbscan {
             .foreach_partition(move |part, _indices| {
                 let info = bcast.value();
                 let dataset = info.tree.dataset();
+                // one scratch per task: every query in this partition
+                // reuses the same traversal stack (no per-query allocs)
+                let mut scratch = QueryScratch::new();
                 let local = local_partial_clusters(
                     |q, out| {
-                        info.tree.range_pruned(
+                        info.tree.range_pruned_scratch(
                             dataset.point(PointId(q)),
                             info.params.eps,
                             info.prune,
+                            &mut scratch,
                             out,
                         );
                     },
@@ -214,6 +218,10 @@ impl SparkDbscan {
 
         // ---- driver: merge (Algorithm 4) ----
         let mut partials = partials_acc.value();
+        // The accumulator collects in task *completion* order, which
+        // varies with scheduling and retries. The merge must be a pure
+        // function of the data, so restore the canonical order first.
+        partials.sort_by_key(|c| (c.owner, c.members.first().copied()));
         let before_filter = partials.len();
         if let Some(min) = self.min_partial_size {
             partials = filter_small_partials(partials, min);
@@ -271,7 +279,7 @@ impl SparkDbscan {
 /// ("eps, minimum number of points, partition information, and
 /// especially, the kdtree").
 struct SharedInfo {
-    tree: KdTree,
+    tree: BkdTree,
     params: DbscanParams,
     ranges: PartitionRanges,
     seed_policy: SeedPolicy,
@@ -303,10 +311,7 @@ mod tests {
         let result = SparkDbscan::new(params).run(&ctx, Arc::clone(&data));
         let seq = SequentialDbscan::new(params).run(Arc::clone(&data));
         assert_eq!(result.clustering.num_clusters(), 3);
-        assert_eq!(
-            result.clustering.canonicalize().labels,
-            seq.canonicalize().labels
-        );
+        assert_eq!(result.clustering.canonicalize().labels, seq.canonicalize().labels);
         assert!(core_labels_equivalent(&result.clustering, &seq));
     }
 
@@ -384,9 +389,7 @@ mod tests {
     fn more_partitions_than_points() {
         let data = Arc::new(Dataset::from_rows(vec![vec![0.0], vec![0.1], vec![0.2]]));
         let ctx = Context::new(ClusterConfig::local(2));
-        let r = SparkDbscan::new(DbscanParams::new(0.5, 2).unwrap())
-            .partitions(10)
-            .run(&ctx, data);
+        let r = SparkDbscan::new(DbscanParams::new(0.5, 2).unwrap()).partitions(10).run(&ctx, data);
         assert_eq!(r.clustering.num_clusters(), 1);
     }
 
@@ -401,10 +404,7 @@ mod tests {
         let ctx = Context::new(ClusterConfig::local(2));
         let unfiltered = SparkDbscan::new(params).partitions(2).run(&ctx, Arc::clone(&data));
         assert_eq!(unfiltered.clustering.num_clusters(), 2);
-        let filtered = SparkDbscan::new(params)
-            .partitions(2)
-            .min_partial_size(3)
-            .run(&ctx, data);
+        let filtered = SparkDbscan::new(params).partitions(2).min_partial_size(3).run(&ctx, data);
         assert_eq!(filtered.filtered_partials, 1);
         assert_eq!(filtered.clustering.num_clusters(), 1, "tiny cluster dropped to noise");
     }
@@ -463,10 +463,7 @@ mod spatial_partitioning_tests {
         let mut rows = Vec::new();
         for i in 0..240 {
             let blob = i % 4;
-            rows.push(vec![
-                blob as f64 * 50.0 + (i / 4) as f64 * 0.01,
-                blob as f64 * 50.0,
-            ]);
+            rows.push(vec![blob as f64 * 50.0 + (i / 4) as f64 * 0.01, blob as f64 * 50.0]);
         }
         Arc::new(Dataset::from_rows(rows))
     }
@@ -494,10 +491,8 @@ mod spatial_partitioning_tests {
         let params = DbscanParams::new(0.5, 3).unwrap();
         let ctx = Context::new(ClusterConfig::local(8));
         let plain = SparkDbscan::new(params).partitions(8).run(&ctx, Arc::clone(&data));
-        let zord = SparkDbscan::new(params)
-            .partitions(8)
-            .spatial_partitioning(true)
-            .run(&ctx, data);
+        let zord =
+            SparkDbscan::new(params).partitions(8).spatial_partitioning(true).run(&ctx, data);
         assert!(
             zord.num_partial_clusters < plain.num_partial_clusters,
             "z-order {} vs plain {}",

@@ -81,6 +81,15 @@ pub fn local_partial_clusters(
     let mut nbuf: Vec<PointId> = Vec::new();
     let mut queue: VecDeque<u32> = VecDeque::new();
 
+    // per-cluster seed bookkeeping (Algorithm 3's place_flg array),
+    // hoisted out of the cluster loop so no allocation happens per
+    // partial cluster: the partition table is slot-stamped (an entry
+    // belongs to the current cluster iff it holds `slot + 1`), and the
+    // boundary-edge set keys by `(slot, point)` so it never needs
+    // clearing either
+    let mut seeded_partition_stamp: Vec<u32> = vec![0; ranges.num_partitions()];
+    let mut seeded_points: HashSet<u64> = HashSet::new();
+
     for p in start..end {
         let pl = (p - start) as usize;
         stats.points_processed += 1;
@@ -105,12 +114,15 @@ pub fn local_partial_clusters(
         assigned[pl] = slot;
         core_points.push(p);
 
-        // per-cluster seed bookkeeping (Algorithm 3's place_flg array)
-        let mut seeded_partitions: HashSet<usize> = HashSet::new();
-        let mut seeded_points: HashSet<u32> = HashSet::new();
-
         queue.clear();
-        queue.extend(nbuf.iter().map(|id| id.0));
+        queue.extend(nbuf.iter().map(|id| id.0).filter(|&r| {
+            // own points that are already visited *and* assigned have
+            // nothing left to do at dequeue — don't enqueue them at all
+            !(r >= start && r < end && {
+                let rl = (r - start) as usize;
+                visited[rl] && assigned[rl] != UNASSIGNED
+            })
+        }));
         while let Some(q) = queue.pop_front() {
             if q < start || q >= end {
                 // foreign point: SEED placement (Algorithm 3), never
@@ -118,9 +130,14 @@ pub fn local_partial_clusters(
                 // that belong to it"
                 let place = match seed_policy {
                     SeedPolicy::OnePerPartition => {
-                        seeded_partitions.insert(ranges.partition_of(q))
+                        let pt = ranges.partition_of(q);
+                        let fresh = seeded_partition_stamp[pt] != slot + 1;
+                        seeded_partition_stamp[pt] = slot + 1;
+                        fresh
                     }
-                    SeedPolicy::PerBoundaryEdge => seeded_points.insert(q),
+                    SeedPolicy::PerBoundaryEdge => {
+                        seeded_points.insert((slot as u64) << 32 | q as u64)
+                    }
                 };
                 if place {
                     cluster.members.push(q);
@@ -138,18 +155,23 @@ pub fn local_partial_clusters(
                 }
                 continue;
             }
-            // Algorithm 2 lines 13-19: visit q, test core status
+            // Algorithm 2 lines 13-19: visit q, claim it, test core status
             visited[ql] = true;
+            if assigned[ql] == UNASSIGNED {
+                assigned[ql] = slot;
+                cluster.members.push(q);
+            }
             nbuf.clear();
             neighbors_of(q, &mut nbuf);
             stats.neighbor_queries += 1;
             if nbuf.len() >= params.min_pts {
                 core_points.push(q);
-                queue.extend(nbuf.iter().map(|id| id.0));
-            }
-            if assigned[ql] == UNASSIGNED {
-                assigned[ql] = slot;
-                cluster.members.push(q);
+                queue.extend(nbuf.iter().map(|id| id.0).filter(|&r| {
+                    !(r >= start && r < end && {
+                        let rl = (r - start) as usize;
+                        visited[rl] && assigned[rl] != UNASSIGNED
+                    })
+                }));
             }
         }
         clusters.push(cluster);

@@ -234,11 +234,8 @@ mod tests {
         c
     }
 
-    const STRATEGIES: [MergeStrategy; 3] = [
-        MergeStrategy::PaperSinglePass,
-        MergeStrategy::PaperFixpoint,
-        MergeStrategy::UnionFind,
-    ];
+    const STRATEGIES: [MergeStrategy; 3] =
+        [MergeStrategy::PaperSinglePass, MergeStrategy::PaperFixpoint, MergeStrategy::UnionFind];
 
     #[test]
     fn figure4_example_merges_two_clusters() {
@@ -263,7 +260,7 @@ mod tests {
         let a = pc(0, (0, 10), &[1, 2, 3]);
         let b = pc(1, (10, 20), &[11, 12]);
         for s in STRATEGIES {
-            let out = merge_partial_clusters(20, &[a.clone(), b.clone()], s, &vec![true; 20]);
+            let out = merge_partial_clusters(20, &[a.clone(), b.clone()], s, &[true; 20]);
             assert_eq!(out.merged_clusters, 2, "{s:?}");
             assert_eq!(out.merge_ops, 0);
             assert_ne!(out.clustering.labels[1], out.clustering.labels[11]);
@@ -277,7 +274,7 @@ mod tests {
         let a = pc(0, (0, 10), &[1, 2, 15]);
         let b = pc(1, (10, 20), &[11, 12]);
         for s in STRATEGIES {
-            let out = merge_partial_clusters(20, &[a.clone(), b.clone()], s, &vec![true; 20]);
+            let out = merge_partial_clusters(20, &[a.clone(), b.clone()], s, &[true; 20]);
             assert_eq!(out.merged_clusters, 2, "{s:?}");
             // the seed itself still gets cluster a's label (border point)
             assert_eq!(out.clustering.labels[15], out.clustering.labels[1]);
@@ -297,16 +294,16 @@ mod tests {
         let b = pc(1, (10, 20), &[12, 22]); // seed into C's range
         let c = pc(2, (20, 30), &[22, 25]);
         let partials = [c.clone(), a.clone(), b.clone()]; // C scanned first
-        let uf = merge_partial_clusters(30, &partials, MergeStrategy::UnionFind, &vec![true; 30]);
+        let uf = merge_partial_clusters(30, &partials, MergeStrategy::UnionFind, &[true; 30]);
         assert_eq!(uf.merged_clusters, 1);
-        let fx = merge_partial_clusters(30, &partials, MergeStrategy::PaperFixpoint, &vec![true; 30]);
+        let fx = merge_partial_clusters(30, &partials, MergeStrategy::PaperFixpoint, &[true; 30]);
         assert_eq!(fx.merged_clusters, 1);
         assert!(fx.passes >= 1);
         // single-pass on this order still merges everything reachable
         // through regular-member seeds transitively chased via groups;
         // assert it never *splits* what union-find joins into more
         // clusters than fixpoint + document the count
-        let sp = merge_partial_clusters(30, &partials, MergeStrategy::PaperSinglePass, &vec![true; 30]);
+        let sp = merge_partial_clusters(30, &partials, MergeStrategy::PaperSinglePass, &[true; 30]);
         assert!(sp.merged_clusters >= uf.merged_clusters);
     }
 
@@ -338,8 +335,18 @@ mod tests {
                     partials[from].members.push(to_point);
                 }
             }
-            let uf = merge_partial_clusters(n as usize, &partials, MergeStrategy::UnionFind, &vec![true; n as usize]);
-            let fx = merge_partial_clusters(n as usize, &partials, MergeStrategy::PaperFixpoint, &vec![true; n as usize]);
+            let uf = merge_partial_clusters(
+                n as usize,
+                &partials,
+                MergeStrategy::UnionFind,
+                &vec![true; n as usize],
+            );
+            let fx = merge_partial_clusters(
+                n as usize,
+                &partials,
+                MergeStrategy::PaperFixpoint,
+                &vec![true; n as usize],
+            );
             assert_eq!(uf.merged_clusters, fx.merged_clusters, "trial {trial}");
             assert_eq!(
                 uf.clustering.canonicalize().labels,
@@ -362,7 +369,7 @@ mod tests {
     fn duplicate_members_after_merge_get_one_label() {
         let a = pc(0, (0, 10), &[1, 12]);
         let b = pc(1, (10, 20), &[12, 13]);
-        let out = merge_partial_clusters(20, &[a, b], MergeStrategy::UnionFind, &vec![true; 20]);
+        let out = merge_partial_clusters(20, &[a, b], MergeStrategy::UnionFind, &[true; 20]);
         assert_eq!(out.merged_clusters, 1);
         assert!(out.clustering.labels[12].is_cluster());
     }

@@ -118,8 +118,8 @@ mod tests {
         let perm = zorder_permutation(&ds);
         let (re, inverse) = apply_permutation(&ds, &perm);
         assert_eq!(re.len(), ds.len());
-        for old in 0..ds.len() {
-            let new = inverse[old] as usize;
+        for (old, &inv) in inverse.iter().enumerate() {
+            let new = inv as usize;
             assert_eq!(re.row(new), ds.row(old), "old={old} new={new}");
         }
     }

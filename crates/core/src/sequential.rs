@@ -5,7 +5,7 @@
 
 use crate::label::{Clustering, Label};
 use crate::params::DbscanParams;
-use dbscan_spatial::{Dataset, KdTree, PointId, SpatialIndex};
+use dbscan_spatial::{BkdTree, Dataset, PointId, QueryScratch, SpatialIndex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -26,18 +26,37 @@ impl SequentialDbscan {
         self.params
     }
 
-    /// Run over a dataset, building a kd-tree internally.
+    /// Run over a dataset, building a bucketed kd-tree internally and
+    /// querying it through one reusable [`QueryScratch`], so the whole
+    /// expansion performs no per-query allocation.
     pub fn run(&self, data: Arc<Dataset>) -> Clustering {
-        let tree = KdTree::build(Arc::clone(&data));
-        self.run_with_index(&tree)
+        let tree = BkdTree::build(Arc::clone(&data));
+        let eps = self.params.eps;
+        let mut scratch = QueryScratch::new();
+        self.run_with_neighbors(tree.dataset().len(), |q, out| {
+            tree.range_into_scratch(tree.dataset().point(PointId(q)), eps, &mut scratch, out);
+        })
     }
 
-    /// Run with a caller-provided spatial index (kd-tree, brute force,
-    /// grid — anything implementing [`SpatialIndex`]).
+    /// Run with a caller-provided spatial index (bucketed or classic
+    /// kd-tree, brute force, grid — anything implementing
+    /// [`SpatialIndex`]).
     pub fn run_with_index(&self, index: &dyn SpatialIndex) -> Clustering {
         let data = index.dataset();
-        let n = data.len();
         let eps = self.params.eps;
+        self.run_with_neighbors(data.len(), |q, out| {
+            index.range_into(data.point(PointId(q)), eps, out);
+        })
+    }
+
+    /// The queue-based expansion (Algorithm 1), generic over the
+    /// eps-neighborhood source: `neighbors_of(q, out)` appends the
+    /// neighbours of point `q` to `out` without clearing it.
+    fn run_with_neighbors(
+        &self,
+        n: usize,
+        mut neighbors_of: impl FnMut(u32, &mut Vec<PointId>),
+    ) -> Clustering {
         let min_pts = self.params.min_pts;
 
         let mut labels = vec![Label::Noise; n];
@@ -56,7 +75,7 @@ impl SequentialDbscan {
             }
             visited[p as usize] = true;
             neighbors.clear();
-            index.range_into(data.point(PointId(p)), eps, &mut neighbors);
+            neighbors_of(p, &mut neighbors);
             if neighbors.len() < min_pts {
                 // noise for now; may become a border point later
                 continue;
@@ -77,7 +96,7 @@ impl SequentialDbscan {
                 if !visited[qi] {
                     visited[qi] = true;
                     neighbors.clear();
-                    index.range_into(data.point(PointId(q)), eps, &mut neighbors);
+                    neighbors_of(q, &mut neighbors);
                     if neighbors.len() >= min_pts {
                         core[qi] = true;
                         for &r in &neighbors {
@@ -191,9 +210,11 @@ mod tests {
             (0..60).map(|i| vec![(i % 10) as f64, (i / 10) as f64 * 0.3]).collect();
         let ds = Arc::new(Dataset::from_rows(rows));
         let alg = SequentialDbscan::new(DbscanParams::new(1.2, 4).unwrap());
-        let via_tree = alg.run_with_index(&KdTree::build(Arc::clone(&ds)));
+        let via_tree = alg.run_with_index(&dbscan_spatial::KdTree::build(Arc::clone(&ds)));
         let via_scan = alg.run_with_index(&BruteForceIndex::new(Arc::clone(&ds)));
+        let via_bkd = alg.run(Arc::clone(&ds)); // default path: bucketed tree + scratch
         assert_eq!(via_tree.canonicalize(), via_scan.canonicalize());
+        assert_eq!(via_bkd.canonicalize(), via_scan.canonicalize());
     }
 
     #[test]
@@ -201,7 +222,7 @@ mod tests {
         // two dense pairs with one shared border point in the middle
         let rows = vec![
             vec![0.0],
-            vec![0.5],  // cluster A cores (eps 0.6, minpts 2 w/ self->3? )
+            vec![0.5], // cluster A cores (eps 0.6, minpts 2 w/ self->3? )
             vec![5.0],
             vec![5.5],  // cluster B cores
             vec![2.75], // border of neither (too far) -> noise

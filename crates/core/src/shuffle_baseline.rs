@@ -91,8 +91,11 @@ impl ShuffleDbscan {
                 let u = u as u32;
                 let nb = t1.value().range(d1.point(PointId(u)), eps);
                 let is_core = nb.len() >= min_pts;
-                let edges: Vec<u32> =
-                    if is_core { nb.iter().map(|q| q.0).filter(|&q| q != u).collect() } else { Vec::new() };
+                let edges: Vec<u32> = if is_core {
+                    nb.iter().map(|q| q.0).filter(|&q| q != u).collect()
+                } else {
+                    Vec::new()
+                };
                 (u, is_core, edges)
             })
             .cache();
@@ -108,7 +111,9 @@ impl ShuffleDbscan {
             .map(|(u, is_core, _)| (*u, if *is_core { *u } else { UNLABELED }))
             .collect();
 
-        let edges = info.flat_map(|(u, _, es)| es.into_iter().map(move |v| (u, Item::EdgeTo(v))).collect::<Vec<_>>());
+        let edges = info.flat_map(|(u, _, es)| {
+            es.into_iter().map(move |v| (u, Item::EdgeTo(v))).collect::<Vec<_>>()
+        });
 
         // propagation rounds, each paying two shuffles
         let mut rounds = 0usize;

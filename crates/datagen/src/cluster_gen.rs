@@ -88,10 +88,7 @@ impl ClusterGenerator {
     /// Panics on nonsensical parameters (zero dim, noise fraction ≥ 1).
     pub fn new(params: GeneratorParams) -> Self {
         assert!(params.dim > 0, "dimension must be positive");
-        assert!(
-            (0.0..1.0).contains(&params.noise_fraction),
-            "noise fraction must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&params.noise_fraction), "noise fraction must be in [0, 1)");
         assert!(params.sigma > 0.0, "sigma must be positive");
         assert!(params.side > 0.0, "side must be positive");
         ClusterGenerator { params }
@@ -116,10 +113,8 @@ impl ClusterGenerator {
         let mut rows: Vec<(Option<u32>, Vec<f64>)> = Vec::with_capacity(p.n);
         for i in 0..member_n {
             let c = i % centers.len();
-            let row: Vec<f64> = centers[c]
-                .iter()
-                .map(|&m| normal.sample(&mut rng, m, p.sigma))
-                .collect();
+            let row: Vec<f64> =
+                centers[c].iter().map(|&m| normal.sample(&mut rng, m, p.sigma)).collect();
             rows.push((Some(c as u32), row));
         }
         for _ in 0..noise_n {
@@ -252,8 +247,7 @@ mod tests {
     fn shuffling_decouples_index_from_cluster() {
         let (_, gt) = ClusterGenerator::new(small_params()).generate();
         // the first 50 points must not all come from the same source
-        let firsts: std::collections::HashSet<_> =
-            gt.source[..50].iter().cloned().collect();
+        let firsts: std::collections::HashSet<_> = gt.source[..50].iter().cloned().collect();
         assert!(firsts.len() > 1, "points not shuffled");
     }
 

@@ -111,8 +111,8 @@ mod tests {
 
     #[test]
     fn dfs_roundtrip_multi_block() {
-        let dfs =
-            DfsCluster::new(DfsConfig { num_datanodes: 2, replication: 1, block_size: 16 }).unwrap();
+        let dfs = DfsCluster::new(DfsConfig { num_datanodes: 2, replication: 1, block_size: 16 })
+            .unwrap();
         let ds = small();
         write_dataset_to_dfs(&dfs, "/ds.csv", &ds).unwrap();
         assert!(dfs.stat("/ds.csv").unwrap().num_blocks > 1, "exercises block splitting");

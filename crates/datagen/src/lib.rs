@@ -20,5 +20,7 @@ pub mod normal;
 
 pub use catalog::{DatasetSpec, StandardDataset};
 pub use cluster_gen::{ClusterGenerator, GeneratorParams, GroundTruth};
-pub use io::{dataset_from_csv, dataset_to_csv, parse_csv_row, read_dataset_from_dfs, write_dataset_to_dfs};
+pub use io::{
+    dataset_from_csv, dataset_to_csv, parse_csv_row, read_dataset_from_dfs, write_dataset_to_dfs,
+};
 pub use normal::NormalSampler;

@@ -70,7 +70,12 @@ where
 {
     /// Assemble a job.
     pub fn new(mapper: M, reducer: R, config: JobConfig) -> Self {
-        MapReduceJob { mapper: Arc::new(mapper), reducer: Arc::new(reducer), combiner: None, config }
+        MapReduceJob {
+            mapper: Arc::new(mapper),
+            reducer: Arc::new(reducer),
+            combiner: None,
+            config,
+        }
     }
 
     /// Install a map-side combiner (Hadoop's `setCombinerClass`): each
@@ -131,7 +136,14 @@ where
                     let mut attempt = 0;
                     loop {
                         let attempt_start = Instant::now();
-                        match self.try_map_task(task, attempt, &splits[task], num_reduces, job_dir, counters) {
+                        match self.try_map_task(
+                            task,
+                            attempt,
+                            &splits[task],
+                            num_reduces,
+                            job_dir,
+                            counters,
+                        ) {
                             Ok(()) => {
                                 map_task_times.lock().push(attempt_start.elapsed());
                                 break;
@@ -179,7 +191,14 @@ where
                     let mut attempt = 0;
                     loop {
                         let attempt_start = Instant::now();
-                        match self.try_reduce_task(part, attempt, num_maps, job_dir, counters, &shuffle_nanos) {
+                        match self.try_reduce_task(
+                            part,
+                            attempt,
+                            num_maps,
+                            job_dir,
+                            counters,
+                            &shuffle_nanos,
+                        ) {
                             Ok(out) => {
                                 reduce_task_times.lock().push(attempt_start.elapsed());
                                 outputs.lock()[part] = Some(out);
@@ -357,7 +376,13 @@ mod tests {
         type VIn = u64;
         type Out = (String, u64);
 
-        fn reduce(&self, key: String, values: Vec<u64>, out: &mut Vec<(String, u64)>, _c: &Counters) {
+        fn reduce(
+            &self,
+            key: String,
+            values: Vec<u64>,
+            out: &mut Vec<(String, u64)>,
+            _c: &Counters,
+        ) {
             out.push((key, values.iter().sum()));
         }
     }
@@ -374,10 +399,7 @@ mod tests {
 
     #[test]
     fn wordcount_end_to_end() {
-        let r = wordcount(
-            splits_of(&["a b a", "c b", "a"], 2),
-            JobConfig::with_slots(2),
-        );
+        let r = wordcount(splits_of(&["a b a", "c b", "a"], 2), JobConfig::with_slots(2));
         let mut out = r.outputs;
         out.sort_unstable();
         assert_eq!(out, vec![("a".into(), 3), ("b".into(), 2), ("c".into(), 1)]);
@@ -395,8 +417,7 @@ mod tests {
         let mut base = wordcount(splits_of(text, 1), JobConfig::with_slots(1)).outputs;
         base.sort_unstable();
         for slots in [2, 3, 4] {
-            let mut out =
-                wordcount(splits_of(text, slots), JobConfig::with_slots(slots)).outputs;
+            let mut out = wordcount(splits_of(text, slots), JobConfig::with_slots(slots)).outputs;
             out.sort_unstable();
             assert_eq!(out, base, "slots={slots}");
         }
@@ -427,7 +448,8 @@ mod tests {
 
     #[test]
     fn exhausted_retries_abort_job() {
-        let cfg = JobConfig { max_task_attempts: 2, ..JobConfig::with_slots(1).with_faults(1.0, 10) };
+        let cfg =
+            JobConfig { max_task_attempts: 2, ..JobConfig::with_slots(1).with_faults(1.0, 10) };
         let err = MapReduceJob::new(Tokenize, Sum, cfg)
             .run(splits_of(&["a"], 1))
             .err()
@@ -530,7 +552,13 @@ mod combiner_tests {
         type VIn = u64;
         type Out = (String, u64);
 
-        fn reduce(&self, key: String, values: Vec<u64>, out: &mut Vec<(String, u64)>, _c: &Counters) {
+        fn reduce(
+            &self,
+            key: String,
+            values: Vec<u64>,
+            out: &mut Vec<(String, u64)>,
+            _c: &Counters,
+        ) {
             out.push((key, values.iter().sum()));
         }
     }
@@ -547,17 +575,13 @@ mod combiner_tests {
     }
 
     fn splits() -> Vec<Vec<String>> {
-        vec![
-            vec!["a a a b".to_string(), "a b".to_string()],
-            vec!["b b b a".to_string()],
-        ]
+        vec![vec!["a a a b".to_string(), "a b".to_string()], vec!["b b b a".to_string()]]
     }
 
     #[test]
     fn combiner_preserves_results() {
-        let plain = MapReduceJob::new(Tokenize, Sum, JobConfig::with_slots(2))
-            .run(splits())
-            .unwrap();
+        let plain =
+            MapReduceJob::new(Tokenize, Sum, JobConfig::with_slots(2)).run(splits()).unwrap();
         let combined = MapReduceJob::new(Tokenize, Sum, JobConfig::with_slots(2))
             .with_combiner(SumCombiner)
             .run(splits())
@@ -571,16 +595,14 @@ mod combiner_tests {
 
     #[test]
     fn combiner_shrinks_spilled_data() {
-        let plain = MapReduceJob::new(Tokenize, Sum, JobConfig::with_slots(2))
-            .run(splits())
-            .unwrap();
+        let plain =
+            MapReduceJob::new(Tokenize, Sum, JobConfig::with_slots(2)).run(splits()).unwrap();
         let combined = MapReduceJob::new(Tokenize, Sum, JobConfig::with_slots(2))
             .with_combiner(SumCombiner)
             .run(splits())
             .unwrap();
-        let spilled = |r: &JobResult<(String, u64)>| {
-            r.counters.spilled_bytes.load(Ordering::Relaxed)
-        };
+        let spilled =
+            |r: &JobResult<(String, u64)>| r.counters.spilled_bytes.load(Ordering::Relaxed);
         assert!(
             spilled(&combined) < spilled(&plain),
             "combined {} vs plain {}",

@@ -39,10 +39,7 @@ pub fn write_spill<K: MrKey, V: MrValue>(
 }
 
 /// Read a spill file back (the reducer's "remote" fetch).
-pub fn read_spill<K: MrKey, V: MrValue>(
-    path: &Path,
-    counters: &Counters,
-) -> MrResult<Vec<(K, V)>> {
+pub fn read_spill<K: MrKey, V: MrValue>(path: &Path, counters: &Counters) -> MrResult<Vec<(K, V)>> {
     let file = File::open(path)?;
     let mut r = BufReader::new(file);
     let mut line = String::new();
@@ -125,10 +122,7 @@ mod tests {
 
     #[test]
     fn merge_and_group() {
-        let runs = vec![
-            vec![(1, 'a'), (3, 'c')],
-            vec![(1, 'b'), (2, 'x')],
-        ];
+        let runs = vec![vec![(1, 'a'), (3, 'c')], vec![(1, 'b'), (2, 'x')]];
         let merged = merge_sorted_runs(runs);
         assert_eq!(merged.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![1, 1, 2, 3]);
         let groups = group_sorted(merged);

@@ -30,7 +30,12 @@ pub trait Mapper: Send + Sync {
     type VOut: MrValue;
 
     /// Process one record, emitting any number of `(key, value)` pairs.
-    fn map(&self, record: Self::In, emit: &mut Emitter<Self::KOut, Self::VOut>, counters: &Counters);
+    fn map(
+        &self,
+        record: Self::In,
+        emit: &mut Emitter<Self::KOut, Self::VOut>,
+        counters: &Counters,
+    );
 }
 
 /// An optional map-side combiner (Hadoop's `job.setCombinerClass`):
@@ -58,7 +63,13 @@ pub trait Reducer: Send + Sync {
     type Out: Send + 'static;
 
     /// Process one key group; push results into `out`.
-    fn reduce(&self, key: Self::KIn, values: Vec<Self::VIn>, out: &mut Vec<Self::Out>, counters: &Counters);
+    fn reduce(
+        &self,
+        key: Self::KIn,
+        values: Vec<Self::VIn>,
+        out: &mut Vec<Self::Out>,
+        counters: &Counters,
+    );
 }
 
 #[cfg(test)]
@@ -86,7 +97,13 @@ mod tests {
         type VIn = u64;
         type Out = (String, u64);
 
-        fn reduce(&self, key: String, values: Vec<u64>, out: &mut Vec<(String, u64)>, _c: &Counters) {
+        fn reduce(
+            &self,
+            key: String,
+            values: Vec<u64>,
+            out: &mut Vec<(String, u64)>,
+            _c: &Counters,
+        ) {
             out.push((key, values.iter().sum()));
         }
     }

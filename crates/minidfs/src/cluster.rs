@@ -61,9 +61,8 @@ impl DfsCluster {
         if config.block_size == 0 {
             return Err(DfsError::InvalidConfig("block_size must be > 0".into()));
         }
-        let datanodes = (0..config.num_datanodes)
-            .map(|i| Arc::new(DataNode::new(NodeId(i))))
-            .collect();
+        let datanodes =
+            (0..config.num_datanodes).map(|i| Arc::new(DataNode::new(NodeId(i)))).collect();
         Ok(DfsCluster { namenode: NameNode::new(), datanodes, config })
     }
 
@@ -217,12 +216,7 @@ impl DfsCluster {
     /// Locality map of a file: for every block, the nodes hosting it.
     /// Compute engines use this to build local input splits.
     pub fn locality(&self, path: &str) -> DfsResult<Vec<(BlockId, Vec<NodeId>)>> {
-        Ok(self
-            .namenode
-            .blocks(path)?
-            .into_iter()
-            .map(|b| (b.id, b.replicas))
-            .collect())
+        Ok(self.namenode.blocks(path)?.into_iter().map(|b| (b.id, b.replicas)).collect())
     }
 
     /// Kill a datanode (drops its replicas and stops serving).
@@ -266,7 +260,9 @@ impl DfsCluster {
                     .replicas
                     .iter()
                     .filter(|r| {
-                        self.node(**r).map(|n| n.is_alive() && n.get(b.id).is_some()).unwrap_or(false)
+                        self.node(**r)
+                            .map(|n| n.is_alive() && n.get(b.id).is_some())
+                            .unwrap_or(false)
                     })
                     .count();
                 if live == 0 {
@@ -436,9 +432,8 @@ mod tests {
         let dfs =
             DfsCluster::new(DfsConfig { num_datanodes: 4, replication: 1, block_size: 4 }).unwrap();
         dfs.write_file("/f", &[0u8; 64]).unwrap(); // 16 blocks, 1 replica each
-        let stats: Vec<usize> = (0..4)
-            .map(|i| dfs.node(NodeId(i)).unwrap().replica_count())
-            .collect();
+        let stats: Vec<usize> =
+            (0..4).map(|i| dfs.node(NodeId(i)).unwrap().replica_count()).collect();
         assert_eq!(stats.iter().sum::<usize>(), 16);
         // least-loaded placement keeps nodes within one block of each other
         assert!(stats.iter().max().unwrap() - stats.iter().min().unwrap() <= 1, "{stats:?}");
@@ -507,8 +502,8 @@ mod fsck_tests {
 
     #[test]
     fn total_loss_is_reported_not_hidden() {
-        let dfs = DfsCluster::new(DfsConfig { num_datanodes: 2, replication: 2, block_size: 8 })
-            .unwrap();
+        let dfs =
+            DfsCluster::new(DfsConfig { num_datanodes: 2, replication: 2, block_size: 8 }).unwrap();
         dfs.write_file("/a", &[1u8; 8]).unwrap();
         dfs.kill_datanode(0).unwrap();
         dfs.kill_datanode(1).unwrap();

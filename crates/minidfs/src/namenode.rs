@@ -54,9 +54,7 @@ impl NameNode {
     /// Append a completed block record to a file.
     pub fn commit_block(&self, path: &str, info: BlockInfo) -> DfsResult<()> {
         let mut files = self.files.write();
-        let meta = files
-            .get_mut(path)
-            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        let meta = files.get_mut(path).ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
         meta.blocks.push(info);
         Ok(())
     }
@@ -72,11 +70,14 @@ impl NameNode {
 
     /// Replace the replica set of a block (after re-replication or
     /// replica loss).
-    pub fn update_replicas(&self, path: &str, block: BlockId, replicas: Vec<NodeId>) -> DfsResult<()> {
+    pub fn update_replicas(
+        &self,
+        path: &str,
+        block: BlockId,
+        replicas: Vec<NodeId>,
+    ) -> DfsResult<()> {
         let mut files = self.files.write();
-        let meta = files
-            .get_mut(path)
-            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        let meta = files.get_mut(path).ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
         for b in &mut meta.blocks {
             if b.id == block {
                 b.replicas = replicas;
@@ -94,9 +95,7 @@ impl NameNode {
     /// File status (length, block count).
     pub fn stat(&self, path: &str) -> DfsResult<FileStatus> {
         let files = self.files.read();
-        let meta = files
-            .get(path)
-            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        let meta = files.get(path).ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
         Ok(FileStatus {
             path: path.to_string(),
             len: meta.blocks.iter().map(|b| b.len).sum(),
@@ -107,20 +106,12 @@ impl NameNode {
     /// Remove a file, returning its block list for replica cleanup.
     pub fn delete(&self, path: &str) -> DfsResult<Vec<BlockInfo>> {
         let mut files = self.files.write();
-        files
-            .remove(path)
-            .map(|m| m.blocks)
-            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))
+        files.remove(path).map(|m| m.blocks).ok_or_else(|| DfsError::FileNotFound(path.to_string()))
     }
 
     /// All paths with the given prefix, sorted.
     pub fn list(&self, prefix: &str) -> Vec<String> {
-        self.files
-            .read()
-            .keys()
-            .filter(|k| k.starts_with(prefix))
-            .cloned()
-            .collect()
+        self.files.read().keys().filter(|k| k.starts_with(prefix)).cloned().collect()
     }
 }
 

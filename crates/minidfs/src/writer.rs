@@ -64,7 +64,7 @@ impl Write for DfsWriter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cluster::{DfsConfig, DfsCluster};
+    use crate::cluster::{DfsCluster, DfsConfig};
 
     fn cluster() -> DfsCluster {
         DfsCluster::new(DfsConfig { num_datanodes: 2, replication: 1, block_size: 4 }).unwrap()

@@ -74,10 +74,7 @@ impl AccumulatorRegistry {
 
     fn read<T: Clone + 'static>(&self, id: usize) -> T {
         let v = self.values.lock();
-        v.get(&id)
-            .and_then(|b| b.downcast_ref::<T>())
-            .expect("accumulator type matches")
-            .clone()
+        v.get(&id).and_then(|b| b.downcast_ref::<T>()).expect("accumulator type matches").clone()
     }
 }
 

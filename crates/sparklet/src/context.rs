@@ -120,8 +120,8 @@ impl Context {
     /// Lines of a DFS file, one partition per block, with Hadoop line
     /// split semantics.
     pub fn text_file(&self, dfs: Arc<DfsCluster>, path: &str) -> SparkResult<Rdd<String>> {
-        let node = TextFileRdd::open(self.inner.next_rdd_id(), dfs, path)
-            .map_err(SparkError::Storage)?;
+        let node =
+            TextFileRdd::open(self.inner.next_rdd_id(), dfs, path).map_err(SparkError::Storage)?;
         Ok(Rdd::new(Arc::new(node), self.clone()))
     }
 
@@ -408,8 +408,9 @@ mod tests {
     #[test]
     fn shuffle_outputs_are_reused_across_jobs() {
         let c = ctx();
-        let reduced =
-            c.parallelize((0..50u32).map(|i| (i % 5, 1u64)).collect(), 5).reduce_by_key(2, |a, b| a + b);
+        let reduced = c
+            .parallelize((0..50u32).map(|i| (i % 5, 1u64)).collect(), 5)
+            .reduce_by_key(2, |a, b| a + b);
         reduced.collect().unwrap();
         let records_after_first = c.shuffle_records();
         reduced.count().unwrap();
@@ -498,11 +499,8 @@ mod tests {
         let table = c.broadcast_sized(vec![10i32, 20, 30], 3 * 4);
         assert_eq!(c.broadcast_bytes(), (3 * 4 * c.num_executors()) as u64);
         let t = table.clone();
-        let out = c
-            .parallelize(vec![0usize, 1, 2], 3)
-            .map(move |i| t.value()[i])
-            .collect()
-            .unwrap();
+        let out =
+            c.parallelize(vec![0usize, 1, 2], 3).map(move |i| t.value()[i]).collect().unwrap();
         assert_eq!(out, vec![10, 20, 30]);
     }
 
@@ -583,10 +581,7 @@ mod tests {
         let r = c.parallelize(vec![(1u8, 10i32), (1, 20), (9, 90)], 2);
         let mut out = l.join(&r, 2).collect().unwrap();
         out.sort_by_key(|(k, (v, w))| (*k, *v, *w));
-        assert_eq!(
-            out,
-            vec![(1, ('a', 10)), (1, ('a', 20)), (1, ('b', 10)), (1, ('b', 20))]
-        );
+        assert_eq!(out, vec![(1, ('a', 10)), (1, ('a', 20)), (1, ('b', 10)), (1, ('b', 20))]);
     }
 
     #[test]
@@ -639,9 +634,7 @@ mod tests {
         // the injected failure happens before user code runs, so the
         // retry exercises the create-after-exists path only when a prior
         // attempt got far enough; either way the job must succeed
-        c.parallelize(vec![1, 2, 3, 4], 2)
-            .save_as_text_file(Arc::clone(&dfs), "/retry")
-            .unwrap();
+        c.parallelize(vec![1, 2, 3, 4], 2).save_as_text_file(Arc::clone(&dfs), "/retry").unwrap();
         assert_eq!(dfs.list("/retry/").len(), 2);
     }
 

@@ -55,7 +55,8 @@ mod tests {
 
     #[test]
     fn display_contains_context() {
-        let e = SparkError::TaskFailed { stage: 1, partition: 3, attempts: 4, message: "boom".into() };
+        let e =
+            SparkError::TaskFailed { stage: 1, partition: 3, attempts: 4, message: "boom".into() };
         let s = e.to_string();
         assert!(s.contains("stage 1") && s.contains("partition 3") && s.contains("boom"));
     }

@@ -136,7 +136,9 @@ pub(crate) fn straggler_extra(
     if cfg.prob <= 0.0 || cfg.slowdown <= 1.0 {
         return Duration::ZERO;
     }
-    let h = crate::fault::mix(seed ^ 0xabcd_ef01 ^ crate::fault::mix(((stage as u64) << 32) | partition as u64));
+    let h = crate::fault::mix(
+        seed ^ 0xabcd_ef01 ^ crate::fault::mix(((stage as u64) << 32) | partition as u64),
+    );
     if (h as f64 / u64::MAX as f64) < cfg.prob {
         busy.mul_f64(cfg.slowdown - 1.0)
     } else {

@@ -145,10 +145,7 @@ impl<T: Data> Rdd<T> {
     }
 
     /// One-to-many transformation.
-    pub fn flat_map<U: Data>(
-        &self,
-        f: impl Fn(T) -> Vec<U> + Send + Sync + 'static,
-    ) -> Rdd<U> {
+    pub fn flat_map<U: Data>(&self, f: impl Fn(T) -> Vec<U> + Send + Sync + 'static) -> Rdd<U> {
         let node = Arc::new(ops::FlatMapRdd {
             id: self.ctx.inner.next_rdd_id(),
             prev: Arc::clone(&self.node),
@@ -309,9 +306,7 @@ impl<T: Data> Rdd<T> {
     where
         T: std::hash::Hash + Eq,
     {
-        self.map(|t| (t, ()))
-            .reduce_by_key(num_partitions, |a, _| a)
-            .map(|(t, ())| t)
+        self.map(|t| (t, ())).reduce_by_key(num_partitions, |a, _| a).map(|(t, ())| t)
     }
 
     /// Redistribute elements into `num_partitions` balanced partitions
@@ -336,11 +331,7 @@ impl<T: Data> Rdd<T> {
     /// Write each partition as `dir/part-NNNNN` into the DFS (Spark's
     /// `saveAsTextFile`), one line per element. Tasks write their own
     /// files, so a retried task simply overwrites its previous attempt.
-    pub fn save_as_text_file(
-        &self,
-        dfs: Arc<minidfs::DfsCluster>,
-        dir: &str,
-    ) -> SparkResult<()>
+    pub fn save_as_text_file(&self, dfs: Arc<minidfs::DfsCluster>, dir: &str) -> SparkResult<()>
     where
         T: std::fmt::Display,
     {
@@ -419,17 +410,20 @@ where
 
     /// Count occurrences per key, collected on the driver.
     pub fn count_by_key(&self) -> SparkResult<std::collections::HashMap<K, usize>> {
-        let counted = self.map(|(k, _)| (k, 1usize)).reduce_by_key(
-            self.num_partitions().max(1),
-            |a, b| a + b,
-        );
+        let counted = self
+            .map(|(k, _)| (k, 1usize))
+            .reduce_by_key(self.num_partitions().max(1), |a, b| a + b);
         Ok(counted.collect()?.into_iter().collect())
     }
 
     /// Group both sides by key (Spark's `cogroup`): for every key, the
     /// values from `self` and from `other`. Keys present on one side
     /// only appear with an empty vector on the other.
-    pub fn cogroup<W: Data>(&self, other: &Rdd<(K, W)>, num_partitions: usize) -> CoGrouped<K, V, W> {
+    pub fn cogroup<W: Data>(
+        &self,
+        other: &Rdd<(K, W)>,
+        num_partitions: usize,
+    ) -> CoGrouped<K, V, W> {
         #[derive(Clone)]
         enum Side<V, W> {
             L(V),

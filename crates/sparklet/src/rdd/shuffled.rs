@@ -228,8 +228,7 @@ where
                 let b = partitioner(&k, num_reduces).min(num_reduces - 1);
                 buckets[b].push((k, c));
             }
-            let buckets: Vec<Bucket> =
-                buckets.into_iter().map(|b| Arc::new(b) as Bucket).collect();
+            let buckets: Vec<Bucket> = buckets.into_iter().map(|b| Arc::new(b) as Bucket).collect();
             shuffles.put_map_output(shuffle_id, part, executor, buckets, records, bytes);
             Ok(TaskOutput::Unit)
         })

@@ -89,7 +89,7 @@ impl RddNode for TextFileRdd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use minidfs::{DfsConfig, DfsCluster};
+    use minidfs::{DfsCluster, DfsConfig};
 
     fn dfs(block_size: usize) -> Arc<DfsCluster> {
         Arc::new(

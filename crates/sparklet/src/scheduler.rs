@@ -138,8 +138,7 @@ fn run_stage(
 ) -> SparkResult<(HashMap<usize, TaskOutput>, StageMetrics)> {
     let start = Instant::now();
     let total = tasks.len();
-    let specs: HashMap<usize, TaskSpec> =
-        tasks.iter().map(|t| (t.partition, t.clone())).collect();
+    let specs: HashMap<usize, TaskSpec> = tasks.iter().map(|t| (t.partition, t.clone())).collect();
     let (tx, rx) = unbounded();
     for spec in tasks {
         ctx.inner.pool.submit(Envelope { spec, attempt: 0, reply: tx.clone() });
@@ -155,8 +154,7 @@ fn run_stage(
         match r.outcome {
             Ok(output) => {
                 ctx.inner.accums.apply_all(r.accum_updates);
-                let extra =
-                    straggler_extra(cfg.straggler, cfg.seed, stage_id, r.partition, r.busy);
+                let extra = straggler_extra(cfg.straggler, cfg.seed, stage_id, r.partition, r.busy);
                 task_metrics.push(TaskMetrics {
                     partition: r.partition,
                     executor: r.executor,
@@ -179,15 +177,19 @@ fn run_stage(
                         message,
                     });
                 }
-                let spec = specs
-                    .get(&r.partition)
-                    .expect("result for a submitted partition")
-                    .clone();
+                let spec =
+                    specs.get(&r.partition).expect("result for a submitted partition").clone();
                 ctx.inner.pool.submit(Envelope { spec, attempt: next, reply: tx.clone() });
             }
         }
     }
     task_metrics.sort_by_key(|t| t.partition);
-    let sm = StageMetrics { stage_id, kind, wall: start.elapsed(), tasks: task_metrics, failed_attempts };
+    let sm = StageMetrics {
+        stage_id,
+        kind,
+        wall: start.elapsed(),
+        tasks: task_metrics,
+        failed_attempts,
+    };
     Ok((outputs, sm))
 }

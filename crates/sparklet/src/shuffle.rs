@@ -82,9 +82,7 @@ impl ShuffleManager {
         let s = self.shuffles.lock();
         match s.get(&shuffle_id) {
             None => Vec::new(),
-            Some(st) => {
-                (0..st.num_maps).filter(|&i| st.outputs[i].is_none()).collect()
-            }
+            Some(st) => (0..st.num_maps).filter(|&i| st.outputs[i].is_none()).collect(),
         }
     }
 

@@ -25,7 +25,8 @@ pub fn lpt_makespan(durations: impl IntoIterator<Item = Duration>, workers: usiz
     }
     tasks.sort_unstable_by(|a, b| b.cmp(a));
     // min-heap of worker loads
-    let mut loads: BinaryHeap<Reverse<Duration>> = (0..workers).map(|_| Reverse(Duration::ZERO)).collect();
+    let mut loads: BinaryHeap<Reverse<Duration>> =
+        (0..workers).map(|_| Reverse(Duration::ZERO)).collect();
     for t in tasks {
         let Reverse(least) = loads.pop().expect("at least one worker");
         loads.push(Reverse(least + t));

@@ -68,9 +68,7 @@ impl Aabb {
     /// Whether the point lies inside (inclusive).
     pub fn contains(&self, p: &[f64]) -> bool {
         debug_assert_eq!(p.len(), self.dim());
-        p.iter()
-            .zip(self.lo.iter().zip(self.hi.iter()))
-            .all(|(&v, (&l, &h))| v >= l && v <= h)
+        p.iter().zip(self.lo.iter().zip(self.hi.iter())).all(|(&v, (&l, &h))| v >= l && v <= h)
     }
 
     /// Reduced-space distance from `p` to the nearest point of the box
@@ -78,10 +76,7 @@ impl Aabb {
     pub fn min_reduced_distance(&self, p: &[f64], metric: Metric) -> f64 {
         debug_assert_eq!(p.len(), self.dim());
         match metric {
-            Metric::Euclidean => self
-                .axis_deltas(p)
-                .map(|d| d * d)
-                .sum(),
+            Metric::Euclidean => self.axis_deltas(p).map(|d| d * d).sum(),
             Metric::Manhattan => self.axis_deltas(p).map(f64::abs).sum(),
             Metric::Chebyshev => self.axis_deltas(p).map(f64::abs).fold(0.0, f64::max),
         }
@@ -89,9 +84,7 @@ impl Aabb {
 
     /// Per-axis clamped deltas from `p` to the box.
     fn axis_deltas<'a>(&'a self, p: &'a [f64]) -> impl Iterator<Item = f64> + 'a {
-        p.iter()
-            .zip(self.lo.iter().zip(self.hi.iter()))
-            .map(|(&v, (&l, &h))| clamp_delta(v, l, h))
+        p.iter().zip(self.lo.iter().zip(self.hi.iter())).map(|(&v, (&l, &h))| clamp_delta(v, l, h))
     }
 
     /// Reduced-space distance from `p` to the farthest point of the box.

@@ -1,0 +1,750 @@
+//! Bucketed kd-tree — the cache-conscious successor to [`crate::KdTree`].
+//!
+//! The node-per-point kd-tree pays one pointer chase *and* one random
+//! dataset row fetch per visited node. This structure removes both costs:
+//!
+//! * **Leaf buckets**: recursion stops at `bucket_size` points (default
+//!   16). A leaf owns a *contiguous block* of the tree's own coordinate
+//!   array, scanned linearly with [`crate::squared_euclidean`] — the
+//!   branch-free kernel the compiler auto-vectorizes.
+//! * **Implicit layout**: points are permuted into tree order at build
+//!   time (`ids[pos] = original id`), so the whole traversal touches
+//!   memory front-to-back. Internal nodes store only `(axis, split,
+//!   right-child index)` in a flat `Vec`; the left child is the next
+//!   node (`self + 1`), so descent never fetches dataset rows.
+//! * **Zero-allocation queries**: traversal is iterative over a
+//!   caller-provided reusable [`QueryScratch`]; the steady state neither
+//!   allocates nor recurses.
+//! * **Split policy**: widest-spread axis with a median split
+//!   (`select_nth_unstable`), which prunes better than the classic
+//!   depth-cycling axis on skewed data and keeps the tree count-balanced
+//!   regardless of coordinate distribution (duplicates included).
+//! * **Parallel build**: sibling subtrees above [`PAR_CUTOFF`] points
+//!   are built on scoped threads and spliced.
+//!
+//! Query results are mapped back through the permutation, so callers see
+//! original [`PointId`]s — the index is a drop-in [`SpatialIndex`].
+//! [`PruneConfig`] keeps the node-per-point semantics: pruned results
+//! are always a subset of the exact result.
+
+use crate::dataset::Dataset;
+use crate::index::SpatialIndex;
+use crate::kdtree::PruneConfig;
+use crate::metric::Metric;
+use crate::point::PointId;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Leaf capacity used by [`BkdTree::build`].
+pub const DEFAULT_BUCKET_SIZE: usize = 16;
+
+/// Subtrees at least this large are built on their own scoped thread.
+pub const PAR_CUTOFF: usize = 8 * 1024;
+
+/// Parallel fan-out bound: at most `2^PAR_DEPTH` concurrent builders.
+const PAR_DEPTH: usize = 4;
+
+const LEAF: u32 = u32::MAX;
+
+/// One flat tree node. Internal nodes keep the split inline so descent
+/// is pure `Vec` indexing; leaves address a contiguous coordinate block.
+#[derive(Debug, Clone, Copy)]
+struct BNode {
+    /// `LEAF` for leaves, otherwise the split axis.
+    axis: u32,
+    /// Internal: flat index of the right child (the left child is always
+    /// `self + 1`). Leaf: start of the point range in tree order.
+    a: u32,
+    /// Internal: unused. Leaf: end (exclusive) of the point range.
+    b: u32,
+    /// Internal: split coordinate. Leaf: unused.
+    split: f64,
+}
+
+impl BNode {
+    #[inline]
+    fn is_leaf(self) -> bool {
+        self.axis == LEAF
+    }
+}
+
+/// Reusable per-task traversal state. One instance per worker thread (or
+/// per call site) makes the steady-state query path allocation-free: the
+/// stacks grow to the tree depth once and are reused afterwards.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// DFS stack of node indices (range traversal).
+    stack: Vec<u32>,
+    /// DFS stack of (reduced-space lower bound, node) for nearest search.
+    bounded: Vec<(f64, u32)>,
+}
+
+impl QueryScratch {
+    /// Fresh scratch; buffers are grown lazily by the first queries.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current capacity of the traversal stack — exposed so tests can
+    /// assert the steady state stops allocating.
+    pub fn stack_capacity(&self) -> usize {
+        self.stack.capacity()
+    }
+}
+
+thread_local! {
+    /// Fallback scratch for the plain [`SpatialIndex`] entry points,
+    /// which have no scratch parameter. Per-thread, so the trait methods
+    /// are also allocation-free after warm-up.
+    static TLS_SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::new());
+}
+
+/// A leaf-bucketed kd-tree over a shared [`Dataset`], with points stored
+/// in tree order for linear leaf scans.
+#[derive(Debug, Clone)]
+pub struct BkdTree {
+    dataset: Arc<Dataset>,
+    /// Flat nodes; the root is node 0 (empty for an empty dataset).
+    nodes: Vec<BNode>,
+    /// Tree-order copy of the coordinates (row-major, `dim` per point).
+    coords: Vec<f64>,
+    /// `ids[pos]` = original dataset index of tree-order position `pos`.
+    ids: Vec<u32>,
+    metric: Metric,
+    bucket_size: usize,
+}
+
+impl BkdTree {
+    /// Build over every point with the Euclidean metric and the default
+    /// bucket size.
+    pub fn build(dataset: Arc<Dataset>) -> Self {
+        Self::build_with(dataset, Metric::Euclidean, DEFAULT_BUCKET_SIZE)
+    }
+
+    /// Build with an explicit metric.
+    pub fn build_with_metric(dataset: Arc<Dataset>, metric: Metric) -> Self {
+        Self::build_with(dataset, metric, DEFAULT_BUCKET_SIZE)
+    }
+
+    /// Build with full control over metric and leaf capacity.
+    pub fn build_with(dataset: Arc<Dataset>, metric: Metric, bucket_size: usize) -> Self {
+        let bucket_size = bucket_size.max(1);
+        let n = dataset.len();
+        let d = dataset.dim();
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let nodes = if n == 0 {
+            Vec::new()
+        } else {
+            build_rec(&dataset, &mut ids, 0, bucket_size, PAR_DEPTH)
+        };
+        // materialize the permuted coordinate blocks the leaves scan
+        let mut coords = Vec::with_capacity(n * d);
+        for &id in &ids {
+            coords.extend_from_slice(dataset.row(id as usize));
+        }
+        BkdTree { dataset, nodes, coords, ids, metric, bucket_size }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Leaf capacity this tree was built with.
+    pub fn bucket_size(&self) -> usize {
+        self.bucket_size
+    }
+
+    /// The build permutation: `tree_order()[pos]` is the original id of
+    /// the point stored at tree-order position `pos`.
+    pub fn tree_order(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Maximum node depth (root = 1); 0 for an empty tree. Iterative —
+    /// safe for any tree shape.
+    pub fn depth(&self) -> usize {
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        let mut deepest = 0usize;
+        let mut stack: Vec<(u32, usize)> = vec![(0, 1)];
+        while let Some((at, d)) = stack.pop() {
+            deepest = deepest.max(d);
+            let node = self.nodes[at as usize];
+            if !node.is_leaf() {
+                stack.push((at + 1, d + 1));
+                stack.push((node.a, d + 1));
+            }
+        }
+        deepest
+    }
+
+    /// Logical size in bytes of the serialized tree (what broadcasting
+    /// it would ship in a real cluster): nodes + permuted coordinates +
+    /// the id permutation.
+    pub fn size_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<BNode>()
+            + self.coords.len() * std::mem::size_of::<f64>()
+            + self.ids.len() * std::mem::size_of::<u32>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Exact eps-range query through caller-provided scratch. `out` is
+    /// appended to, not cleared (buffer-reuse contract of
+    /// [`SpatialIndex::range_into`]).
+    pub fn range_into_scratch(
+        &self,
+        query: &[f64],
+        eps: f64,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<PointId>,
+    ) {
+        self.range_pruned_scratch(query, eps, PruneConfig::EXACT, scratch, out);
+    }
+
+    /// Pruned ("pruning branches") range query through caller-provided
+    /// scratch; the result is a subset of the exact result. Returns the
+    /// number of tree nodes visited.
+    pub fn range_pruned_scratch(
+        &self,
+        query: &[f64],
+        eps: f64,
+        cfg: PruneConfig,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<PointId>,
+    ) -> usize {
+        debug_assert_eq!(query.len(), self.dataset.dim());
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        let d = self.dataset.dim().max(1);
+        let thr = self.metric.threshold(eps);
+        let metric = self.metric;
+        let mut visited = 0usize;
+        let mut reported = 0usize;
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(0);
+        'walk: while let Some(at) = stack.pop() {
+            if let Some(maxv) = cfg.max_visited {
+                if visited >= maxv {
+                    break;
+                }
+            }
+            visited += 1;
+            let node = self.nodes[at as usize];
+            if node.is_leaf() {
+                let (start, end) = (node.a as usize, node.b as usize);
+                let block = &self.coords[start * d..end * d];
+                for (i, row) in block.chunks_exact(d).enumerate() {
+                    if metric.reduced_distance(query, row) <= thr {
+                        out.push(PointId(self.ids[start + i]));
+                        reported += 1;
+                        if let Some(maxn) = cfg.max_neighbors {
+                            if reported >= maxn {
+                                break 'walk;
+                            }
+                        }
+                    }
+                }
+            } else {
+                let delta = query[node.axis as usize] - node.split;
+                let (near, far) = if delta <= 0.0 { (at + 1, node.a) } else { (node.a, at + 1) };
+                // push far first so the near side is explored first —
+                // matters once budgets cut the walk short
+                if metric.axis_bound(delta) <= thr {
+                    stack.push(far);
+                }
+                stack.push(near);
+            }
+        }
+        visited
+    }
+
+    /// [`crate::KdTree::range_pruned`]-compatible entry point using the
+    /// per-thread fallback scratch.
+    pub fn range_pruned(
+        &self,
+        query: &[f64],
+        eps: f64,
+        cfg: PruneConfig,
+        out: &mut Vec<PointId>,
+    ) -> usize {
+        TLS_SCRATCH.with(|s| self.range_pruned_scratch(query, eps, cfg, &mut s.borrow_mut(), out))
+    }
+
+    /// Does `query` have at least `k` neighbours within `eps`? Stops the
+    /// traversal as soon as the `k`-th match is found, so deciding
+    /// core-point status for dense neighbourhoods touches a fraction of
+    /// the tree an exact count would.
+    pub fn count_at_least(
+        &self,
+        query: &[f64],
+        eps: f64,
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> bool {
+        debug_assert_eq!(query.len(), self.dataset.dim());
+        if k == 0 {
+            return true;
+        }
+        if self.nodes.is_empty() {
+            return false;
+        }
+        let d = self.dataset.dim().max(1);
+        let thr = self.metric.threshold(eps);
+        let metric = self.metric;
+        let mut count = 0usize;
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(0);
+        while let Some(at) = stack.pop() {
+            let node = self.nodes[at as usize];
+            if node.is_leaf() {
+                let (start, end) = (node.a as usize, node.b as usize);
+                let block = &self.coords[start * d..end * d];
+                for row in block.chunks_exact(d) {
+                    if metric.reduced_distance(query, row) <= thr {
+                        count += 1;
+                        if count >= k {
+                            return true;
+                        }
+                    }
+                }
+            } else {
+                let delta = query[node.axis as usize] - node.split;
+                let (near, far) = if delta <= 0.0 { (at + 1, node.a) } else { (node.a, at + 1) };
+                if metric.axis_bound(delta) <= thr {
+                    stack.push(far);
+                }
+                stack.push(near);
+            }
+        }
+        false
+    }
+
+    /// Nearest neighbour of `query` (ties broken arbitrarily); `None`
+    /// for an empty tree. Returns `(id, distance)`. Iterative, through
+    /// caller-provided scratch.
+    pub fn nearest_scratch(
+        &self,
+        query: &[f64],
+        scratch: &mut QueryScratch,
+    ) -> Option<(PointId, f64)> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let d = self.dataset.dim().max(1);
+        let metric = self.metric;
+        let mut best = (PointId(0), f64::INFINITY);
+        let stack = &mut scratch.bounded;
+        stack.clear();
+        stack.push((0.0, 0));
+        while let Some((bound, at)) = stack.pop() {
+            if bound > best.1 {
+                continue; // the whole subtree is provably farther
+            }
+            let node = self.nodes[at as usize];
+            if node.is_leaf() {
+                let (start, end) = (node.a as usize, node.b as usize);
+                let block = &self.coords[start * d..end * d];
+                for (i, row) in block.chunks_exact(d).enumerate() {
+                    let dist = metric.reduced_distance(query, row);
+                    if dist < best.1 {
+                        best = (PointId(self.ids[start + i]), dist);
+                    }
+                }
+            } else {
+                let delta = query[node.axis as usize] - node.split;
+                let (near, far) = if delta <= 0.0 { (at + 1, node.a) } else { (node.a, at + 1) };
+                stack.push((metric.axis_bound(delta), far));
+                stack.push((bound, near));
+            }
+        }
+        best.1 = match self.metric {
+            Metric::Euclidean => best.1.sqrt(),
+            _ => best.1,
+        };
+        Some(best)
+    }
+
+    /// Nearest neighbour using the per-thread fallback scratch.
+    pub fn nearest(&self, query: &[f64]) -> Option<(PointId, f64)> {
+        TLS_SCRATCH.with(|s| self.nearest_scratch(query, &mut s.borrow_mut()))
+    }
+}
+
+impl SpatialIndex for BkdTree {
+    fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn range_into(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
+        TLS_SCRATCH.with(|s| self.range_into_scratch(query, eps, &mut s.borrow_mut(), out));
+    }
+
+    fn count_within(&self, query: &[f64], eps: f64) -> usize {
+        // counting traversal: no neighbour list materialized
+        debug_assert_eq!(query.len(), self.dataset.dim());
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        let d = self.dataset.dim().max(1);
+        let thr = self.metric.threshold(eps);
+        let metric = self.metric;
+        let mut count = 0usize;
+        TLS_SCRATCH.with(|s| {
+            let stack = &mut s.borrow_mut().stack;
+            stack.clear();
+            stack.push(0);
+            while let Some(at) = stack.pop() {
+                let node = self.nodes[at as usize];
+                if node.is_leaf() {
+                    let (start, end) = (node.a as usize, node.b as usize);
+                    let block = &self.coords[start * d..end * d];
+                    count += block
+                        .chunks_exact(d)
+                        .filter(|row| metric.reduced_distance(query, row) <= thr)
+                        .count();
+                } else {
+                    let delta = query[node.axis as usize] - node.split;
+                    let (near, far) =
+                        if delta <= 0.0 { (at + 1, node.a) } else { (node.a, at + 1) };
+                    if metric.axis_bound(delta) <= thr {
+                        stack.push(far);
+                    }
+                    stack.push(near);
+                }
+            }
+        });
+        count
+    }
+
+    fn name(&self) -> &'static str {
+        "bucketed kd-tree"
+    }
+}
+
+/// Build the subtree over `ids` (a sub-slice of the global permutation,
+/// starting at tree-order position `off`). Returns nodes with indices
+/// relative to the returned vec; leaf point ranges are absolute.
+fn build_rec(ds: &Dataset, ids: &mut [u32], off: usize, bucket: usize, par: usize) -> Vec<BNode> {
+    let len = ids.len();
+    if len <= bucket {
+        return vec![BNode { axis: LEAF, a: off as u32, b: (off + len) as u32, split: 0.0 }];
+    }
+    let axis = widest_axis(ds, ids);
+    let mid = len / 2;
+    ids.select_nth_unstable_by(mid, |&p, &q| {
+        let vp = ds.row(p as usize)[axis];
+        let vq = ds.row(q as usize)[axis];
+        vp.partial_cmp(&vq).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let split = ds.row(ids[mid] as usize)[axis];
+    // left gets [0, mid) with values <= split, right gets [mid, len)
+    // with values >= split; both strictly shrink, so the build
+    // terminates even when every coordinate is identical
+    let (lo, hi) = ids.split_at_mut(mid);
+    let (left, mut right) = if par > 0 && len >= PAR_CUTOFF {
+        std::thread::scope(|s| {
+            let lh = s.spawn(|| build_rec(ds, lo, off, bucket, par - 1));
+            let r = build_rec(ds, hi, off + mid, bucket, par - 1);
+            (lh.join().expect("subtree builder"), r)
+        })
+    } else {
+        (build_rec(ds, lo, off, bucket, par), build_rec(ds, hi, off + mid, bucket, par))
+    };
+
+    let mut nodes = Vec::with_capacity(1 + left.len() + right.len());
+    let right_at = 1 + left.len() as u32;
+    nodes.push(BNode { axis: axis as u32, a: right_at, b: 0, split });
+    // splice the children, shifting their internal child links (leaf
+    // ranges are already absolute)
+    nodes.extend(left.into_iter().map(|mut n| {
+        if !n.is_leaf() {
+            n.a += 1;
+        }
+        n
+    }));
+    for n in &mut right {
+        if !n.is_leaf() {
+            n.a += right_at;
+        }
+    }
+    nodes.extend(right);
+    nodes
+}
+
+/// Axis with the widest coordinate spread over `ids`.
+fn widest_axis(ds: &Dataset, ids: &[u32]) -> usize {
+    let d = ds.dim();
+    let mut lo = vec![f64::INFINITY; d];
+    let mut hi = vec![f64::NEG_INFINITY; d];
+    for &id in ids {
+        for (axis, &v) in ds.row(id as usize).iter().enumerate() {
+            lo[axis] = lo[axis].min(v);
+            hi[axis] = hi[axis].max(v);
+        }
+    }
+    let mut best = 0;
+    let mut best_spread = f64::NEG_INFINITY;
+    for axis in 0..d {
+        let spread = hi[axis] - lo[axis];
+        if spread > best_spread {
+            best_spread = spread;
+            best = axis;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::BruteForceIndex;
+
+    fn grid_dataset() -> Arc<Dataset> {
+        let rows = (0..5).flat_map(|x| (0..5).map(move |y| vec![x as f64, y as f64])).collect();
+        Arc::new(Dataset::from_rows(rows))
+    }
+
+    fn sorted(mut v: Vec<PointId>) -> Vec<PointId> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree_queries_safely() {
+        let t = BkdTree::build(Arc::new(Dataset::empty(2)));
+        let mut s = QueryScratch::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.range(&[0.0, 0.0], 1.0).is_empty());
+        assert!(t.nearest_scratch(&[0.0, 0.0], &mut s).is_none());
+        assert_eq!(t.depth(), 0);
+        assert!(!t.count_at_least(&[0.0, 0.0], 1.0, 1, &mut s));
+        assert!(t.count_at_least(&[0.0, 0.0], 1.0, 0, &mut s), "k=0 is vacuously true");
+    }
+
+    #[test]
+    fn single_point() {
+        let t = BkdTree::build(Arc::new(Dataset::from_rows(vec![vec![1.0, 1.0]])));
+        assert_eq!(t.range(&[1.0, 1.0], 0.0), vec![PointId(0)]);
+        assert!(t.range(&[2.0, 1.0], 0.5).is_empty());
+        assert_eq!(t.nearest(&[5.0, 5.0]).unwrap().0, PointId(0));
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn matches_brute_force_on_grid_all_bucket_sizes() {
+        let ds = grid_dataset();
+        let bf = BruteForceIndex::new(ds.clone());
+        for bucket in [1, 2, 4, 8, 32] {
+            let t = BkdTree::build_with(ds.clone(), Metric::Euclidean, bucket);
+            for eps in [0.0, 0.5, 1.0, 1.5, 2.5, 10.0] {
+                for (id, _) in ds.iter() {
+                    let q = ds.point(id).to_vec();
+                    assert_eq!(
+                        sorted(t.range(&q, eps)),
+                        sorted(bf.range(&q, eps)),
+                        "bucket={bucket} eps={eps} q={q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_consistent() {
+        let ds = grid_dataset();
+        let t = BkdTree::build(ds.clone());
+        // tree_order is a permutation of 0..n
+        let mut perm = t.tree_order().to_vec();
+        perm.sort_unstable();
+        assert_eq!(perm, (0..ds.len() as u32).collect::<Vec<_>>());
+        // the permuted coordinate blocks match the original rows
+        let d = ds.dim();
+        for (pos, &id) in t.tree_order().iter().enumerate() {
+            assert_eq!(&t.coords[pos * d..(pos + 1) * d], ds.row(id as usize));
+        }
+    }
+
+    #[test]
+    fn duplicate_points_all_reported() {
+        let ds = Arc::new(Dataset::from_rows(vec![vec![3.0]; 70]));
+        let t = BkdTree::build_with(ds, Metric::Euclidean, 4);
+        assert_eq!(t.range(&[3.0], 0.0).len(), 70);
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let rows = (0..4096).map(|i| vec![i as f64]).collect();
+        let t = BkdTree::build(Arc::new(Dataset::from_rows(rows)));
+        // 4096 points / 16-point buckets = 256 leaves -> depth 9
+        assert!(t.depth() <= 10, "depth {} too large", t.depth());
+    }
+
+    #[test]
+    fn pruned_is_subset_of_exact() {
+        let ds = grid_dataset();
+        let t = BkdTree::build_with(ds.clone(), Metric::Euclidean, 4);
+        let exact = sorted(t.range(&[2.0, 2.0], 2.0));
+        let mut s = QueryScratch::new();
+        let mut pruned = Vec::new();
+        t.range_pruned_scratch(
+            &[2.0, 2.0],
+            2.0,
+            PruneConfig::cap_neighbors(3),
+            &mut s,
+            &mut pruned,
+        );
+        assert_eq!(pruned.len(), 3);
+        for p in &pruned {
+            assert!(exact.contains(p));
+        }
+    }
+
+    #[test]
+    fn visit_budget_limits_traversal() {
+        let ds = grid_dataset();
+        let t = BkdTree::build_with(ds, Metric::Euclidean, 2);
+        let mut s = QueryScratch::new();
+        let mut out = Vec::new();
+        let cfg = PruneConfig { max_neighbors: None, max_visited: Some(3) };
+        let visited = t.range_pruned_scratch(&[2.0, 2.0], 100.0, cfg, &mut s, &mut out);
+        assert!(visited <= 3);
+    }
+
+    #[test]
+    fn count_at_least_matches_range_threshold() {
+        let ds = grid_dataset();
+        let t = BkdTree::build_with(ds.clone(), Metric::Euclidean, 4);
+        let mut s = QueryScratch::new();
+        for eps in [0.5, 1.0, 1.5, 3.0] {
+            for (id, _) in ds.iter() {
+                let q = ds.point(id).to_vec();
+                let n = t.range(&q, eps).len();
+                for k in 0..n + 2 {
+                    assert_eq!(
+                        t.count_at_least(&q, eps, k, &mut s),
+                        n >= k,
+                        "eps={eps} k={k} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_finds_closest_grid_point() {
+        let ds = grid_dataset();
+        let t = BkdTree::build(ds.clone());
+        let (id, d) = t.nearest(&[3.2, 1.9]).unwrap();
+        assert_eq!(ds.point(id), &[3.0, 2.0]);
+        assert!((d - (0.2f64 * 0.2 + 0.1 * 0.1).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_scan() {
+        let rows: Vec<Vec<f64>> =
+            (0..300).map(|i| vec![(i as f64 * 7.3) % 31.0, (i as f64 * 3.7) % 17.0]).collect();
+        let ds = Arc::new(Dataset::from_rows(rows));
+        let t = BkdTree::build_with(ds.clone(), Metric::Euclidean, 8);
+        let mut s = QueryScratch::new();
+        for q in [[0.0, 0.0], [15.5, 8.2], [31.0, 17.0], [-3.0, 40.0]] {
+            let (_, d) = t.nearest_scratch(&q, &mut s).unwrap();
+            let best = (0..ds.len())
+                .map(|i| crate::metric::euclidean(&q, ds.row(i)))
+                .fold(f64::INFINITY, f64::min);
+            assert!((d - best).abs() < 1e-9, "q={q:?}: got {d}, want {best}");
+        }
+    }
+
+    #[test]
+    fn manhattan_tree_matches_brute_force() {
+        let ds = grid_dataset();
+        let t = BkdTree::build_with(ds.clone(), Metric::Manhattan, 4);
+        let bf = BruteForceIndex::with_metric(ds.clone(), Metric::Manhattan);
+        for eps in [1.0, 2.0, 3.0] {
+            let q = [2.0, 2.0];
+            assert_eq!(sorted(t.range(&q, eps)), sorted(bf.range(&q, eps)));
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_layout_semantics() {
+        // above PAR_CUTOFF the build forks; results must be identical to
+        // querying brute force
+        let n = PAR_CUTOFF * 2 + 37;
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![(i as f64 * 37.0) % 997.0, (i as f64 * 61.0) % 499.0]).collect();
+        let ds = Arc::new(Dataset::from_rows(rows));
+        let t = BkdTree::build(ds.clone());
+        assert_eq!(t.len(), n);
+        let mut perm = t.tree_order().to_vec();
+        perm.sort_unstable();
+        assert_eq!(perm.len(), n);
+        assert!(perm.windows(2).all(|w| w[0] < w[1]), "permutation has duplicates");
+        let bf = BruteForceIndex::new(ds.clone());
+        let mut s = QueryScratch::new();
+        for id in (0..n).step_by(997) {
+            let q = ds.row(id).to_vec();
+            let mut got = Vec::new();
+            t.range_into_scratch(&q, 5.0, &mut s, &mut got);
+            assert_eq!(sorted(got), sorted(bf.range(&q, 5.0)), "id={id}");
+        }
+    }
+
+    #[test]
+    fn steady_state_queries_do_not_allocate() {
+        let rows: Vec<Vec<f64>> =
+            (0..2000).map(|i| vec![(i as f64 * 13.0) % 101.0, (i as f64 * 29.0) % 103.0]).collect();
+        let ds = Arc::new(Dataset::from_rows(rows));
+        let t = BkdTree::build(ds.clone());
+        let mut s = QueryScratch::new();
+        let mut out = Vec::new();
+        // warm-up: grow scratch and output buffers to their high-water marks
+        for id in 0..200 {
+            out.clear();
+            t.range_into_scratch(ds.row(id), 10.0, &mut s, &mut out);
+        }
+        let stack_cap = s.stack_capacity();
+        let out_cap = out.capacity();
+        assert!(stack_cap > 0);
+        // steady state: capacities must not move across many more queries
+        for id in 0..2000 {
+            out.clear();
+            t.range_into_scratch(ds.row(id), 10.0, &mut s, &mut out);
+            t.count_at_least(ds.row(id), 10.0, 5, &mut s);
+        }
+        assert_eq!(s.stack_capacity(), stack_cap, "traversal stack reallocated");
+        assert_eq!(out.capacity(), out_cap, "output buffer reallocated");
+    }
+
+    #[test]
+    fn spatial_index_trait_entry_points() {
+        let ds = grid_dataset();
+        let t = BkdTree::build(ds.clone());
+        let idx: &dyn SpatialIndex = &t;
+        assert_eq!(idx.name(), "bucketed kd-tree");
+        assert_eq!(idx.count_within(&[2.0, 2.0], 1.0), idx.range(&[2.0, 2.0], 1.0).len());
+        assert_eq!(idx.dataset().len(), 25);
+    }
+
+    #[test]
+    fn size_bytes_accounts_for_coords() {
+        let t = BkdTree::build(grid_dataset());
+        assert!(t.size_bytes() >= 25 * 2 * std::mem::size_of::<f64>());
+    }
+}

@@ -63,9 +63,7 @@ mod tests {
     use super::*;
 
     fn line_dataset() -> Arc<Dataset> {
-        Arc::new(Dataset::from_rows(
-            (0..10).map(|i| vec![i as f64]).collect(),
-        ))
+        Arc::new(Dataset::from_rows((0..10).map(|i| vec![i as f64]).collect()))
     }
 
     #[test]

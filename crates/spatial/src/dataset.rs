@@ -96,10 +96,7 @@ impl Dataset {
 
     /// Iterator over `(PointId, coords)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f64])> {
-        self.coords
-            .chunks_exact(self.dim)
-            .enumerate()
-            .map(|(i, c)| (PointId(i as u32), c))
+        self.coords.chunks_exact(self.dim).enumerate().map(|(i, c)| (PointId(i as u32), c))
     }
 
     /// All point ids, in index order.

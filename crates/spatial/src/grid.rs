@@ -100,9 +100,7 @@ mod tests {
     use crate::bruteforce::BruteForceIndex;
 
     fn cloud() -> Arc<Dataset> {
-        let rows = (0..30)
-            .map(|i| vec![(i % 6) as f64 * 0.7, (i / 6) as f64 * 1.3])
-            .collect();
+        let rows = (0..30).map(|i| vec![(i % 6) as f64 * 0.7, (i / 6) as f64 * 1.3]).collect();
         Arc::new(Dataset::from_rows(rows))
     }
 
@@ -128,19 +126,13 @@ mod tests {
         let ds = cloud();
         let g = GridIndex::build(ds.clone(), 0.5);
         let bf = BruteForceIndex::new(ds.clone());
-        assert_eq!(
-            sorted(g.range(&[1.0, 1.0], 3.0)),
-            sorted(bf.range(&[1.0, 1.0], 3.0))
-        );
+        assert_eq!(sorted(g.range(&[1.0, 1.0], 3.0)), sorted(bf.range(&[1.0, 1.0], 3.0)));
     }
 
     #[test]
     fn negative_coordinates_bucket_correctly() {
-        let ds = Arc::new(Dataset::from_rows(vec![
-            vec![-0.1, -0.1],
-            vec![0.1, 0.1],
-            vec![-5.0, -5.0],
-        ]));
+        let ds =
+            Arc::new(Dataset::from_rows(vec![vec![-0.1, -0.1], vec![0.1, 0.1], vec![-5.0, -5.0]]));
         let g = GridIndex::build(ds, 1.0);
         let r = g.range(&[0.0, 0.0], 0.5);
         assert_eq!(r.len(), 2);
@@ -148,11 +140,7 @@ mod tests {
 
     #[test]
     fn occupied_cells_counts_buckets() {
-        let ds = Arc::new(Dataset::from_rows(vec![
-            vec![0.1, 0.1],
-            vec![0.2, 0.2],
-            vec![5.0, 5.0],
-        ]));
+        let ds = Arc::new(Dataset::from_rows(vec![vec![0.1, 0.1], vec![0.2, 0.2], vec![5.0, 5.0]]));
         let g = GridIndex::build(ds, 1.0);
         assert_eq!(g.occupied_cells(), 2);
         assert_eq!(g.cell_size(), 1.0);

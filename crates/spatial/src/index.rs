@@ -48,11 +48,8 @@ mod tests {
 
     #[test]
     fn trait_default_methods_agree_with_range_into() {
-        let ds = Arc::new(Dataset::from_rows(vec![
-            vec![0.0, 0.0],
-            vec![0.5, 0.0],
-            vec![10.0, 0.0],
-        ]));
+        let ds =
+            Arc::new(Dataset::from_rows(vec![vec![0.0, 0.0], vec![0.5, 0.0], vec![10.0, 0.0]]));
         let idx = BruteForceIndex::new(ds);
         let r = idx.range(&[0.0, 0.0], 1.0);
         assert_eq!(r.len(), 2);

@@ -71,11 +71,7 @@ impl KdTree {
         let n = dataset.len();
         let mut ids: Vec<u32> = (0..n as u32).collect();
         let mut nodes = Vec::with_capacity(n);
-        let root = if n == 0 {
-            NIL
-        } else {
-            build_recursive(&dataset, &mut ids, 0, &mut nodes)
-        };
+        let root = if n == 0 { NIL } else { build_recursive(&dataset, &mut ids, 0, &mut nodes) };
         KdTree { dataset, nodes, root, metric }
     }
 
@@ -95,16 +91,25 @@ impl KdTree {
     }
 
     /// Maximum node depth (root = 1); 0 for an empty tree. A balanced
-    /// build keeps this at `O(log n)`.
+    /// build keeps this at `O(log n)`. Iterative, so even a degenerate
+    /// (path-shaped) tree cannot overflow the call stack.
     pub fn depth(&self) -> usize {
-        fn rec(nodes: &[Node], at: u32) -> usize {
-            if at == NIL {
-                return 0;
-            }
-            let n = nodes[at as usize];
-            1 + rec(nodes, n.left).max(rec(nodes, n.right))
+        if self.root == NIL {
+            return 0;
         }
-        rec(&self.nodes, self.root)
+        let mut deepest = 0usize;
+        let mut stack: Vec<(u32, usize)> = vec![(self.root, 1)];
+        while let Some((at, d)) = stack.pop() {
+            deepest = deepest.max(d);
+            let n = self.nodes[at as usize];
+            if n.left != NIL {
+                stack.push((n.left, d + 1));
+            }
+            if n.right != NIL {
+                stack.push((n.right, d + 1));
+            }
+        }
+        deepest
     }
 
     /// Logical size in bytes of the serialized tree (what broadcasting it
@@ -141,36 +146,43 @@ impl KdTree {
     }
 
     /// Nearest neighbour of `query` (ties broken arbitrarily); `None` for
-    /// an empty tree. Returns `(id, distance)`.
+    /// an empty tree. Returns `(id, distance)`. Iterative over an
+    /// explicit `(lower bound, node)` stack — the same shape as
+    /// [`crate::BkdTree::nearest_scratch`] — so deep trees cannot
+    /// overflow the call stack, and far subtrees pruned at *pop* time
+    /// benefit from the best-so-far found after they were pushed.
     pub fn nearest(&self, query: &[f64]) -> Option<(PointId, f64)> {
         if self.root == NIL {
             return None;
         }
         let mut best = (PointId(0), f64::INFINITY);
-        self.nearest_rec(self.root, query, &mut best);
+        let mut stack: Vec<(f64, u32)> = vec![(0.0, self.root)];
+        while let Some((bound, at)) = stack.pop() {
+            if bound >= best.1 {
+                continue; // the whole subtree is provably farther
+            }
+            let node = self.nodes[at as usize];
+            let row = self.dataset.row(node.id as usize);
+            let d = self.metric.reduced_distance(query, row);
+            if d < best.1 {
+                best = (PointId(node.id), d);
+            }
+            let axis = node.axis as usize;
+            let delta = query[axis] - row[axis];
+            let (near, far) =
+                if delta <= 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+            if far != NIL {
+                stack.push((self.metric.axis_bound(delta), far));
+            }
+            if near != NIL {
+                stack.push((bound, near));
+            }
+        }
         best.1 = match self.metric {
             Metric::Euclidean => best.1.sqrt(),
             _ => best.1,
         };
         Some(best)
-    }
-
-    fn nearest_rec(&self, at: u32, query: &[f64], best: &mut (PointId, f64)) {
-        let node = self.nodes[at as usize];
-        let row = self.dataset.row(node.id as usize);
-        let d = self.metric.reduced_distance(query, row);
-        if d < best.1 {
-            *best = (PointId(node.id), d);
-        }
-        let axis = node.axis as usize;
-        let delta = query[axis] - row[axis];
-        let (near, far) = if delta <= 0.0 { (node.left, node.right) } else { (node.right, node.left) };
-        if near != NIL {
-            self.nearest_rec(near, query, best);
-        }
-        if far != NIL && self.metric.axis_bound(delta) <= best.1 {
-            self.nearest_rec(far, query, best);
-        }
     }
 }
 
@@ -262,9 +274,7 @@ mod tests {
 
     fn grid_dataset() -> Arc<Dataset> {
         // 5x5 integer grid
-        let rows = (0..5)
-            .flat_map(|x| (0..5).map(move |y| vec![x as f64, y as f64]))
-            .collect();
+        let rows = (0..5).flat_map(|x| (0..5).map(move |y| vec![x as f64, y as f64])).collect();
         Arc::new(Dataset::from_rows(rows))
     }
 

@@ -7,8 +7,14 @@
 //! * [`Dataset`] — a dense, cache-friendly `n x d` point matrix with stable
 //!   global point indices (`u32`), the unit of work the whole pipeline
 //!   shares.
-//! * [`KdTree`] — an `O(n log n)`-construction kd-tree supporting exact
+//! * [`BkdTree`] — the **default index**: a leaf-bucketed kd-tree whose
+//!   points are permuted into tree order at build, so each leaf scans a
+//!   contiguous coordinate block linearly. Queries are iterative over a
+//!   reusable [`QueryScratch`] (zero allocation in steady state) and
+//!   include `count_at_least` early-exit counting.
+//! * [`KdTree`] — the classic node-per-point kd-tree supporting exact
 //!   eps range queries, counted queries, and nearest-neighbour search.
+//!   Kept as the A2 ablation arm the bucketed tree is measured against.
 //! * [`PruneConfig`] / pruned queries — the paper's "kd-tree with pruning
 //!   branches" used for the 1M-point runs: caps the number of reported
 //!   neighbours and prunes subtrees aggressively.
@@ -21,6 +27,7 @@
 //! is generic over the index choice.
 
 pub mod aabb;
+pub mod bkdtree;
 pub mod bruteforce;
 pub mod dataset;
 pub mod grid;
@@ -31,6 +38,7 @@ pub mod point;
 pub mod rtree;
 
 pub use aabb::Aabb;
+pub use bkdtree::{BkdTree, QueryScratch};
 pub use bruteforce::BruteForceIndex;
 pub use dataset::Dataset;
 pub use grid::GridIndex;

@@ -71,11 +71,7 @@ impl RTree {
         let n = dataset.len();
         let mut ids: Vec<u32> = (0..n as u32).collect();
         let mut nodes = Vec::new();
-        let root = if n == 0 {
-            None
-        } else {
-            Some(build(&dataset, &mut ids, 0, n, &mut nodes))
-        };
+        let root = if n == 0 { None } else { Some(build(&dataset, &mut ids, 0, n, &mut nodes)) };
         RTree { dataset, ids, nodes, root, metric }
     }
 
@@ -201,9 +197,7 @@ mod tests {
     use crate::bruteforce::BruteForceIndex;
 
     fn grid() -> Arc<Dataset> {
-        let rows = (0..9)
-            .flat_map(|x| (0..9).map(move |y| vec![x as f64, y as f64]))
-            .collect();
+        let rows = (0..9).flat_map(|x| (0..9).map(move |y| vec![x as f64, y as f64])).collect();
         Arc::new(Dataset::from_rows(rows))
     }
 

@@ -75,14 +75,8 @@ fn main() {
         .expect("parse despite dead datanode");
     let data2 = Arc::new(Dataset::from_rows(rows));
     let chaos = SparkDbscan::new(params).run(&chaos_ctx, Arc::clone(&data2));
-    let retried = chaos_ctx
-        .job_metrics()
-        .iter()
-        .map(|j| j.failed_attempts())
-        .sum::<usize>();
-    println!(
-        "chaos run: datanode 0 dead, {retried} task attempts failed and were retried"
-    );
+    let retried = chaos_ctx.job_metrics().iter().map(|j| j.failed_attempts()).sum::<usize>();
+    println!("chaos run: datanode 0 dead, {retried} task attempts failed and were retried");
     assert_eq!(
         chaos.clustering.canonicalize().labels,
         clean.clustering.canonicalize().labels,

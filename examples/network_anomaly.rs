@@ -47,7 +47,10 @@ fn main() {
     let injected = true_pos + false_neg;
     println!();
     println!("injected anomalies:    {injected}");
-    println!("detected (recall):     {true_pos} ({:.1}%)", 100.0 * true_pos as f64 / injected as f64);
+    println!(
+        "detected (recall):     {true_pos} ({:.1}%)",
+        100.0 * true_pos as f64 / injected as f64
+    );
     println!("missed:                {false_neg}");
     println!("false alarms:          {false_pos}");
 

@@ -71,9 +71,8 @@ fn main() {
 
     // a new dense blob streams in, one point at a time
     for i in 0..60 {
-        let row: Vec<f64> = (0..data.dim())
-            .map(|k| 2_000.0 + (i % 8) as f64 * 2.0 + k as f64)
-            .collect();
+        let row: Vec<f64> =
+            (0..data.dim()).map(|k| 2_000.0 + (i % 8) as f64 * 2.0 + k as f64).collect();
         live.insert(&row);
     }
     let after = live.clustering();

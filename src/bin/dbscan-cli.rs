@@ -142,8 +142,9 @@ fn main() {
         (None, Some(ds)) => {
             let spec = ds.scaled_spec(o.scale_factor);
             let (data, _) = spec.generate();
-            let params = DbscanParams::new(o.eps.unwrap_or(spec.eps), o.min_pts.unwrap_or(spec.min_pts))
-                .expect("catalog params are valid");
+            let params =
+                DbscanParams::new(o.eps.unwrap_or(spec.eps), o.min_pts.unwrap_or(spec.min_pts))
+                    .expect("catalog params are valid");
             (Arc::new(data), params)
         }
         _ => usage(),

@@ -39,10 +39,7 @@ fn hdfs_to_rdd_to_clustering_matches_direct_path() {
     // cluster both paths and compare
     let via_dfs = SparkDbscan::new(params).run(&ctx, roundtripped);
     let direct = SparkDbscan::new(params).run(&ctx, Arc::clone(&data));
-    assert_eq!(
-        via_dfs.clustering.canonicalize().labels,
-        direct.clustering.canonicalize().labels
-    );
+    assert_eq!(via_dfs.clustering.canonicalize().labels, direct.clustering.canonicalize().labels);
 }
 
 #[test]
@@ -60,9 +57,8 @@ fn all_four_implementations_agree() {
     let mr = MrDbscan::new(params, 4).run(Arc::clone(&data), 2).unwrap();
     assert!(core_labels_equivalent(&mr.clustering, &seq), "mapreduce vs sequential");
 
-    let shuffle = scalable_dbscan::dbscan::ShuffleDbscan::new(params)
-        .run(&ctx, Arc::clone(&data))
-        .unwrap();
+    let shuffle =
+        scalable_dbscan::dbscan::ShuffleDbscan::new(params).run(&ctx, Arc::clone(&data)).unwrap();
     assert!(core_labels_equivalent(&shuffle.clustering, &seq), "shuffle strawman vs sequential");
 }
 
@@ -74,8 +70,7 @@ fn seed_dbscan_moves_zero_shuffle_data_strawman_does_not() {
     assert_eq!(spark.shuffle_records, 0);
 
     let ctx2 = Context::new(ClusterConfig::local(4));
-    let strawman =
-        scalable_dbscan::dbscan::ShuffleDbscan::new(params).run(&ctx2, data).unwrap();
+    let strawman = scalable_dbscan::dbscan::ShuffleDbscan::new(params).run(&ctx2, data).unwrap();
     assert!(strawman.shuffle_records > 0);
     assert!(strawman.shuffle_bytes > 0);
 }
@@ -127,8 +122,7 @@ fn paper_mode_quality_on_realistic_catalog_data() {
             // only ~4 clusters, so the floor is charitable; the exact
             // mode (tested elsewhere) has ARI == 1.0 by construction
             assert!(ari > 0.80, "{}: ARI {ari} at p={p}", spec.name);
-            let exact =
-                SparkDbscan::new(params).partitions(p).exact().run(&ctx, Arc::clone(&data));
+            let exact = SparkDbscan::new(params).partitions(p).exact().run(&ctx, Arc::clone(&data));
             assert!(
                 core_labels_equivalent(&exact.clustering, &seq),
                 "{} exact mode at p={p}",

@@ -46,10 +46,7 @@ fn executor_loss_between_jobs_is_recovered_from_lineage() {
     // lose an executor (drops its cached partitions + shuffle outputs)
     ctx.kill_executor(1);
     let second = SparkDbscan::new(params).run(&ctx, Arc::clone(&data));
-    assert_eq!(
-        first.clustering.canonicalize().labels,
-        second.clustering.canonicalize().labels
-    );
+    assert_eq!(first.clustering.canonicalize().labels, second.clustering.canonicalize().labels);
 }
 
 #[test]
@@ -81,13 +78,9 @@ fn mapreduce_retries_map_and_reduce_tasks() {
     let splits: Vec<Vec<u32>> = (0..4).map(|s| (s * 25..(s + 1) * 25).collect()).collect();
     let clean_job =
         MapReduceJob::new(Double, Count, JobConfig::with_slots(2)).run(splits.clone()).unwrap();
-    let faulty_job = MapReduceJob::new(
-        Double,
-        Count,
-        JobConfig::with_slots(2).with_faults(1.0, 1),
-    )
-    .run(splits)
-    .unwrap();
+    let faulty_job = MapReduceJob::new(Double, Count, JobConfig::with_slots(2).with_faults(1.0, 1))
+        .run(splits)
+        .unwrap();
     let sort = |mut v: Vec<(u32, usize)>| {
         v.sort_unstable();
         v
@@ -98,10 +91,7 @@ fn mapreduce_retries_map_and_reduce_tasks() {
 
     // and the DBSCAN-level MR result is stable run to run
     let again = MrDbscan::new(params, 3).run(Arc::clone(&data), 2).unwrap();
-    assert_eq!(
-        clean.clustering.canonicalize().labels,
-        again.clustering.canonicalize().labels
-    );
+    assert_eq!(clean.clustering.canonicalize().labels, again.clustering.canonicalize().labels);
 }
 
 #[test]

@@ -1,0 +1,184 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-definition API the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `sample_size`, `Bencher::iter`,
+//! `BenchmarkId`) with a simple wall-clock measurement loop: per sample,
+//! the closure runs once; the harness reports min/mean/max over the
+//! group's sample count to stdout. No statistics engine, no HTML
+//! reports — enough to compare implementations and to keep
+//! `cargo bench` working offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    results: Option<Stats>,
+}
+
+/// Min/mean/max of the measured samples.
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, one invocation per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, untimed
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        self.results = Some(Stats { min, mean: total / self.samples as u32, max });
+    }
+}
+
+/// The top-level benchmark harness.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup { _parent: self, name: name.into(), samples }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let samples = self.default_samples;
+        run_one("", &id.into(), samples, f);
+    }
+
+    /// Criterion 0.7 API shim: final summary output (no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        run_one(&self.name, &id.into(), self.samples, f);
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&self.name, &id.into(), self.samples, |b| f(b, input));
+    }
+
+    /// Close the group (printing happens per-benchmark; no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &BenchmarkId, samples: usize, mut f: F) {
+    let mut b = Bencher { samples, results: None };
+    f(&mut b);
+    let label = if group.is_empty() { id.0.clone() } else { format!("{group}/{}", id.0) };
+    match b.results {
+        Some(s) => println!(
+            "bench {label:<55} mean {:>12?}  (min {:?}, max {:?}, {} samples)",
+            s.mean, s.min, s.max, samples
+        ),
+        None => println!("bench {label:<55} (no measurement taken)"),
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| b.iter(|| n * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,420 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the Value-based `serde` shim, parsing the item's token stream by hand
+//! (the real `syn`/`quote` stack is unavailable offline). Supports what
+//! the workspace actually derives on: non-generic named structs, tuple
+//! structs, unit structs, and enums with unit or tuple variants.
+//! Representations match serde's JSON defaults (objects / transparent
+//! newtypes / arrays / externally tagged variants).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<(String, usize)> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive stub generated invalid code: {e}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+// ------------------------------------------------------------------
+// parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // skip attributes and visibility before `struct` / `enum`
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break;
+            }
+            Some(_) => i += 1,
+            None => return Err("expected `struct` or `enum`".to_string()),
+        }
+    }
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => unreachable!(),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".to_string()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("serde_derive stub cannot handle generic type `{name}`"));
+        }
+    }
+    if keyword == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum { name, variants: parse_variants(g.stream())? })
+            }
+            _ => Err(format!("expected enum body for `{name}`")),
+        }
+    }
+}
+
+/// Field names of a named struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // skip attributes
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // skip visibility
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        // skip the type: consume until a comma at angle-bracket depth 0
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct or tuple-variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    let mut saw_tokens_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                saw_tokens_since_comma = false;
+                fields += 1;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        fields -= 1; // trailing comma
+    }
+    fields
+}
+
+/// `(variant_name, arity)` pairs of an enum body (arity 0 = unit).
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_tuple_fields(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    return Err(format!("serde_derive stub cannot handle struct variant `{name}`"));
+                }
+                _ => {}
+            }
+        }
+        variants.push((name, arity));
+        // skip any discriminant, stop after the separating comma
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------------
+// code generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                       ::std::vec::Vec::new();\n\
+                     {pushes}\
+                     ::serde::Value::Object(fields)\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } if *arity == 1 => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Serialize::to_value(&self.0)\n\
+               }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Array(::std::vec![{}])\n\
+                   }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, arity) in variants {
+                match arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\
+                         ::std::string::String::from({vname:?})),\n"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{vname}(a0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from({vname:?}), \
+                         ::serde::Serialize::to_value(a0))]),\n"
+                    )),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("a{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name} {{ {} }})\n\
+                   }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } if *arity == 1 => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+               }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(v.index({i})?)?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}({}))\n\
+                   }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(_v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name})\n\
+               }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (vname, arity) in variants {
+                match arity {
+                    0 => unit_arms.push_str(&format!(
+                        "{vname:?} => return ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    1 => data_arms.push_str(&format!(
+                        "{vname:?} => return ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    n => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_value(inner.index({i})?)?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => return ::std::result::Result::Ok({name}::{vname}({})),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::Error> {{\n\
+                     if let ::serde::Value::String(s) = v {{\n\
+                       match s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                     }}\n\
+                     if let ::serde::Value::Object(fields) = v {{\n\
+                       if fields.len() == 1 {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{ {data_arms} _ => {{}} }}\n\
+                       }}\n\
+                     }}\n\
+                     ::std::result::Result::Err(::serde::Error::new(\
+                       ::std::format!(\"invalid {name} variant: {{:?}}\", v)))\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
