@@ -5,13 +5,19 @@
 //! small-cluster filter), (c) c100k 4–32 cores, (d) r100k 4–32 cores.
 //!
 //! Usage:
-//!   cargo run --release -p dbscan-bench --bin fig6 -- [--dataset r10k|r1m|c100k|r100k] [--scale ...]
+//!   cargo run --release -p dbscan-bench --bin fig6 -- [--dataset r10k|r1m|c100k|r100k] [--scale ...] [--trace]
 //!
-//! Without `--dataset`, all four panels run.
+//! Without `--dataset`, all four panels run. With `--trace`, an
+//! additional fully traced r10k run dumps a Chrome trace
+//! (`results/fig6_trace.json`, loadable in `chrome://tracing` or
+//! `ui.perfetto.dev`) plus an ASCII per-stage timeline to stdout.
 
 use dbscan_bench::{fig6_series, fmt_duration, markdown_table, write_json, RunOptions, Scale};
+use dbscan_core::{DbscanParams, SparkDbscan};
 use dbscan_datagen::StandardDataset;
+use sparklet::{ClusterConfig, Context};
 use std::path::Path;
+use std::sync::Arc;
 
 fn panel(ds: StandardDataset) -> (&'static [usize], RunOptions) {
     match ds {
@@ -44,6 +50,27 @@ fn run_panel(ds: StandardDataset, scale: Scale) {
     let _ = write_json(Path::new("results"), &format!("fig6_{}", spec.name), &series);
 }
 
+/// One traced r10k run: the same workload as panel (a), but through a
+/// tracing-enabled local context so every stage/task/broadcast event
+/// lands in the Chrome export.
+fn dump_trace(scale: Scale) {
+    let spec = scale.spec(StandardDataset::R10k);
+    let (data, _) = spec.generate();
+    let data = Arc::new(data);
+    let params = DbscanParams::new(spec.eps, spec.min_pts).expect("Table I params");
+    let ctx = Context::new(ClusterConfig::local(4).with_tracing());
+    let r = SparkDbscan::new(params).partitions(4).run(&ctx, data);
+    let trace = ctx.trace();
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/fig6_trace.json", trace.chrome_json()).expect("write trace");
+    println!(
+        "## Traced r10k run ({} clusters)\n\nwrote results/fig6_trace.json — open it in \
+         chrome://tracing or ui.perfetto.dev\n",
+        r.clustering.num_clusters()
+    );
+    println!("{}", trace.ascii_timeline());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (scale, rest) = Scale::from_args(&args);
@@ -54,6 +81,12 @@ fn main() {
         .and_then(|n| StandardDataset::from_name(n));
 
     println!("# Figure 6: driver vs executor time distribution\n");
+    if rest.iter().any(|a| a == "--trace") {
+        // trace-only mode: dump the instrumented run and stop, so
+        // `fig6 -- --trace` stays fast enough for a quickstart
+        dump_trace(scale);
+        return;
+    }
     match chosen {
         Some(ds) => run_panel(ds, scale),
         None => {

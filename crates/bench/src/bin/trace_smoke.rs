@@ -1,0 +1,98 @@
+//! Trace smoke test — CI's end-to-end check of the tracing subsystem.
+//!
+//! Runs a traced workload that touches every event category the
+//! collector knows (job/stage/task, shuffle, broadcast, executor kill,
+//! DFS block reads, driver phases), exports the Chrome trace, validates
+//! it with [`sparklet::validate_chrome_trace`], and writes the JSON to
+//! `results/trace_smoke.json` (override the directory with the first
+//! CLI argument). Exits non-zero if the trace fails validation or any
+//! category is missing, so CI can gate on it.
+//!
+//! Usage:
+//!   cargo run --release -p dbscan-bench --bin trace_smoke -- [out_dir]
+
+use dbscan_core::{DbscanParams, SparkDbscan};
+use dbscan_datagen::StandardDataset;
+use minidfs::{DfsCluster, DfsConfig};
+use sparklet::{validate_chrome_trace, ClusterConfig, Context};
+use std::path::Path;
+use std::sync::Arc;
+
+const CATEGORIES: [&str; 8] =
+    ["job", "stage", "task", "shuffle", "broadcast", "executor", "dfs", "phase"];
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "results".to_string());
+
+    let spec = StandardDataset::R10k.spec();
+    let (data, _) = spec.generate();
+    let data = Arc::new(data);
+    let params = DbscanParams::new(spec.eps, spec.min_pts).expect("Table I params");
+
+    let ctx = Context::new(ClusterConfig::local(4).with_tracing());
+
+    // the paper's algorithm: job/stage/task/broadcast/phase events
+    let result = SparkDbscan::new(params).partitions(4).run(&ctx, Arc::clone(&data));
+    println!(
+        "r10k spark run: {} clusters, {} partial clusters",
+        result.clustering.num_clusters(),
+        result.num_partial_clusters
+    );
+
+    // a wide job: shuffle write/read events
+    let pairs: Vec<(u32, u64)> = (0..10_000u32).map(|i| (i % 64, 1)).collect();
+    let counted =
+        ctx.parallelize(pairs, 4).reduce_by_key(4, |a, b| a + b).collect().expect("shuffle job");
+    assert_eq!(counted.len(), 64);
+
+    // DFS-backed input: block-read events through the sink adapter
+    let dfs = Arc::new(
+        DfsCluster::new(DfsConfig { num_datanodes: 3, replication: 2, block_size: 1 << 12 })
+            .expect("dfs cluster"),
+    );
+    let text: String = (0..2_000).map(|i| format!("{i}\n")).collect();
+    dfs.write_file("/points.txt", text.as_bytes()).expect("dfs write");
+    let lines =
+        ctx.text_file(Arc::clone(&dfs), "/points.txt").expect("open").collect().expect("read");
+    assert_eq!(lines.len(), 2_000);
+
+    // fault surface: executor-kill event
+    let report = ctx.kill_executor(1);
+    println!("killed executor 1: {report:?}");
+
+    let trace = ctx.trace();
+    let json = trace.chrome_json();
+    let summary = match validate_chrome_trace(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace failed validation: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut missing = Vec::new();
+    for cat in CATEGORIES {
+        println!("  {:10} {:>6} events", cat, summary.count(cat));
+        if summary.count(cat) == 0 {
+            missing.push(cat);
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!("trace is missing categories: {missing:?}");
+        std::process::exit(1);
+    }
+    if trace.dropped() > 0 {
+        println!("note: ring buffer dropped {} events", trace.dropped());
+    }
+
+    let dir = Path::new(&out_dir);
+    std::fs::create_dir_all(dir).expect("create out dir");
+    let path = dir.join("trace_smoke.json");
+    std::fs::write(&path, &json).expect("write trace");
+    println!(
+        "wrote {} ({} events, max virtual ts {})",
+        path.display(),
+        summary.events,
+        summary.max_ts
+    );
+    println!("\n{}", trace.ascii_timeline());
+}

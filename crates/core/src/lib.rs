@@ -44,6 +44,7 @@ pub mod mr_iterative;
 pub mod params;
 pub mod partitioned;
 pub mod reorder;
+pub mod runner;
 pub mod sequential;
 pub mod shuffle_baseline;
 pub mod unionfind;
@@ -56,12 +57,13 @@ pub use label::{Clustering, Label};
 pub use model::{PartialCluster, PartitionRanges};
 pub use mr::{MrDbscan, MrDbscanResult};
 pub use mr_iterative::{MrDbscanIterative, MrIterativeResult, PointState};
-pub use params::DbscanParams;
+pub use params::{DbscanParams, ParamError};
 pub use partitioned::driver::{SparkDbscan, SparkDbscanResult, Timings};
 pub use partitioned::executor_side::{local_partial_clusters, ExecutorStats, LocalClustering};
 pub use partitioned::merge::{merge_partial_clusters, MergeOutcome, MergeStrategy};
 pub use partitioned::SeedPolicy;
 pub use reorder::{apply_permutation, zorder_permutation};
+pub use runner::{DbscanRunner, RunEnv, RunOutcome, RunTimings, RunnerError};
 pub use sequential::SequentialDbscan;
 pub use shuffle_baseline::{ShuffleDbscan, ShuffleDbscanResult};
 pub use unionfind::DisjointSet;

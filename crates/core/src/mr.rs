@@ -73,6 +73,10 @@ impl MrDbscan {
     }
 
     /// Run with `slots` concurrent map/reduce slots.
+    ///
+    /// Note: code comparing implementations should prefer the uniform
+    /// [`crate::runner::DbscanRunner`] facade; this inherent method
+    /// remains the way to get the full [`MrDbscanResult`].
     pub fn run(&self, data: Arc<Dataset>, slots: usize) -> MrResult<MrDbscanResult> {
         let total_start = Instant::now();
         let n = data.len();

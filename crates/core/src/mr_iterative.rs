@@ -90,6 +90,10 @@ impl MrDbscanIterative {
     }
 
     /// Run with `slots` concurrent map/reduce slots.
+    ///
+    /// Note: code comparing implementations should prefer the uniform
+    /// [`crate::runner::DbscanRunner`] facade; this inherent method
+    /// remains the way to get the full [`MrIterativeResult`].
     pub fn run(&self, data: Arc<Dataset>, slots: usize) -> MrResult<MrIterativeResult> {
         let total_start = Instant::now();
         let n = data.len();

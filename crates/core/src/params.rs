@@ -1,5 +1,36 @@
 //! DBSCAN parameters.
 
+/// Why a [`DbscanParams`] constructor rejected its inputs.
+///
+/// Marked `#[non_exhaustive]`: future constraints (e.g. dimensionality
+/// caps) may add variants without a breaking change, so downstream
+/// `match`es need a wildcard arm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ParamError {
+    /// `eps` was negative, NaN or infinite.
+    InvalidEps {
+        /// The rejected value.
+        eps: f64,
+    },
+    /// `min_pts` was zero (the threshold counts the point itself, so the
+    /// smallest meaningful value is 1).
+    ZeroMinPts,
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::InvalidEps { eps } => {
+                write!(f, "eps must be finite and non-negative, got {eps}")
+            }
+            ParamError::ZeroMinPts => write!(f, "min_pts must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
 /// The two DBSCAN parameters: neighborhood radius and density threshold.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DbscanParams {
@@ -14,13 +45,15 @@ impl DbscanParams {
     /// Validated constructor.
     ///
     /// # Errors
-    /// Rejects non-finite or negative `eps` and `min_pts == 0`.
-    pub fn new(eps: f64, min_pts: usize) -> Result<Self, String> {
+    /// Rejects non-finite or negative `eps`
+    /// ([`ParamError::InvalidEps`]) and `min_pts == 0`
+    /// ([`ParamError::ZeroMinPts`]).
+    pub fn new(eps: f64, min_pts: usize) -> Result<Self, ParamError> {
         if !eps.is_finite() || eps < 0.0 {
-            return Err(format!("eps must be finite and non-negative, got {eps}"));
+            return Err(ParamError::InvalidEps { eps });
         }
         if min_pts == 0 {
-            return Err("min_pts must be at least 1".to_string());
+            return Err(ParamError::ZeroMinPts);
         }
         Ok(DbscanParams { eps, min_pts })
     }
@@ -44,14 +77,25 @@ mod tests {
 
     #[test]
     fn rejects_bad_eps() {
-        assert!(DbscanParams::new(-1.0, 3).is_err());
-        assert!(DbscanParams::new(f64::NAN, 3).is_err());
-        assert!(DbscanParams::new(f64::INFINITY, 3).is_err());
+        assert!(matches!(
+            DbscanParams::new(-1.0, 3),
+            Err(ParamError::InvalidEps { eps }) if eps == -1.0
+        ));
+        assert!(matches!(DbscanParams::new(f64::NAN, 3), Err(ParamError::InvalidEps { .. })));
+        assert!(matches!(DbscanParams::new(f64::INFINITY, 3), Err(ParamError::InvalidEps { .. })));
     }
 
     #[test]
     fn rejects_zero_min_pts() {
-        assert!(DbscanParams::new(1.0, 0).is_err());
+        assert_eq!(DbscanParams::new(1.0, 0), Err(ParamError::ZeroMinPts));
+    }
+
+    #[test]
+    fn param_errors_display_and_implement_error() {
+        let e: Box<dyn std::error::Error> = Box::new(ParamError::ZeroMinPts);
+        assert!(e.to_string().contains("min_pts"));
+        let e = DbscanParams::new(f64::NAN, 3).unwrap_err();
+        assert!(e.to_string().contains("eps"), "{e}");
     }
 
     #[test]

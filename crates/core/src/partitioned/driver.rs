@@ -142,8 +142,17 @@ impl SparkDbscan {
     }
 
     /// Run the full pipeline on `ctx` over `data`.
+    ///
+    /// When the context has tracing enabled the driver phases appear in
+    /// the trace as `kdtree_build` / `merge` spans alongside the
+    /// engine's own stage/task events.
+    ///
+    /// Note: new code comparing implementations should prefer the
+    /// uniform [`crate::runner::DbscanRunner`] facade; this inherent
+    /// method remains the way to get the full [`SparkDbscanResult`].
     pub fn run(&self, ctx: &Context, data: Arc<Dataset>) -> SparkDbscanResult {
         let total_start = Instant::now();
+        let trace = ctx.trace();
 
         // optional future-work feature: spatially coherent partitions
         let (data, inverse, reorder) = if self.spatial_partitioning {
@@ -161,7 +170,9 @@ impl SparkDbscan {
 
         // ---- driver: build + broadcast the kd-tree ----
         let t = Instant::now();
+        trace.phase_start("kdtree_build");
         let tree = BkdTree::build(Arc::clone(&data));
+        trace.phase_end("kdtree_build");
         let kdtree_build = t.elapsed();
         let broadcast_size = data.size_bytes() + tree.size_bytes();
         let shared = ctx.broadcast_sized(
@@ -239,7 +250,9 @@ impl SparkDbscan {
         }
 
         let t = Instant::now();
+        trace.phase_start("merge");
         let outcome = merge_partial_clusters(n, &partials, self.merge_strategy, &core);
+        trace.phase_end("merge");
         let merge = t.elapsed();
 
         let mut clustering = outcome.clustering;

@@ -29,6 +29,9 @@ impl SequentialDbscan {
     /// Run over a dataset, building a bucketed kd-tree internally and
     /// querying it through one reusable [`QueryScratch`], so the whole
     /// expansion performs no per-query allocation.
+    ///
+    /// Note: code comparing implementations should prefer the uniform
+    /// [`crate::runner::DbscanRunner`] facade.
     pub fn run(&self, data: Arc<Dataset>) -> Clustering {
         let tree = BkdTree::build(Arc::clone(&data));
         let eps = self.params.eps;

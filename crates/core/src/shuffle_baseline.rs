@@ -71,6 +71,10 @@ impl ShuffleDbscan {
     }
 
     /// Run on `ctx` over `data`.
+    ///
+    /// Note: code comparing implementations should prefer the uniform
+    /// [`crate::runner::DbscanRunner`] facade; this inherent method
+    /// remains the way to get the full [`ShuffleDbscanResult`].
     pub fn run(&self, ctx: &Context, data: Arc<Dataset>) -> SparkResult<ShuffleDbscanResult> {
         let start = Instant::now();
         let n = data.len();

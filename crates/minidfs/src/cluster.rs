@@ -4,8 +4,10 @@ use crate::block::{BlockId, BlockInfo};
 use crate::datanode::{DataNode, NodeId};
 use crate::error::{DfsError, DfsResult};
 use crate::namenode::{FileStatus, NameNode};
+use crate::observer::BlockEventSink;
 use crate::reader::DfsReader;
 use crate::writer::DfsWriter;
+use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// Cluster-wide configuration.
@@ -43,6 +45,7 @@ pub struct DfsCluster {
     namenode: NameNode,
     datanodes: Vec<Arc<DataNode>>,
     config: DfsConfig,
+    sink: RwLock<Option<Arc<dyn BlockEventSink>>>,
 }
 
 impl DfsCluster {
@@ -63,7 +66,7 @@ impl DfsCluster {
         }
         let datanodes =
             (0..config.num_datanodes).map(|i| Arc::new(DataNode::new(NodeId(i)))).collect();
-        Ok(DfsCluster { namenode: NameNode::new(), datanodes, config })
+        Ok(DfsCluster { namenode: NameNode::new(), datanodes, config, sink: RwLock::new(None) })
     }
 
     /// A small default cluster, convenient for tests and examples.
@@ -122,6 +125,19 @@ impl DfsCluster {
         self.namenode.commit_block(path, BlockInfo { id, len, replicas })
     }
 
+    /// Install (or with `None`, remove) the block-event observer.
+    /// Replaces any previous sink.
+    pub fn set_event_sink(&self, sink: Option<Arc<dyn BlockEventSink>>) {
+        *self.sink.write() = sink;
+    }
+
+    /// Notify the sink, if one is installed.
+    fn notify(&self, f: impl FnOnce(&dyn BlockEventSink)) {
+        if let Some(sink) = self.sink.read().as_deref() {
+            f(sink);
+        }
+    }
+
     /// Read one block, falling back across replicas; on partial replica
     /// loss the block is re-replicated back to the target factor.
     pub fn read_block(&self, path: &str, info: &BlockInfo) -> DfsResult<Arc<Vec<u8>>> {
@@ -138,7 +154,9 @@ impl DfsCluster {
             }
         }
         let data = data.ok_or(DfsError::AllReplicasLost(info.id))?;
+        self.notify(|s| s.block_read(info.id, data.len()));
         if live_replicas.len() < info.replicas.len() {
+            self.notify(|s| s.replica_fallback(info.id, info.replicas.len() - live_replicas.len()));
             // heal: re-replicate onto other alive nodes
             let mut replicas = live_replicas.clone();
             for d in &self.datanodes {
@@ -448,6 +466,39 @@ mod tests {
         assert_eq!(dfs.list("/a/").len(), 2);
         assert!(dfs.exists("/b/3"));
         assert!(!dfs.exists("/b/4"));
+    }
+
+    #[test]
+    fn event_sink_observes_reads_and_fallbacks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Counting {
+            reads: AtomicUsize,
+            fallbacks: AtomicUsize,
+        }
+        impl BlockEventSink for Counting {
+            fn block_read(&self, _b: BlockId, _n: usize) {
+                self.reads.fetch_add(1, Ordering::Relaxed);
+            }
+            fn replica_fallback(&self, _b: BlockId, _l: usize) {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let dfs = small_cluster();
+        let sink =
+            Arc::new(Counting { reads: AtomicUsize::new(0), fallbacks: AtomicUsize::new(0) });
+        dfs.set_event_sink(Some(sink.clone()));
+        dfs.write_file("/f", &[1u8; 16]).unwrap(); // 2 blocks of 8
+        dfs.read_file("/f").unwrap();
+        assert_eq!(sink.reads.load(Ordering::Relaxed), 2);
+        assert_eq!(sink.fallbacks.load(Ordering::Relaxed), 0);
+        let victim = dfs.locality("/f").unwrap()[0].1[0];
+        dfs.kill_datanode(victim.0).unwrap();
+        dfs.read_file("/f").unwrap();
+        assert!(sink.fallbacks.load(Ordering::Relaxed) >= 1, "dead replica observed");
+        let reads_before = sink.reads.load(Ordering::Relaxed);
+        dfs.set_event_sink(None);
+        dfs.read_file("/f").unwrap();
+        assert_eq!(sink.reads.load(Ordering::Relaxed), reads_before, "sink removed");
     }
 
     #[test]

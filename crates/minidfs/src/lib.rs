@@ -22,6 +22,7 @@ pub mod cluster;
 pub mod datanode;
 pub mod error;
 pub mod namenode;
+pub mod observer;
 pub mod reader;
 pub mod writer;
 
@@ -30,5 +31,6 @@ pub use cluster::{DfsCluster, DfsConfig, DfsStats, FsckReport};
 pub use datanode::{DataNode, NodeId};
 pub use error::{DfsError, DfsResult};
 pub use namenode::{FileStatus, NameNode};
+pub use observer::BlockEventSink;
 pub use reader::DfsReader;
 pub use writer::DfsWriter;

@@ -1,0 +1,21 @@
+//! Block-level event observation.
+//!
+//! Compute engines layered on minidfs (sparklet's trace subsystem in
+//! particular) want to know *when* blocks are read and when a read had
+//! to fall back across replicas — without minidfs depending on any
+//! engine crate. This module inverts the dependency: the engine
+//! implements [`BlockEventSink`] and installs it with
+//! [`crate::DfsCluster::set_event_sink`].
+
+use crate::block::BlockId;
+
+/// Observer of block-level read events. Implementations must be cheap:
+/// sinks are invoked on the read path while no cluster locks are held.
+pub trait BlockEventSink: Send + Sync {
+    /// One block was successfully read (`bytes` = block length).
+    fn block_read(&self, block: BlockId, bytes: usize);
+
+    /// A read found `lost` dead replicas and fell back to a survivor
+    /// (re-replication is triggered by the cluster afterwards).
+    fn replica_fallback(&self, block: BlockId, lost: usize);
+}

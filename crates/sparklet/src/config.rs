@@ -28,6 +28,39 @@ impl Default for StragglerConfig {
     }
 }
 
+/// Configuration of the structured tracing subsystem
+/// ([`crate::trace`]). Disabled by default: the task hot path then
+/// costs one relaxed atomic load and allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Whether events are recorded.
+    pub enabled: bool,
+    /// Maximum buffered events; the oldest are dropped (and counted)
+    /// past this.
+    pub capacity: usize,
+}
+
+impl TraceConfig {
+    /// Default ring capacity (events), ample for any test-scale run.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Tracing on, with the default capacity.
+    pub fn enabled() -> Self {
+        TraceConfig { enabled: true, capacity: Self::DEFAULT_CAPACITY }
+    }
+
+    /// Tracing on, with an explicit event capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceConfig { enabled: true, capacity }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { enabled: false, capacity: Self::DEFAULT_CAPACITY }
+    }
+}
+
 /// Configuration of a [`crate::Context`].
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -47,6 +80,8 @@ pub struct ClusterConfig {
     pub straggler: StragglerConfig,
     /// Seed for all deterministic pseudo-randomness in the engine.
     pub seed: u64,
+    /// Structured event tracing (off by default).
+    pub trace: TraceConfig,
 }
 
 impl ClusterConfig {
@@ -61,6 +96,7 @@ impl ClusterConfig {
             fault: FaultConfig::NONE,
             straggler: StragglerConfig::NONE,
             seed: 0x5eed,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -94,6 +130,18 @@ impl ClusterConfig {
     /// Builder-style: set the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style: enable tracing with the default capacity.
+    pub fn with_tracing(mut self) -> Self {
+        self.trace = TraceConfig::enabled();
+        self
+    }
+
+    /// Builder-style: set the full trace configuration.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -132,6 +180,17 @@ mod tests {
         assert_eq!(c.max_task_attempts, 1, "attempt budget is at least 1");
         assert_eq!(c.seed, 99);
         assert_eq!(c.straggler.prob, 0.5);
+    }
+
+    #[test]
+    fn trace_builders_apply() {
+        let c = ClusterConfig::local(2);
+        assert!(!c.trace.enabled, "tracing is opt-in");
+        let c = c.with_tracing();
+        assert!(c.trace.enabled);
+        assert_eq!(c.trace.capacity, TraceConfig::DEFAULT_CAPACITY);
+        let c = c.with_trace(TraceConfig::with_capacity(128));
+        assert_eq!(c.trace.capacity, 128);
     }
 
     #[test]

@@ -3,12 +3,13 @@
 use crate::accumulator::{Accumulator, AccumulatorRegistry};
 use crate::broadcast::Broadcast;
 use crate::config::ClusterConfig;
-use crate::error::{SparkError, SparkResult};
+use crate::error::SparkResult;
 use crate::executor::ExecutorPool;
 use crate::metrics::JobMetrics;
 use crate::rdd::{ops, text::TextFileRdd, Rdd};
 use crate::shuffle::ShuffleManager;
 use crate::storage::CacheManager;
+use crate::trace::{DfsTraceSink, EventKind, TraceCollector, TraceHandle};
 use crate::Data;
 use minidfs::DfsCluster;
 use parking_lot::Mutex;
@@ -21,6 +22,7 @@ pub(crate) struct ContextInner {
     pub(crate) cache: Arc<CacheManager>,
     pub(crate) accums: Arc<AccumulatorRegistry>,
     pub(crate) pool: ExecutorPool,
+    pub(crate) tracer: Arc<TraceCollector>,
     next_rdd: AtomicUsize,
     next_shuffle: AtomicUsize,
     next_stage: AtomicUsize,
@@ -62,14 +64,21 @@ pub struct Context {
 impl Context {
     /// Start a context per `config` (spawns the worker threads).
     pub fn new(config: ClusterConfig) -> Self {
-        let pool = ExecutorPool::start(config.worker_threads, config.fault, config.seed);
+        let tracer = Arc::new(TraceCollector::new(config.trace));
+        let pool = ExecutorPool::start(
+            config.worker_threads,
+            config.fault,
+            config.seed,
+            Arc::clone(&tracer),
+        );
         Context {
             inner: Arc::new(ContextInner {
                 config,
-                shuffles: Arc::new(ShuffleManager::new()),
+                shuffles: Arc::new(ShuffleManager::with_tracer(Arc::clone(&tracer))),
                 cache: Arc::new(CacheManager::new()),
                 accums: Arc::new(AccumulatorRegistry::new()),
                 pool,
+                tracer,
                 next_rdd: AtomicUsize::new(0),
                 next_shuffle: AtomicUsize::new(0),
                 next_stage: AtomicUsize::new(0),
@@ -118,11 +127,20 @@ impl Context {
     }
 
     /// Lines of a DFS file, one partition per block, with Hadoop line
-    /// split semantics.
+    /// split semantics. When tracing is enabled, the cluster's block
+    /// events are routed into this context's trace.
     pub fn text_file(&self, dfs: Arc<DfsCluster>, path: &str) -> SparkResult<Rdd<String>> {
-        let node =
-            TextFileRdd::open(self.inner.next_rdd_id(), dfs, path).map_err(SparkError::Storage)?;
+        if self.inner.tracer.is_enabled() {
+            self.attach_dfs(&dfs);
+        }
+        let node = TextFileRdd::open(self.inner.next_rdd_id(), dfs, path)?;
         Ok(Rdd::new(Arc::new(node), self.clone()))
+    }
+
+    /// Route `dfs`'s block-read events into this context's trace
+    /// (replacing any sink installed on the cluster before).
+    pub fn attach_dfs(&self, dfs: &DfsCluster) {
+        dfs.set_event_sink(Some(Arc::new(DfsTraceSink { tracer: Arc::clone(&self.inner.tracer) })));
     }
 
     // ---- shared variables ---------------------------------------------
@@ -131,9 +149,9 @@ impl Context {
     /// `size_hint` logical bytes per executor.
     pub fn broadcast_sized<T: Send + Sync>(&self, value: T, size_hint: usize) -> Broadcast<T> {
         let id = self.inner.next_broadcast.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .broadcast_bytes
-            .fetch_add((size_hint * self.num_executors()) as u64, Ordering::Relaxed);
+        let shipped = (size_hint * self.num_executors()) as u64;
+        self.inner.broadcast_bytes.fetch_add(shipped, Ordering::Relaxed);
+        self.inner.tracer.record_driver(EventKind::BroadcastCreate { id, bytes: shipped });
         Broadcast::new(id, value, size_hint)
     }
 
@@ -200,17 +218,47 @@ impl Context {
 
     /// Simulate losing a (virtual) executor: its cached partitions and
     /// shuffle map outputs vanish; later jobs recompute them from
-    /// lineage. Returns `(cached partitions lost, map outputs lost)`.
-    pub fn kill_executor(&self, executor: usize) -> (usize, usize) {
+    /// lineage. Returns what was lost with it.
+    pub fn kill_executor(&self, executor: usize) -> KillReport {
         let cached = self.inner.cache.kill_executor(executor);
         let maps = self.inner.shuffles.kill_executor(executor);
-        (cached, maps)
+        self.inner.tracer.record_driver(EventKind::ExecutorKill {
+            executor,
+            cached_lost: cached,
+            maps_lost: maps,
+        });
+        KillReport { executor, cached_partitions_lost: cached, map_outputs_lost: maps }
     }
+
+    /// Handle to this context's structured trace (see [`crate::trace`]).
+    /// Always available; records nothing unless
+    /// [`crate::config::TraceConfig::enabled`] was set.
+    pub fn trace(&self) -> TraceHandle {
+        TraceHandle::new(Arc::clone(&self.inner.tracer))
+    }
+}
+
+/// What [`Context::kill_executor`] destroyed.
+///
+/// Both counts refer to state that *will be recomputed from lineage* on
+/// the next job that needs it — losing an executor never loses data,
+/// only work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillReport {
+    /// The executor that was killed.
+    pub executor: usize,
+    /// Cached RDD partitions that lived on the executor and were
+    /// evicted with it.
+    pub cached_partitions_lost: usize,
+    /// Shuffle map outputs the executor had produced, now missing
+    /// (their map tasks re-run on the next dependent job).
+    pub map_outputs_lost: usize,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::SparkError;
 
     fn ctx() -> Context {
         Context::new(ClusterConfig::local(4))
@@ -472,8 +520,9 @@ mod tests {
             .reduce_by_key(4, |a, b| a + b);
         let first: Vec<(u32, u64)> = reduced.collect().unwrap();
         // lose executor 1: its shuffle map outputs vanish
-        let (_, lost_maps) = c.kill_executor(1);
-        assert!(lost_maps > 0);
+        let report = c.kill_executor(1);
+        assert_eq!(report.executor, 1);
+        assert!(report.map_outputs_lost > 0);
         let mut second = reduced.collect().unwrap();
         let mut first_sorted = first;
         first_sorted.sort_unstable();
@@ -652,5 +701,51 @@ mod tests {
         let dfs = Arc::new(DfsCluster::single_node());
         let c = ctx();
         assert!(matches!(c.text_file(dfs, "/nope"), Err(SparkError::Storage(_))));
+    }
+
+    #[test]
+    fn traced_context_records_all_engine_event_categories() {
+        let c = Context::new(
+            ClusterConfig::local(2)
+                .with_tracing()
+                .with_fault(crate::fault::FaultConfig::always_first(1))
+                .with_max_attempts(3),
+        );
+        let dfs = Arc::new(DfsCluster::single_node());
+        dfs.write_file("/in.txt", b"1\n2\n3\n").unwrap();
+        let _b = c.broadcast(7u32);
+        let lines = c.text_file(Arc::clone(&dfs), "/in.txt").unwrap();
+        assert_eq!(lines.count().unwrap(), 3);
+        c.parallelize((0..20u32).map(|i| (i % 3, 1u64)).collect(), 2)
+            .reduce_by_key(2, |a, b| a + b)
+            .collect()
+            .unwrap();
+        c.kill_executor(0);
+        let trace = c.trace().snapshot();
+        for cat in ["job", "stage", "task", "shuffle", "broadcast", "executor", "dfs"] {
+            assert!(
+                trace.events.iter().any(|e| e.kind.category() == cat),
+                "missing {cat} events in {:?}",
+                trace.events
+            );
+        }
+        assert!(
+            trace
+                .events
+                .iter()
+                .any(|e| e.kind == crate::trace::EventKind::TaskFailure { injected: true }),
+            "injected failures are marked"
+        );
+        let json = c.trace().chrome_json();
+        let summary = crate::trace::validate_chrome_trace(&json).expect("trace validates");
+        assert!(summary.count("task") > 0 && summary.count("dfs") > 0, "{summary:?}");
+    }
+
+    #[test]
+    fn untraced_context_records_nothing() {
+        let c = ctx();
+        c.parallelize((0..10i32).collect(), 2).collect().unwrap();
+        assert!(!c.trace().enabled());
+        assert!(c.trace().snapshot().events.is_empty());
     }
 }

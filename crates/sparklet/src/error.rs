@@ -49,9 +49,21 @@ impl std::fmt::Display for SparkError {
 
 impl std::error::Error for SparkError {}
 
+impl From<minidfs::DfsError> for SparkError {
+    fn from(e: minidfs::DfsError) -> Self {
+        SparkError::Storage(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dfs_errors_convert_to_storage() {
+        let e: SparkError = minidfs::DfsError::FileNotFound("/x".into()).into();
+        assert!(matches!(e, SparkError::Storage(_)));
+    }
 
     #[test]
     fn display_contains_context() {

@@ -8,8 +8,10 @@
 use crate::accumulator::{begin_task_buffer, take_task_buffer};
 use crate::fault::FaultConfig;
 use crate::task::{set_current_executor, AttemptResult, TaskSpec};
+use crate::trace::{self, EventKind, TaskScope, TraceCollector};
 use crossbeam::channel::{unbounded, Sender};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -28,18 +30,25 @@ pub struct ExecutorPool {
 }
 
 impl ExecutorPool {
-    /// Start `threads` workers applying the given fault model.
-    pub(crate) fn start(threads: usize, fault: FaultConfig, seed: u64) -> Self {
+    /// Start `threads` workers applying the given fault model,
+    /// reporting task lifecycle events to `tracer`.
+    pub(crate) fn start(
+        threads: usize,
+        fault: FaultConfig,
+        seed: u64,
+        tracer: Arc<TraceCollector>,
+    ) -> Self {
         let threads = threads.max(1);
         let (tx, rx) = unbounded::<Envelope>();
         let workers = (0..threads)
             .map(|w| {
                 let rx = rx.clone();
+                let tracer = Arc::clone(&tracer);
                 std::thread::Builder::new()
                     .name(format!("sparklet-worker-{w}"))
                     .spawn(move || {
                         while let Ok(env) = rx.recv() {
-                            let result = run_attempt(&env, fault, seed);
+                            let result = run_attempt(&env, fault, seed, &tracer);
                             // the driver may have aborted the job; a closed
                             // reply channel is not an error for the worker
                             let _ = env.reply.send(result);
@@ -76,13 +85,28 @@ impl Drop for ExecutorPool {
     }
 }
 
-fn run_attempt(env: &Envelope, fault: FaultConfig, seed: u64) -> AttemptResult {
+fn run_attempt(
+    env: &Envelope,
+    fault: FaultConfig,
+    seed: u64,
+    tracer: &TraceCollector,
+) -> AttemptResult {
     let spec = &env.spec;
     set_current_executor(spec.executor);
+    let scope = TaskScope {
+        stage: spec.stage_id,
+        partition: spec.partition,
+        attempt: env.attempt,
+        executor: spec.executor,
+    };
+    trace::set_task_scope(Some(scope));
+    tracer.record(Some(scope), EventKind::TaskStart);
     begin_task_buffer();
     let start = Instant::now();
 
+    let mut injected = false;
     let outcome = if fault.should_fail(seed, spec.stage_id, spec.partition, env.attempt) {
+        injected = true;
         Err(format!(
             "injected failure (stage {} partition {} attempt {})",
             spec.stage_id, spec.partition, env.attempt
@@ -96,6 +120,11 @@ fn run_attempt(env: &Envelope, fault: FaultConfig, seed: u64) -> AttemptResult {
 
     let busy = start.elapsed();
     let accum_updates = take_task_buffer();
+    match &outcome {
+        Ok(_) => tracer.record(Some(scope), EventKind::TaskSuccess),
+        Err(_) => tracer.record(Some(scope), EventKind::TaskFailure { injected }),
+    }
+    trace::set_task_scope(None);
     AttemptResult {
         partition: spec.partition,
         executor: spec.executor,
@@ -134,7 +163,7 @@ mod tests {
 
     #[test]
     fn runs_tasks_and_returns_output() {
-        let pool = ExecutorPool::start(2, FaultConfig::NONE, 0);
+        let pool = ExecutorPool::start(2, FaultConfig::NONE, 0, TraceCollector::disabled());
         let r = run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Boxed(Box::new(41i32))))), 0);
         match r.outcome.unwrap() {
             TaskOutput::Boxed(b) => assert_eq!(*b.downcast::<i32>().unwrap(), 41),
@@ -144,7 +173,7 @@ mod tests {
 
     #[test]
     fn catches_panics() {
-        let pool = ExecutorPool::start(1, FaultConfig::NONE, 0);
+        let pool = ExecutorPool::start(1, FaultConfig::NONE, 0, TraceCollector::disabled());
         let r = run_one(&pool, spec(Arc::new(|| panic!("kaboom"))), 0);
         let err = r.outcome.err().unwrap();
         assert!(err.contains("kaboom"), "{err}");
@@ -152,7 +181,8 @@ mod tests {
 
     #[test]
     fn injects_failures_per_config() {
-        let pool = ExecutorPool::start(1, FaultConfig::always_first(1), 7);
+        let pool =
+            ExecutorPool::start(1, FaultConfig::always_first(1), 7, TraceCollector::disabled());
         let r0 = run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 0);
         assert!(r0.outcome.is_err());
         let r1 = run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 1);
@@ -161,7 +191,7 @@ mod tests {
 
     #[test]
     fn busy_time_is_measured() {
-        let pool = ExecutorPool::start(1, FaultConfig::NONE, 0);
+        let pool = ExecutorPool::start(1, FaultConfig::NONE, 0, TraceCollector::disabled());
         let r = run_one(
             &pool,
             spec(Arc::new(|| {
@@ -175,14 +205,26 @@ mod tests {
 
     #[test]
     fn pool_shuts_down_cleanly() {
-        let pool = ExecutorPool::start(4, FaultConfig::NONE, 0);
+        let pool = ExecutorPool::start(4, FaultConfig::NONE, 0, TraceCollector::disabled());
         assert_eq!(pool.size(), 4);
         drop(pool); // must not hang
     }
 
     #[test]
+    fn task_lifecycle_is_traced_with_injected_flag() {
+        let tracer = Arc::new(TraceCollector::new(crate::config::TraceConfig::enabled()));
+        let pool = ExecutorPool::start(1, FaultConfig::always_first(1), 0, Arc::clone(&tracer));
+        assert!(run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 0).outcome.is_err());
+        assert!(run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 1).outcome.is_ok());
+        let kinds: Vec<EventKind> = tracer.snapshot().events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::TaskFailure { injected: true }), "{kinds:?}");
+        assert!(kinds.contains(&EventKind::TaskSuccess));
+        assert_eq!(kinds.iter().filter(|k| **k == EventKind::TaskStart).count(), 2);
+    }
+
+    #[test]
     fn zero_threads_clamped_to_one() {
-        let pool = ExecutorPool::start(0, FaultConfig::NONE, 0);
+        let pool = ExecutorPool::start(0, FaultConfig::NONE, 0, TraceCollector::disabled());
         assert_eq!(pool.size(), 1);
     }
 }

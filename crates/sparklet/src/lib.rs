@@ -44,16 +44,21 @@ pub mod shuffle;
 pub mod sim;
 pub mod storage;
 pub mod task;
+pub mod trace;
 
 pub use accumulator::Accumulator;
 pub use broadcast::Broadcast;
-pub use config::{ClusterConfig, StragglerConfig};
-pub use context::Context;
+pub use config::{ClusterConfig, StragglerConfig, TraceConfig};
+pub use context::{Context, KillReport};
 pub use error::{SparkError, SparkResult};
 pub use fault::FaultConfig;
 pub use metrics::{JobMetrics, StageKind, StageMetrics, TaskMetrics};
 pub use rdd::{CoGrouped, Rdd};
-pub use sim::lpt_makespan;
+pub use sim::{lpt_makespan, VirtualScheduler};
+pub use trace::{
+    ascii_timeline, chrome_trace_json, validate_chrome_trace, EventKind, TaskScope, Trace,
+    TraceEvent, TraceHandle, TraceSummary,
+};
 
 /// Marker for types that can flow through RDDs: cheap to move between
 /// threads and clonable for caching/shuffle fan-out.

@@ -149,10 +149,12 @@ where
             .fetch(self.shuffle_id, part)
             .ok_or_else(|| format!("shuffle {} outputs missing", self.shuffle_id))?;
         let mut table: std::collections::HashMap<K, C> = std::collections::HashMap::new();
+        let mut records = 0u64;
         for bucket in column {
             let pairs = bucket
                 .downcast_ref::<Vec<(K, C)>>()
                 .ok_or_else(|| "shuffle bucket type mismatch".to_string())?;
+            records += pairs.len() as u64;
             for (k, c) in pairs.iter().cloned() {
                 match table.entry(k) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -164,6 +166,8 @@ where
                 }
             }
         }
+        let bytes = records * std::mem::size_of::<(K, C)>() as u64;
+        self.shuffles.trace_read(self.shuffle_id, records, bytes);
         Ok(table.into_iter().collect())
     }
 }

@@ -5,7 +5,7 @@
 //! following blocks to finish the line.
 
 use super::{AnyRdd, Parent, RddNode};
-use minidfs::{BlockInfo, DfsCluster};
+use minidfs::{BlockInfo, DfsCluster, DfsError};
 use std::sync::Arc;
 
 /// RDD of the lines of a DFS file.
@@ -17,8 +17,8 @@ pub(crate) struct TextFileRdd {
 }
 
 impl TextFileRdd {
-    pub(crate) fn open(id: usize, dfs: Arc<DfsCluster>, path: &str) -> Result<Self, String> {
-        let blocks = dfs.namenode().blocks(path).map_err(|e| e.to_string())?;
+    pub(crate) fn open(id: usize, dfs: Arc<DfsCluster>, path: &str) -> Result<Self, DfsError> {
+        let blocks = dfs.namenode().blocks(path)?;
         Ok(TextFileRdd { id, dfs, path: path.to_string(), blocks })
     }
 

@@ -13,6 +13,7 @@ use crate::executor::Envelope;
 use crate::metrics::{straggler_extra, JobMetrics, StageKind, StageMetrics, TaskMetrics};
 use crate::rdd::{AnyRdd, Parent, RddNode, ShuffleDepObj};
 use crate::task::{TaskOutput, TaskSpec};
+use crate::trace::EventKind;
 use crate::Data;
 use crossbeam::channel::unbounded;
 use std::collections::{HashMap, HashSet};
@@ -28,6 +29,8 @@ pub(crate) fn run_job<T: Data, R: Send + 'static>(
     func: Arc<dyn Fn(usize, Vec<T>) -> R + Send + Sync>,
 ) -> SparkResult<Vec<R>> {
     let job_start = Instant::now();
+    let job_id = ctx.inner.next_job_id();
+    ctx.inner.tracer.record_driver(EventKind::JobSubmit { job: job_id });
     let records_before = ctx.inner.shuffles.total_records();
     let bytes_before = ctx.inner.shuffles.total_bytes();
 
@@ -65,12 +68,13 @@ pub(crate) fn run_job<T: Data, R: Send + 'static>(
     }
 
     let job = JobMetrics {
-        job_id: ctx.inner.next_job_id(),
+        job_id,
         stages: stage_metrics,
         wall: job_start.elapsed(),
         shuffle_records: ctx.inner.shuffles.total_records() - records_before,
         shuffle_bytes: ctx.inner.shuffles.total_bytes() - bytes_before,
     };
+    ctx.inner.tracer.record_driver(EventKind::JobEnd { job: job_id, stages: job.stages.len() });
     ctx.inner.record_job(job);
     Ok(results)
 }
@@ -138,6 +142,7 @@ fn run_stage(
 ) -> SparkResult<(HashMap<usize, TaskOutput>, StageMetrics)> {
     let start = Instant::now();
     let total = tasks.len();
+    ctx.inner.tracer.record_driver(EventKind::StageStart { stage: stage_id, kind, tasks: total });
     let specs: HashMap<usize, TaskSpec> = tasks.iter().map(|t| (t.partition, t.clone())).collect();
     let (tx, rx) = unbounded();
     for spec in tasks {
@@ -170,6 +175,9 @@ fn run_stage(
                 failed_attempts += 1;
                 let next = r.attempt + 1;
                 if next >= cfg.max_task_attempts {
+                    ctx.inner
+                        .tracer
+                        .record_driver(EventKind::StageEnd { stage: stage_id, failed_attempts });
                     return Err(SparkError::TaskFailed {
                         stage: stage_id,
                         partition: r.partition,
@@ -184,6 +192,7 @@ fn run_stage(
         }
     }
     task_metrics.sort_by_key(|t| t.partition);
+    ctx.inner.tracer.record_driver(EventKind::StageEnd { stage: stage_id, failed_attempts });
     let sm = StageMetrics {
         stage_id,
         kind,

@@ -9,6 +9,7 @@
 //! count is **zero** for the paper's algorithm and non-zero for the
 //! shuffle-based baseline.
 
+use crate::trace::{EventKind, TraceCollector};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
@@ -33,17 +34,33 @@ struct ShuffleState {
 }
 
 /// Registry of all shuffle outputs in a context.
-#[derive(Default)]
 pub struct ShuffleManager {
     shuffles: Mutex<HashMap<usize, ShuffleState>>,
     records: AtomicU64,
     bytes: AtomicU64,
+    tracer: Arc<TraceCollector>,
+}
+
+impl Default for ShuffleManager {
+    fn default() -> Self {
+        ShuffleManager::with_tracer(TraceCollector::disabled())
+    }
 }
 
 impl ShuffleManager {
-    /// Fresh, empty manager.
+    /// Fresh, empty manager with tracing off.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh manager reporting shuffle traffic to `tracer`.
+    pub(crate) fn with_tracer(tracer: Arc<TraceCollector>) -> Self {
+        ShuffleManager {
+            shuffles: Mutex::new(HashMap::new()),
+            records: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            tracer,
+        }
     }
 
     /// Declare a shuffle's geometry (idempotent).
@@ -72,8 +89,16 @@ impl ShuffleManager {
         assert!(map_part < st.num_maps, "map partition out of range");
         assert_eq!(buckets.len(), st.num_reduces, "bucket count mismatch");
         st.outputs[map_part] = Some(MapOutput { executor, buckets });
+        drop(s);
         self.records.fetch_add(records, Ordering::Relaxed);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.tracer.record_auto(EventKind::ShuffleWrite { shuffle: shuffle_id, records, bytes });
+    }
+
+    /// Report a reduce-side fetch to the trace (called by the shuffled
+    /// RDD, which knows the record/byte volume after downcasting).
+    pub(crate) fn trace_read(&self, shuffle_id: usize, records: u64, bytes: u64) {
+        self.tracer.record_auto(EventKind::ShuffleRead { shuffle: shuffle_id, records, bytes });
     }
 
     /// Map partitions whose output is missing (initially all of them;

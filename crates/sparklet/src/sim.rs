@@ -34,6 +34,74 @@ pub fn lpt_makespan(durations: impl IntoIterator<Item = Duration>, workers: usiz
     loads.into_iter().map(|Reverse(d)| d).max().unwrap_or(Duration::ZERO)
 }
 
+/// Virtual ticks one driver-side event advances the driver clock by.
+pub const DRIVER_TICK: u64 = 1;
+/// Virtual ticks a successful task attempt occupies beyond its in-task
+/// events (the "base" compute cost of any task).
+pub const TASK_BASE_TICKS: u64 = 10;
+/// Virtual ticks a failed attempt occupies (it dies early).
+pub const FAIL_BASE_TICKS: u64 = 3;
+
+/// Deterministic virtual-cluster clock used to stamp trace events.
+///
+/// Real wall-clock timestamps differ between runs of the same seeded
+/// job, so the trace subsystem replays the *canonically ordered* event
+/// stream through this scheduler instead: the driver advances a single
+/// logical clock, each virtual executor owns a serial "lane", and a task
+/// starts at the later of its lane's availability and its stage's start.
+/// The result is a logical timeline — identical across runs of the same
+/// seeded job — that still exhibits the structure of the LPT makespan
+/// model above (serial lanes, stage barriers).
+#[derive(Debug, Clone, Default)]
+pub struct VirtualScheduler {
+    driver_clock: u64,
+    lanes: Vec<u64>,
+}
+
+impl VirtualScheduler {
+    /// A scheduler with every clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current driver clock (the last driver timestamp handed out).
+    pub fn now(&self) -> u64 {
+        self.driver_clock
+    }
+
+    /// Advance the driver clock by one event and return the new time.
+    pub fn driver_tick(&mut self) -> u64 {
+        self.driver_clock += DRIVER_TICK;
+        self.driver_clock
+    }
+
+    /// The driver waits for work finishing at `at_least` (e.g. a stage
+    /// barrier), then observes it one tick later.
+    pub fn driver_join(&mut self, at_least: u64) -> u64 {
+        self.driver_clock = self.driver_clock.max(at_least) + DRIVER_TICK;
+        self.driver_clock
+    }
+
+    /// Start a task on `executor`'s lane, no earlier than `not_before`.
+    /// Returns the start time; the lane is *not* advanced until
+    /// [`VirtualScheduler::task_end`].
+    pub fn task_start(&mut self, executor: usize, not_before: u64) -> u64 {
+        self.lane(executor).max(not_before)
+    }
+
+    /// Mark `executor`'s lane busy until `end`.
+    pub fn task_end(&mut self, executor: usize, end: u64) {
+        if executor >= self.lanes.len() {
+            self.lanes.resize(executor + 1, 0);
+        }
+        self.lanes[executor] = self.lanes[executor].max(end);
+    }
+
+    fn lane(&self, executor: usize) -> u64 {
+        self.lanes.get(executor).copied().unwrap_or(0)
+    }
+}
+
 /// Speedup of `serial` over `parallel`, `0.0` when `parallel` is zero.
 pub fn speedup(serial: Duration, parallel: Duration) -> f64 {
     if parallel.is_zero() {
@@ -94,5 +162,27 @@ mod tests {
     fn speedup_math() {
         assert_eq!(speedup(ms(100), ms(25)), 4.0);
         assert_eq!(speedup(ms(100), Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn virtual_scheduler_driver_clock_advances() {
+        let mut vs = VirtualScheduler::new();
+        assert_eq!(vs.now(), 0);
+        assert_eq!(vs.driver_tick(), 1);
+        assert_eq!(vs.driver_tick(), 2);
+        assert_eq!(vs.driver_join(10), 11, "joins jump past finished work");
+        assert_eq!(vs.driver_join(5), 12, "joins never go backwards");
+    }
+
+    #[test]
+    fn virtual_scheduler_lanes_serialize_per_executor() {
+        let mut vs = VirtualScheduler::new();
+        let s0 = vs.task_start(0, 3);
+        assert_eq!(s0, 3, "idle lane starts at the stage barrier");
+        vs.task_end(0, 9);
+        assert_eq!(vs.task_start(0, 3), 9, "same lane waits for prior task");
+        assert_eq!(vs.task_start(1, 3), 3, "other lanes are independent");
+        vs.task_end(5, 20); // lanes grow on demand
+        assert_eq!(vs.task_start(5, 0), 20);
     }
 }

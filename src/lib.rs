@@ -51,10 +51,10 @@ pub use sparklet as engine;
 /// The most common imports for applications.
 pub mod prelude {
     pub use dbscan_core::{
-        Clustering, DbscanParams, Label, MergeStrategy, MrDbscan, SeedPolicy, SequentialDbscan,
-        SparkDbscan,
+        Clustering, DbscanParams, DbscanRunner, Label, MergeStrategy, MrDbscan, ParamError, RunEnv,
+        RunOutcome, RunTimings, RunnerError, SeedPolicy, SequentialDbscan, SparkDbscan,
     };
     pub use dbscan_datagen::{DatasetSpec, StandardDataset};
     pub use dbscan_spatial::{Dataset, KdTree, PointId, SpatialIndex};
-    pub use sparklet::{ClusterConfig, Context};
+    pub use sparklet::{ClusterConfig, Context, TraceConfig, TraceHandle};
 }

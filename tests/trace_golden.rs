@@ -1,0 +1,67 @@
+//! Golden trace determinism: the whole point of virtual timestamps is
+//! that a seeded workload yields a byte-identical trace on every run,
+//! no matter how the OS schedules the worker threads — even when fault
+//! injection forces task retries.
+
+use scalable_dbscan::engine::{
+    chrome_trace_json, validate_chrome_trace, EventKind, FaultConfig, Trace,
+};
+use scalable_dbscan::prelude::*;
+use std::sync::Arc;
+
+/// One fresh context + traced 2-partition run with every task's first
+/// attempt failing (injected), retried to success.
+fn traced_run() -> Trace {
+    let spec = StandardDataset::C10k.scaled_spec(64);
+    let (data, _) = spec.generate();
+    let data = Arc::new(data);
+    let params = DbscanParams::new(spec.eps, spec.min_pts).unwrap();
+    let cfg = ClusterConfig::local(2)
+        .with_tracing()
+        .with_fault(FaultConfig::always_first(1))
+        .with_max_attempts(3);
+    let ctx = Context::new(cfg);
+    let r = SparkDbscan::new(params).partitions(2).run(&ctx, Arc::clone(&data));
+    assert!(r.job.failed_attempts() > 0, "fault injection must have fired");
+    ctx.trace().snapshot()
+}
+
+#[test]
+fn trace_is_byte_identical_across_runs() {
+    let a = traced_run();
+    let b = traced_run();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "snapshots must match event for event");
+    assert_eq!(chrome_trace_json(&a), chrome_trace_json(&b), "exports must match byte for byte");
+}
+
+#[test]
+fn golden_trace_structure() {
+    let t = traced_run();
+    assert_eq!(t.dropped, 0, "workload must fit the default ring");
+
+    // virtual timestamps never go backwards in canonical order per lane:
+    // driver events are globally ordered by the driver clock
+    let driver_ts: Vec<u64> = t.events.iter().filter(|e| e.scope.is_none()).map(|e| e.vt).collect();
+    assert!(driver_ts.windows(2).all(|w| w[0] < w[1]), "driver clock strictly increases");
+
+    // every partition's first attempt failed (injected) and was retried
+    for part in 0..2usize {
+        let failed = t.events.iter().any(|e| {
+            matches!(e.kind, EventKind::TaskFailure { injected: true })
+                && e.scope.is_some_and(|s| s.partition == part && s.attempt == 0)
+        });
+        let succeeded = t.events.iter().any(|e| {
+            matches!(e.kind, EventKind::TaskSuccess)
+                && e.scope.is_some_and(|s| s.partition == part && s.attempt == 1)
+        });
+        assert!(failed, "partition {part}: attempt 0 must fail (injected)");
+        assert!(succeeded, "partition {part}: attempt 1 must succeed");
+    }
+
+    // the export round-trips the validator with monotone timestamps
+    let summary = validate_chrome_trace(&chrome_trace_json(&t)).expect("valid chrome trace");
+    assert!(summary.events > 0);
+    for cat in ["job", "stage", "task", "broadcast", "phase"] {
+        assert!(summary.count(cat) > 0, "missing {cat} events");
+    }
+}
