@@ -1,0 +1,175 @@
+//! Chaos smoke test — CI's end-to-end check of the fault subsystem.
+//!
+//! Runs one cell (or the whole small matrix) of the chaos campaign:
+//! every DBSCAN entrypoint is driven through the [`DbscanRunner`]
+//! facade under a seeded [`FaultPlan`] and its clustering is compared
+//! byte-for-byte against a clean run plus the sequential oracle. Any
+//! divergence writes the faulty run's Chrome trace to the output
+//! directory and exits non-zero, so CI can upload the trace of the
+//! failing seed as an artifact.
+//!
+//! Usage:
+//!   cargo run --release -p dbscan-bench --bin chaos_smoke -- \
+//!       [seed|all] [task-failures|fetch-failures|executor-kill|all] [out_dir]
+
+use dbscan_core::{
+    core_labels_equivalent, DbscanParams, DbscanRunner, MrDbscan, MrDbscanIterative, RunEnv,
+    SequentialDbscan, ShuffleDbscan, SparkDbscan,
+};
+use dbscan_datagen::StandardDataset;
+use sparklet::{
+    chrome_trace_json, ClusterConfig, Context, EventKind, ExecutorKillAt, FaultPlan, FaultRule,
+};
+use std::path::Path;
+use std::sync::Arc;
+
+const PARTITIONS: usize = 4;
+
+fn plan(name: &str) -> FaultPlan {
+    match name {
+        "task-failures" => FaultPlan::none()
+            .with_task_failures(FaultRule::with_prob(1.0, 2))
+            .with_stragglers(FaultRule::with_prob(0.3, 1), 2),
+        "fetch-failures" => FaultPlan::none()
+            .with_fetch_failures(FaultRule::always_first(1))
+            .with_task_failures(FaultRule::with_prob(0.4, 1)),
+        "executor-kill" => FaultPlan::none()
+            .with_task_failures(FaultRule::with_prob(0.3, 1))
+            .with_executor_kill(ExecutorKillAt { stage: 1, executor: 0, after_tasks: 1 })
+            .with_executor_kill(ExecutorKillAt { stage: 3, executor: 1, after_tasks: 1 }),
+        other => {
+            eprintln!("unknown plan {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn runners(params: DbscanParams) -> Vec<Box<dyn DbscanRunner>> {
+    vec![
+        Box::new(SequentialDbscan::new(params)),
+        Box::new(SparkDbscan::new(params).exact()),
+        Box::new(ShuffleDbscan::new(params).partitions(PARTITIONS)),
+        Box::new(MrDbscan::new(params, PARTITIONS).exact()),
+        Box::new(MrDbscanIterative::new(params, PARTITIONS)),
+    ]
+}
+
+/// Run one (seed, plan) cell across all five runners. Returns the
+/// number of failed invariants after writing failing traces to
+/// `out_dir`.
+fn run_cell(seed: u64, plan_name: &str, out_dir: &Path) -> usize {
+    let mut spec = StandardDataset::C10k.scaled_spec(32);
+    spec.params.seed = 1000 + seed;
+    let (data, _) = spec.generate();
+    let data = Arc::new(data);
+    let params = DbscanParams::new(spec.eps, spec.min_pts).expect("Table I params");
+    let oracle = SequentialDbscan::new(params).run(Arc::clone(&data));
+    let fault = plan(plan_name);
+    let mut failures = 0;
+
+    for runner in runners(params) {
+        let tag = format!("seed={seed} plan={plan_name} runner={}", runner.name());
+
+        let clean_ctx = Context::new(ClusterConfig::local(PARTITIONS).with_seed(seed));
+        let clean = match runner.run_dbscan(&RunEnv::engine(&clean_ctx), Arc::clone(&data)) {
+            Ok(out) => out.clustering.canonicalize().labels,
+            Err(e) => {
+                eprintln!("FAIL chaos[{tag}]: clean run errored: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+
+        let ctx = Context::new(
+            ClusterConfig::local(PARTITIONS)
+                .with_tracing()
+                .with_seed(seed)
+                .with_fault(fault.clone())
+                .with_max_attempts(6),
+        );
+        let outcome = runner.run_dbscan(&RunEnv::engine(&ctx), Arc::clone(&data));
+        let trace = ctx.trace().snapshot();
+        let mut problems: Vec<String> = Vec::new();
+        match outcome {
+            Ok(out) => {
+                if out.clustering.canonicalize().labels != clean {
+                    problems.push("clustering differs from clean run".into());
+                }
+                if !core_labels_equivalent(&out.clustering, &oracle) {
+                    problems.push("clustering differs from sequential oracle".into());
+                }
+            }
+            Err(e) => problems.push(format!("chaos run errored: {e}")),
+        }
+
+        // recovery must be surgical: only lost map outputs recomputed
+        let lost: Vec<(usize, usize)> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::MapOutputLost { shuffle, partition } => Some((shuffle, partition)),
+                _ => None,
+            })
+            .collect();
+        let orphans = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::MapOutputRecomputed { shuffle, partition } => Some((shuffle, partition)),
+                _ => None,
+            })
+            .filter(|p| !lost.contains(p))
+            .count();
+        if orphans > 0 {
+            problems.push(format!("{orphans} map outputs recomputed without being lost"));
+        }
+
+        if problems.is_empty() {
+            println!("ok   chaos[{tag}] ({} lost map outputs recovered)", lost.len());
+        } else {
+            let file =
+                out_dir.join(format!("chaos_{}_{}_seed{}.json", runner.name(), plan_name, seed));
+            std::fs::create_dir_all(out_dir).expect("create out dir");
+            std::fs::write(&file, chrome_trace_json(&trace)).expect("write trace");
+            for p in &problems {
+                eprintln!("FAIL chaos[{tag}]: {p} (trace: {})", file.display());
+            }
+            failures += problems.len();
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed_arg = args.get(1).map(String::as_str).unwrap_or("all");
+    let plan_arg = args.get(2).map(String::as_str).unwrap_or("all");
+    let out_dir = args.get(3).map(String::as_str).unwrap_or("results");
+    let out_dir = Path::new(out_dir);
+
+    let seeds: Vec<u64> = if seed_arg == "all" {
+        vec![1, 2, 3, 4]
+    } else {
+        vec![seed_arg.parse().expect("seed must be an integer or 'all'")]
+    };
+    let plan_names: Vec<&str> = if plan_arg == "all" {
+        vec!["task-failures", "fetch-failures", "executor-kill"]
+    } else {
+        vec![plan_arg]
+    };
+
+    let mut failures = 0;
+    for &seed in &seeds {
+        for name in &plan_names {
+            failures += run_cell(seed, name, out_dir);
+        }
+    }
+    if failures > 0 {
+        eprintln!("chaos smoke: {failures} invariant violations");
+        std::process::exit(1);
+    }
+    println!(
+        "chaos smoke: {} cells x 5 runners, all invariants hold",
+        seeds.len() * plan_names.len()
+    );
+}

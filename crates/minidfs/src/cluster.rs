@@ -3,6 +3,7 @@
 use crate::block::{BlockId, BlockInfo};
 use crate::datanode::{DataNode, NodeId};
 use crate::error::{DfsError, DfsResult};
+use crate::fault::ReadFaultPlan;
 use crate::namenode::{FileStatus, NameNode};
 use crate::observer::BlockEventSink;
 use crate::reader::DfsReader;
@@ -46,6 +47,7 @@ pub struct DfsCluster {
     datanodes: Vec<Arc<DataNode>>,
     config: DfsConfig,
     sink: RwLock<Option<Arc<dyn BlockEventSink>>>,
+    read_faults: RwLock<Option<ReadFaultPlan>>,
 }
 
 impl DfsCluster {
@@ -66,7 +68,13 @@ impl DfsCluster {
         }
         let datanodes =
             (0..config.num_datanodes).map(|i| Arc::new(DataNode::new(NodeId(i)))).collect();
-        Ok(DfsCluster { namenode: NameNode::new(), datanodes, config, sink: RwLock::new(None) })
+        Ok(DfsCluster {
+            namenode: NameNode::new(),
+            datanodes,
+            config,
+            sink: RwLock::new(None),
+            read_faults: RwLock::new(None),
+        })
     }
 
     /// A small default cluster, convenient for tests and examples.
@@ -131,6 +139,12 @@ impl DfsCluster {
         *self.sink.write() = sink;
     }
 
+    /// Install (or with `None`, remove) the deterministic read-fault
+    /// plan: cursed replicas behave as dead on the read path.
+    pub fn set_read_faults(&self, plan: Option<ReadFaultPlan>) {
+        *self.read_faults.write() = plan;
+    }
+
     /// Notify the sink, if one is installed.
     fn notify(&self, f: impl FnOnce(&dyn BlockEventSink)) {
         if let Some(sink) = self.sink.read().as_deref() {
@@ -141,9 +155,17 @@ impl DfsCluster {
     /// Read one block, falling back across replicas; on partial replica
     /// loss the block is re-replicated back to the target factor.
     pub fn read_block(&self, path: &str, info: &BlockInfo) -> DfsResult<Arc<Vec<u8>>> {
+        let faults = *self.read_faults.read();
+        let mut cursed_budget = faults.map(|p| p.max_dead_replicas_per_block).unwrap_or(0);
         let mut data = None;
         let mut live_replicas = Vec::new();
         for &r in &info.replicas {
+            // an injected fault makes this replica behave as dead,
+            // within the plan's per-block budget (in replica order)
+            if cursed_budget > 0 && faults.is_some_and(|p| p.replica_cursed(info.id.0, r.0)) {
+                cursed_budget -= 1;
+                continue;
+            }
             if let Ok(node) = self.node(r) {
                 if let Some(d) = node.get(info.id) {
                     live_replicas.push(r);
@@ -499,6 +521,48 @@ mod tests {
         dfs.set_event_sink(None);
         dfs.read_file("/f").unwrap();
         assert_eq!(sink.reads.load(Ordering::Relaxed), reads_before, "sink removed");
+    }
+
+    #[test]
+    fn cursed_replica_read_falls_back_to_survivors() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Fallbacks(AtomicUsize);
+        impl BlockEventSink for Fallbacks {
+            fn block_read(&self, _b: BlockId, _l: usize) {}
+            fn replica_fallback(&self, _b: BlockId, _l: usize) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let dfs = small_cluster(); // replication 2
+        let sink = Arc::new(Fallbacks(AtomicUsize::new(0)));
+        dfs.set_event_sink(Some(sink.clone()));
+        dfs.write_file("/f", &[7u8; 8]).unwrap();
+        // curse at most one replica per block: reads must still succeed
+        dfs.set_read_faults(Some(ReadFaultPlan {
+            seed: 1,
+            prob: 1.0,
+            max_dead_replicas_per_block: 1,
+        }));
+        assert_eq!(dfs.read_file("/f").unwrap(), vec![7u8; 8]);
+        assert!(sink.0.load(Ordering::Relaxed) >= 1, "cursed replica must be observed");
+    }
+
+    #[test]
+    fn cursing_every_replica_exhausts_the_block() {
+        let dfs = small_cluster(); // replication 2
+        dfs.write_file("/f", &[7u8; 8]).unwrap();
+        dfs.set_read_faults(Some(ReadFaultPlan {
+            seed: 1,
+            prob: 1.0,
+            max_dead_replicas_per_block: 99,
+        }));
+        match dfs.read_file("/f") {
+            Err(DfsError::AllReplicasLost(_)) => {}
+            other => panic!("expected AllReplicasLost, got {other:?}"),
+        }
+        // removing the plan restores the data (nothing was deleted)
+        dfs.set_read_faults(None);
+        assert_eq!(dfs.read_file("/f").unwrap(), vec![7u8; 8]);
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Deterministic read-fault injection.
+//!
+//! A [`ReadFaultPlan`] curses `(block, node)` replica pairs for the
+//! lifetime of a cluster: a cursed replica behaves as dead on the read
+//! path even though its datanode is up, exercising replica fallback,
+//! healing re-replication and — when every replica of a block is cursed
+//! — the typed [`crate::DfsError::AllReplicasLost`] exhaustion error.
+//!
+//! Decisions are pure functions of `(seed, block, node)`, so which
+//! replicas fail is identical across runs and thread schedules. The
+//! per-block budget is applied in replica-list order, which the
+//! namenode keeps deterministic.
+
+/// Deterministic replica curse schedule for block reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadFaultPlan {
+    /// Seed for the curse decisions.
+    pub seed: u64,
+    /// Probability that any given `(block, node)` replica is cursed.
+    pub prob: f64,
+    /// At most this many cursed replicas per block (counted in replica
+    /// order), bounding how close a block gets to exhaustion. Setting
+    /// this to the replication factor (or more) with `prob = 1.0`
+    /// curses every replica.
+    pub max_dead_replicas_per_block: usize,
+}
+
+impl ReadFaultPlan {
+    /// Whether the `(block, node)` replica is cursed, ignoring the
+    /// per-block budget (the cluster applies that in replica order).
+    pub(crate) fn replica_cursed(&self, block: u64, node: usize) -> bool {
+        if self.prob <= 0.0 || self.max_dead_replicas_per_block == 0 {
+            return false;
+        }
+        if self.prob >= 1.0 {
+            return true;
+        }
+        let h = mix(mix(mix(self.seed ^ 0x6466_7372_6561_6466) ^ block) ^ node as u64);
+        (h as f64 / u64::MAX as f64) < self.prob
+    }
+}
+
+/// splitmix64 finalizer (duplicated from sparklet so minidfs stays
+/// dependency-free).
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curses_are_deterministic() {
+        let p = ReadFaultPlan { seed: 7, prob: 0.5, max_dead_replicas_per_block: 1 };
+        for block in 0..64 {
+            for node in 0..4 {
+                assert_eq!(p.replica_cursed(block, node), p.replica_cursed(block, node));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_prob_or_budget_never_curses() {
+        let p = ReadFaultPlan { seed: 7, prob: 0.0, max_dead_replicas_per_block: 3 };
+        assert!(!p.replica_cursed(1, 1));
+        let p = ReadFaultPlan { seed: 7, prob: 1.0, max_dead_replicas_per_block: 0 };
+        assert!(!p.replica_cursed(1, 1));
+    }
+
+    #[test]
+    fn full_prob_curses_everything() {
+        let p = ReadFaultPlan { seed: 7, prob: 1.0, max_dead_replicas_per_block: 9 };
+        assert!(p.replica_cursed(0, 0) && p.replica_cursed(123, 3));
+    }
+
+    #[test]
+    fn rate_roughly_matches_prob() {
+        let p = ReadFaultPlan { seed: 42, prob: 0.3, max_dead_replicas_per_block: 1 };
+        let n = 10_000u64;
+        let cursed = (0..n).filter(|&b| p.replica_cursed(b, 0)).count();
+        let rate = cursed as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.05, "observed curse rate {rate}");
+    }
+}

@@ -21,6 +21,7 @@ pub mod block;
 pub mod cluster;
 pub mod datanode;
 pub mod error;
+pub mod fault;
 pub mod namenode;
 pub mod observer;
 pub mod reader;
@@ -30,6 +31,7 @@ pub use block::{BlockId, BlockInfo};
 pub use cluster::{DfsCluster, DfsConfig, DfsStats, FsckReport};
 pub use datanode::{DataNode, NodeId};
 pub use error::{DfsError, DfsResult};
+pub use fault::ReadFaultPlan;
 pub use namenode::{FileStatus, NameNode};
 pub use observer::BlockEventSink;
 pub use reader::DfsReader;

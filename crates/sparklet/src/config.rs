@@ -1,6 +1,6 @@
 //! Cluster configuration.
 
-use crate::fault::FaultConfig;
+use crate::fault::FaultPlan;
 
 /// Straggler model for the virtual-cluster time simulation.
 ///
@@ -74,8 +74,12 @@ pub struct ClusterConfig {
     pub worker_threads: usize,
     /// Maximum attempts per task (1 = no retry).
     pub max_task_attempts: usize,
-    /// Injected-failure model.
-    pub fault: FaultConfig,
+    /// Maximum fetch-failure recovery rounds per stage (lineage
+    /// recomputation of lost map outputs), separate from the per-task
+    /// attempt budget.
+    pub max_stage_retries: usize,
+    /// Injected-fault schedule (see [`FaultPlan`]).
+    pub fault: FaultPlan,
     /// Straggler model for simulated makespans.
     pub straggler: StragglerConfig,
     /// Seed for all deterministic pseudo-randomness in the engine.
@@ -93,7 +97,8 @@ impl ClusterConfig {
             num_executors: n.max(1),
             worker_threads: n.clamp(1, host),
             max_task_attempts: 4,
-            fault: FaultConfig::NONE,
+            max_stage_retries: 4,
+            fault: FaultPlan::none(),
             straggler: StragglerConfig::NONE,
             seed: 0x5eed,
             trace: TraceConfig::default(),
@@ -109,9 +114,17 @@ impl ClusterConfig {
         ClusterConfig { worker_threads: host, ..ClusterConfig::local(n) }
     }
 
-    /// Builder-style: set the fault model.
-    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
-        self.fault = fault;
+    /// Builder-style: set the fault schedule. Accepts a full
+    /// [`FaultPlan`] or a legacy [`crate::FaultConfig`] (which injects
+    /// task failures only).
+    pub fn with_fault(mut self, fault: impl Into<FaultPlan>) -> Self {
+        self.fault = fault.into();
+        self
+    }
+
+    /// Builder-style: set the per-stage fetch-failure recovery budget.
+    pub fn with_max_stage_retries(mut self, n: usize) -> Self {
+        self.max_stage_retries = n.max(1);
         self
     }
 
@@ -180,6 +193,16 @@ mod tests {
         assert_eq!(c.max_task_attempts, 1, "attempt budget is at least 1");
         assert_eq!(c.seed, 99);
         assert_eq!(c.straggler.prob, 0.5);
+    }
+
+    #[test]
+    fn fault_builder_accepts_legacy_config_and_full_plan() {
+        let c = ClusterConfig::local(2).with_fault(crate::fault::FaultConfig::always_first(2));
+        assert_eq!(c.fault.task_failure.max_per_task, 2);
+        let plan = FaultPlan::none().with_fetch_failures(crate::fault::FaultRule::always_first(1));
+        let c = ClusterConfig::local(2).with_fault(plan).with_max_stage_retries(0);
+        assert!(c.fault.fetch_failure.is_active());
+        assert_eq!(c.max_stage_retries, 1, "stage-retry budget is at least 1");
     }
 
     #[test]

@@ -67,14 +67,19 @@ impl Context {
         let tracer = Arc::new(TraceCollector::new(config.trace));
         let pool = ExecutorPool::start(
             config.worker_threads,
-            config.fault,
+            config.fault.clone(),
             config.seed,
             Arc::clone(&tracer),
         );
+        let shuffles = Arc::new(ShuffleManager::with_tracer_and_faults(
+            Arc::clone(&tracer),
+            config.fault.fetch_failure,
+            config.seed,
+        ));
         Context {
             inner: Arc::new(ContextInner {
                 config,
-                shuffles: Arc::new(ShuffleManager::with_tracer(Arc::clone(&tracer))),
+                shuffles,
                 cache: Arc::new(CacheManager::new()),
                 accums: Arc::new(AccumulatorRegistry::new()),
                 pool,
@@ -132,6 +137,17 @@ impl Context {
     pub fn text_file(&self, dfs: Arc<DfsCluster>, path: &str) -> SparkResult<Rdd<String>> {
         if self.inner.tracer.is_enabled() {
             self.attach_dfs(&dfs);
+        }
+        // forward the fault plan's DFS read rule to the cluster so block
+        // reads exercise replica fallback (and, when every replica is
+        // cursed, typed exhaustion)
+        let rule = self.inner.config.fault.dfs_read_failure;
+        if rule.is_active() {
+            dfs.set_read_faults(Some(minidfs::ReadFaultPlan {
+                seed: self.inner.config.seed,
+                prob: rule.prob,
+                max_dead_replicas_per_block: rule.max_per_task,
+            }));
         }
         let node = TextFileRdd::open(self.inner.next_rdd_id(), dfs, path)?;
         Ok(Rdd::new(Arc::new(node), self.clone()))
@@ -528,6 +544,82 @@ mod tests {
         first_sorted.sort_unstable();
         second.sort_unstable();
         assert_eq!(first_sorted, second, "lineage recomputation restores results");
+    }
+
+    #[test]
+    fn executor_kill_mid_map_stage_recovers_via_lineage() {
+        use crate::fault::{ExecutorKillAt, FaultPlan};
+        use crate::trace::EventKind;
+        let clean: Vec<(u32, u64)> = {
+            let c = Context::new(ClusterConfig::local(1));
+            let mut v = c
+                .parallelize((0..40u32).map(|i| (i % 4, 1u64)).collect(), 4)
+                .reduce_by_key(4, |a, b| a + b)
+                .collect()
+                .unwrap();
+            v.sort_unstable();
+            v
+        };
+        // one executor, killed after the first map task lands: its
+        // registered map output is dropped mid-stage and must be
+        // recomputed before the reduce side can run
+        let cfg = ClusterConfig::local(1)
+            .with_tracing()
+            .with_fault(FaultPlan::none().with_executor_kill(ExecutorKillAt {
+                stage: 0,
+                executor: 0,
+                after_tasks: 1,
+            }))
+            .with_max_attempts(4);
+        let c = Context::new(cfg);
+        let mut got = c
+            .parallelize((0..40u32).map(|i| (i % 4, 1u64)).collect(), 4)
+            .reduce_by_key(4, |a, b| a + b)
+            .collect()
+            .unwrap();
+        got.sort_unstable();
+        assert_eq!(got, clean, "mid-stage executor kill must not change the answer");
+        let t = c.trace().snapshot();
+        let lost =
+            t.events.iter().filter(|e| matches!(e.kind, EventKind::MapOutputLost { .. })).count();
+        let recomputed = t
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::MapOutputRecomputed { .. }))
+            .count();
+        assert!(lost > 0, "the kill must have dropped a registered map output");
+        assert_eq!(lost, recomputed, "every dropped output is recomputed exactly once");
+    }
+
+    #[test]
+    fn executor_kill_mid_result_stage_requeues_in_flight_tasks() {
+        use crate::fault::{ExecutorKillAt, FaultPlan};
+        // the kill lands in the result stage: completed results are
+        // kept, in-flight attempts are requeued (stale replies and
+        // their accumulator updates dropped), and the reduce tasks that
+        // now hit missing map outputs recover through the barrier
+        let cfg = ClusterConfig::local(1)
+            .with_fault(FaultPlan::none().with_executor_kill(ExecutorKillAt {
+                stage: 1,
+                executor: 0,
+                after_tasks: 1,
+            }))
+            .with_max_attempts(4);
+        let c = Context::new(cfg);
+        let acc = c.accumulator(0u64);
+        let acc2 = acc.clone();
+        let mut got: Vec<(u32, u64)> = c
+            .parallelize((0..40u32).map(|i| (i % 4, 1u64)).collect(), 4)
+            .reduce_by_key(4, |a, b| a + b)
+            .map(move |kv| {
+                acc2.add(1);
+                kv
+            })
+            .collect()
+            .unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 10), (1, 10), (2, 10), (3, 10)]);
+        assert_eq!(acc.value(), 4, "requeued attempts must not double-count");
     }
 
     #[test]

@@ -25,6 +25,17 @@ pub enum SparkError {
         /// Reduce partition requested.
         reduce: usize,
     },
+    /// A stage exhausted its fetch-failure recovery budget: lineage
+    /// recomputation of the lost map outputs was retried
+    /// `retries` times without the stage completing.
+    FetchFailed {
+        /// The stage whose tasks kept hitting fetch failures.
+        stage: usize,
+        /// The shuffle whose outputs kept going missing.
+        shuffle: usize,
+        /// Recovery rounds attempted.
+        retries: usize,
+    },
     /// Reading input from the DFS failed.
     Storage(String),
     /// Invalid engine configuration.
@@ -41,6 +52,10 @@ impl std::fmt::Display for SparkError {
             SparkError::ShuffleMissing { shuffle, reduce } => {
                 write!(f, "shuffle {shuffle} output missing for reduce partition {reduce}")
             }
+            SparkError::FetchFailed { stage, shuffle, retries } => write!(
+                f,
+                "stage {stage} aborted: shuffle {shuffle} fetch still failing after {retries} recovery rounds"
+            ),
             SparkError::Storage(m) => write!(f, "storage error: {m}"),
             SparkError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
         }

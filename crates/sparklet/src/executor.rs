@@ -1,19 +1,19 @@
 //! The executor pool: worker threads that run tasks.
 //!
 //! Workers measure each attempt's busy time, install the accumulator
-//! buffer, apply fault injection, and catch panics so one bad task never
-//! takes the process down — the fault-tolerance contrast with MPI the
-//! paper emphasizes.
+//! buffer, apply fault-plan injection (task failures and straggler
+//! slowdowns), and catch panics so one bad task never takes the process
+//! down — the fault-tolerance contrast with MPI the paper emphasizes.
 
 use crate::accumulator::{begin_task_buffer, take_task_buffer};
-use crate::fault::FaultConfig;
-use crate::task::{set_current_executor, AttemptResult, TaskSpec};
+use crate::fault::{FaultPlan, STRAGGLER_SALT, TASK_SALT};
+use crate::task::{set_current_executor, AttemptResult, TaskError, TaskSpec};
 use crate::trace::{self, EventKind, TaskScope, TraceCollector};
 use crossbeam::channel::{unbounded, Sender};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// An envelope routed to a worker.
 pub(crate) struct Envelope {
@@ -30,25 +30,27 @@ pub struct ExecutorPool {
 }
 
 impl ExecutorPool {
-    /// Start `threads` workers applying the given fault model,
-    /// reporting task lifecycle events to `tracer`.
+    /// Start `threads` workers applying the given fault plan, reporting
+    /// task lifecycle events to `tracer`.
     pub(crate) fn start(
         threads: usize,
-        fault: FaultConfig,
+        plan: FaultPlan,
         seed: u64,
         tracer: Arc<TraceCollector>,
     ) -> Self {
         let threads = threads.max(1);
+        let plan = Arc::new(plan);
         let (tx, rx) = unbounded::<Envelope>();
         let workers = (0..threads)
             .map(|w| {
                 let rx = rx.clone();
+                let plan = Arc::clone(&plan);
                 let tracer = Arc::clone(&tracer);
                 std::thread::Builder::new()
                     .name(format!("sparklet-worker-{w}"))
                     .spawn(move || {
                         while let Ok(env) = rx.recv() {
-                            let result = run_attempt(&env, fault, seed, &tracer);
+                            let result = run_attempt(&env, &plan, seed, &tracer);
                             // the driver may have aborted the job; a closed
                             // reply channel is not an error for the worker
                             let _ = env.reply.send(result);
@@ -87,7 +89,7 @@ impl Drop for ExecutorPool {
 
 fn run_attempt(
     env: &Envelope,
-    fault: FaultConfig,
+    plan: &FaultPlan,
     seed: u64,
     tracer: &TraceCollector,
 ) -> AttemptResult {
@@ -102,19 +104,31 @@ fn run_attempt(
     trace::set_task_scope(Some(scope));
     tracer.record(Some(scope), EventKind::TaskStart);
     begin_task_buffer();
+
+    // straggler injection: a real (small) delay perturbing the actual
+    // thread interleaving, the way a slow node would
+    if plan.straggler.should_fire(seed, STRAGGLER_SALT, spec.stage_id, spec.partition, env.attempt)
+    {
+        std::thread::sleep(Duration::from_millis(plan.straggler_delay_ms));
+    }
     let start = Instant::now();
 
-    let mut injected = false;
-    let outcome = if fault.should_fail(seed, spec.stage_id, spec.partition, env.attempt) {
-        injected = true;
-        Err(format!(
+    let outcome = if plan.task_failure.should_fire(
+        seed,
+        TASK_SALT,
+        spec.stage_id,
+        spec.partition,
+        env.attempt,
+    ) {
+        Err(TaskError::generic(format!(
             "injected failure (stage {} partition {} attempt {})",
             spec.stage_id, spec.partition, env.attempt
         ))
+        .injected())
     } else {
         match catch_unwind(AssertUnwindSafe(|| (spec.work)())) {
             Ok(r) => r,
-            Err(panic) => Err(panic_message(panic)),
+            Err(panic) => Err(TaskError::generic(panic_message(panic))),
         }
     };
 
@@ -122,7 +136,7 @@ fn run_attempt(
     let accum_updates = take_task_buffer();
     match &outcome {
         Ok(_) => tracer.record(Some(scope), EventKind::TaskSuccess),
-        Err(_) => tracer.record(Some(scope), EventKind::TaskFailure { injected }),
+        Err(e) => tracer.record(Some(scope), EventKind::TaskFailure { injected: e.injected }),
     }
     trace::set_task_scope(None);
     AttemptResult {
@@ -148,6 +162,7 @@ fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultConfig, FaultRule};
     use crate::task::{TaskOutput, TaskWork};
     use std::sync::Arc;
 
@@ -163,7 +178,7 @@ mod tests {
 
     #[test]
     fn runs_tasks_and_returns_output() {
-        let pool = ExecutorPool::start(2, FaultConfig::NONE, 0, TraceCollector::disabled());
+        let pool = ExecutorPool::start(2, FaultPlan::none(), 0, TraceCollector::disabled());
         let r = run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Boxed(Box::new(41i32))))), 0);
         match r.outcome.unwrap() {
             TaskOutput::Boxed(b) => assert_eq!(*b.downcast::<i32>().unwrap(), 41),
@@ -173,25 +188,42 @@ mod tests {
 
     #[test]
     fn catches_panics() {
-        let pool = ExecutorPool::start(1, FaultConfig::NONE, 0, TraceCollector::disabled());
+        let pool = ExecutorPool::start(1, FaultPlan::none(), 0, TraceCollector::disabled());
         let r = run_one(&pool, spec(Arc::new(|| panic!("kaboom"))), 0);
         let err = r.outcome.err().unwrap();
-        assert!(err.contains("kaboom"), "{err}");
+        assert!(err.message.contains("kaboom"), "{err}");
+        assert!(!err.injected);
     }
 
     #[test]
     fn injects_failures_per_config() {
-        let pool =
-            ExecutorPool::start(1, FaultConfig::always_first(1), 7, TraceCollector::disabled());
+        let pool = ExecutorPool::start(
+            1,
+            FaultConfig::always_first(1).into(),
+            7,
+            TraceCollector::disabled(),
+        );
         let r0 = run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 0);
-        assert!(r0.outcome.is_err());
+        assert!(r0.outcome.as_ref().err().is_some_and(|e| e.injected));
         let r1 = run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 1);
         assert!(r1.outcome.is_ok());
     }
 
     #[test]
+    fn straggler_rule_delays_the_attempt() {
+        let plan = FaultPlan::none().with_stragglers(FaultRule::always_first(1), 20);
+        let pool = ExecutorPool::start(1, plan, 0, TraceCollector::disabled());
+        let t0 = Instant::now();
+        let r = run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 0);
+        assert!(r.outcome.is_ok());
+        assert!(t0.elapsed() >= Duration::from_millis(18), "straggler delay must apply");
+        // busy time excludes the injected delay
+        assert!(r.busy < Duration::from_millis(18));
+    }
+
+    #[test]
     fn busy_time_is_measured() {
-        let pool = ExecutorPool::start(1, FaultConfig::NONE, 0, TraceCollector::disabled());
+        let pool = ExecutorPool::start(1, FaultPlan::none(), 0, TraceCollector::disabled());
         let r = run_one(
             &pool,
             spec(Arc::new(|| {
@@ -205,7 +237,7 @@ mod tests {
 
     #[test]
     fn pool_shuts_down_cleanly() {
-        let pool = ExecutorPool::start(4, FaultConfig::NONE, 0, TraceCollector::disabled());
+        let pool = ExecutorPool::start(4, FaultPlan::none(), 0, TraceCollector::disabled());
         assert_eq!(pool.size(), 4);
         drop(pool); // must not hang
     }
@@ -213,7 +245,8 @@ mod tests {
     #[test]
     fn task_lifecycle_is_traced_with_injected_flag() {
         let tracer = Arc::new(TraceCollector::new(crate::config::TraceConfig::enabled()));
-        let pool = ExecutorPool::start(1, FaultConfig::always_first(1), 0, Arc::clone(&tracer));
+        let pool =
+            ExecutorPool::start(1, FaultConfig::always_first(1).into(), 0, Arc::clone(&tracer));
         assert!(run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 0).outcome.is_err());
         assert!(run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 1).outcome.is_ok());
         let kinds: Vec<EventKind> = tracer.snapshot().events.iter().map(|e| e.kind).collect();
@@ -224,7 +257,7 @@ mod tests {
 
     #[test]
     fn zero_threads_clamped_to_one() {
-        let pool = ExecutorPool::start(0, FaultConfig::NONE, 0, TraceCollector::disabled());
+        let pool = ExecutorPool::start(0, FaultPlan::none(), 0, TraceCollector::disabled());
         assert_eq!(pool.size(), 1);
     }
 }

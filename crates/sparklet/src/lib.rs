@@ -51,10 +51,11 @@ pub use broadcast::Broadcast;
 pub use config::{ClusterConfig, StragglerConfig, TraceConfig};
 pub use context::{Context, KillReport};
 pub use error::{SparkError, SparkResult};
-pub use fault::FaultConfig;
+pub use fault::{ExecutorKillAt, FaultConfig, FaultPlan, FaultRule};
 pub use metrics::{JobMetrics, StageKind, StageMetrics, TaskMetrics};
 pub use rdd::{CoGrouped, Rdd};
 pub use sim::{lpt_makespan, VirtualScheduler};
+pub use task::{TaskError, TaskErrorKind};
 pub use trace::{
     ascii_timeline, chrome_trace_json, validate_chrome_trace, EventKind, TaskScope, Trace,
     TraceEvent, TraceHandle, TraceSummary,

@@ -59,8 +59,10 @@ pub(crate) trait AnyRdd: Send + Sync {
 pub(crate) trait RddNode: AnyRdd {
     /// Element type.
     type Item: Data;
-    /// Materialize one partition. Errors become task failures (retried).
-    fn compute(&self, part: usize) -> Result<Vec<Self::Item>, String>;
+    /// Materialize one partition. Errors become typed task failures:
+    /// the scheduler retries generic ones in place and recovers fetch
+    /// failures via lineage recomputation.
+    fn compute(&self, part: usize) -> Result<Vec<Self::Item>, crate::task::TaskError>;
 }
 
 /// Result type of [`Rdd::cogroup`]: per key, the values of both sides.

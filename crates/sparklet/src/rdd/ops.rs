@@ -45,7 +45,7 @@ impl<T: Data> AnyRdd for ParallelRdd<T> {
 impl<T: Data> RddNode for ParallelRdd<T> {
     type Item = T;
 
-    fn compute(&self, part: usize) -> Result<Vec<T>, String> {
+    fn compute(&self, part: usize) -> Result<Vec<T>, crate::task::TaskError> {
         let (a, b) = self.slice(part);
         Ok(self.data[a..b].to_vec())
     }
@@ -81,7 +81,7 @@ impl AnyRdd for RangeRdd {
 impl RddNode for RangeRdd {
     type Item = u64;
 
-    fn compute(&self, part: usize) -> Result<Vec<u64>, String> {
+    fn compute(&self, part: usize) -> Result<Vec<u64>, crate::task::TaskError> {
         let n = self.end.saturating_sub(self.start);
         let p = self.num_partitions as u64;
         let a = self.start + (part as u64) * n / p;
@@ -118,7 +118,7 @@ impl<T: Data, U: Data> AnyRdd for MapRdd<T, U> {
 impl<T: Data, U: Data> RddNode for MapRdd<T, U> {
     type Item = U;
 
-    fn compute(&self, part: usize) -> Result<Vec<U>, String> {
+    fn compute(&self, part: usize) -> Result<Vec<U>, crate::task::TaskError> {
         Ok(self.prev.compute(part)?.into_iter().map(|t| (self.f)(t)).collect())
     }
 }
@@ -151,7 +151,7 @@ impl<T: Data> AnyRdd for FilterRdd<T> {
 impl<T: Data> RddNode for FilterRdd<T> {
     type Item = T;
 
-    fn compute(&self, part: usize) -> Result<Vec<T>, String> {
+    fn compute(&self, part: usize) -> Result<Vec<T>, crate::task::TaskError> {
         Ok(self.prev.compute(part)?.into_iter().filter(|t| (self.f)(t)).collect())
     }
 }
@@ -184,7 +184,7 @@ impl<T: Data, U: Data> AnyRdd for FlatMapRdd<T, U> {
 impl<T: Data, U: Data> RddNode for FlatMapRdd<T, U> {
     type Item = U;
 
-    fn compute(&self, part: usize) -> Result<Vec<U>, String> {
+    fn compute(&self, part: usize) -> Result<Vec<U>, crate::task::TaskError> {
         Ok(self.prev.compute(part)?.into_iter().flat_map(|t| (self.f)(t)).collect())
     }
 }
@@ -217,7 +217,7 @@ impl<T: Data, U: Data> AnyRdd for MapPartitionsRdd<T, U> {
 impl<T: Data, U: Data> RddNode for MapPartitionsRdd<T, U> {
     type Item = U;
 
-    fn compute(&self, part: usize) -> Result<Vec<U>, String> {
+    fn compute(&self, part: usize) -> Result<Vec<U>, crate::task::TaskError> {
         Ok((self.f)(part, self.prev.compute(part)?))
     }
 }
@@ -250,7 +250,7 @@ impl<T: Data> AnyRdd for UnionRdd<T> {
 impl<T: Data> RddNode for UnionRdd<T> {
     type Item = T;
 
-    fn compute(&self, part: usize) -> Result<Vec<T>, String> {
+    fn compute(&self, part: usize) -> Result<Vec<T>, crate::task::TaskError> {
         let nf = self.first.num_partitions();
         if part < nf {
             self.first.compute(part)
@@ -289,7 +289,7 @@ impl<T: Data> AnyRdd for ZipWithIndexRdd<T> {
 impl<T: Data> RddNode for ZipWithIndexRdd<T> {
     type Item = (T, u64);
 
-    fn compute(&self, part: usize) -> Result<Vec<(T, u64)>, String> {
+    fn compute(&self, part: usize) -> Result<Vec<(T, u64)>, crate::task::TaskError> {
         let base = self.offsets[part];
         Ok(self
             .prev
@@ -330,7 +330,7 @@ impl<T: Data> AnyRdd for CachedRdd<T> {
 impl<T: Data> RddNode for CachedRdd<T> {
     type Item = T;
 
-    fn compute(&self, part: usize) -> Result<Vec<T>, String> {
+    fn compute(&self, part: usize) -> Result<Vec<T>, crate::task::TaskError> {
         if let Some(hit) = self.cache.get(self.id, part) {
             let data = hit.downcast_ref::<Vec<T>>().expect("cached partition type");
             return Ok(data.clone());

@@ -143,11 +143,10 @@ where
 {
     type Item = (K, C);
 
-    fn compute(&self, part: usize) -> Result<Vec<(K, C)>, String> {
-        let column = self
-            .shuffles
-            .fetch(self.shuffle_id, part)
-            .ok_or_else(|| format!("shuffle {} outputs missing", self.shuffle_id))?;
+    fn compute(&self, part: usize) -> Result<Vec<(K, C)>, crate::task::TaskError> {
+        // fetch_checked applies the fault plan's fetch-failure rule and
+        // returns typed errors, routing recovery through lineage
+        let column = self.shuffles.fetch_checked(self.shuffle_id, part)?;
         let mut table: std::collections::HashMap<K, C> = std::collections::HashMap::new();
         let mut records = 0u64;
         for bucket in column {

@@ -5,6 +5,7 @@
 //! following blocks to finish the line.
 
 use super::{AnyRdd, Parent, RddNode};
+use crate::task::TaskError;
 use minidfs::{BlockInfo, DfsCluster, DfsError};
 use std::sync::Arc;
 
@@ -22,8 +23,12 @@ impl TextFileRdd {
         Ok(TextFileRdd { id, dfs, path: path.to_string(), blocks })
     }
 
-    fn read(&self, part: usize) -> Result<Arc<Vec<u8>>, String> {
-        self.dfs.read_block(&self.path, &self.blocks[part]).map_err(|e| e.to_string())
+    fn read(&self, part: usize) -> Result<Arc<Vec<u8>>, TaskError> {
+        // DFS failures (notably replica exhaustion) are storage-kind
+        // task errors, surfaced typed once the retry budget is spent
+        self.dfs
+            .read_block(&self.path, &self.blocks[part])
+            .map_err(|e| TaskError::storage(e.to_string()))
     }
 }
 
@@ -48,7 +53,7 @@ impl AnyRdd for TextFileRdd {
 impl RddNode for TextFileRdd {
     type Item = String;
 
-    fn compute(&self, part: usize) -> Result<Vec<String>, String> {
+    fn compute(&self, part: usize) -> Result<Vec<String>, TaskError> {
         if self.blocks.is_empty() {
             return Ok(Vec::new());
         }

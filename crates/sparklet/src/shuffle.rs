@@ -8,11 +8,21 @@
 //! and estimated byte moved is counted, and the DBSCAN tests assert the
 //! count is **zero** for the paper's algorithm and non-zero for the
 //! shuffle-based baseline.
+//!
+//! The manager is also the injection point for **shuffle fetch
+//! failures**: under an active [`FaultRule`], a reduce-side fetch can
+//! deterministically mark one parent map output lost and fail with a
+//! typed [`TaskError`], driving the scheduler down the
+//! lineage-recomputation path. Lost and recomputed outputs are recorded
+//! as paired [`EventKind::MapOutputLost`] / [`EventKind::MapOutputRecomputed`]
+//! trace events.
 
-use crate::trace::{EventKind, TraceCollector};
+use crate::fault::{decision_hash, FaultRule, FETCH_SALT, VICTIM_SALT};
+use crate::task::TaskError;
+use crate::trace::{self, EventKind, TraceCollector};
 use parking_lot::Mutex;
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -31,6 +41,10 @@ struct ShuffleState {
     num_maps: usize,
     num_reduces: usize,
     outputs: Vec<Option<MapOutput>>,
+    /// Map partitions whose output was lost (fault injection or
+    /// executor kill) and not yet recomputed — recomputing one records
+    /// the matching `MapOutputRecomputed` event.
+    lost: HashSet<usize>,
 }
 
 /// Registry of all shuffle outputs in a context.
@@ -39,6 +53,9 @@ pub struct ShuffleManager {
     records: AtomicU64,
     bytes: AtomicU64,
     tracer: Arc<TraceCollector>,
+    /// Fetch-failure injection rule (from the context's fault plan).
+    fetch_fault: FaultRule,
+    seed: u64,
 }
 
 impl Default for ShuffleManager {
@@ -55,11 +72,22 @@ impl ShuffleManager {
 
     /// Fresh manager reporting shuffle traffic to `tracer`.
     pub(crate) fn with_tracer(tracer: Arc<TraceCollector>) -> Self {
+        Self::with_tracer_and_faults(tracer, FaultRule::NONE, 0)
+    }
+
+    /// Fresh manager with fetch-failure injection under `fetch_fault`.
+    pub(crate) fn with_tracer_and_faults(
+        tracer: Arc<TraceCollector>,
+        fetch_fault: FaultRule,
+        seed: u64,
+    ) -> Self {
         ShuffleManager {
             shuffles: Mutex::new(HashMap::new()),
             records: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             tracer,
+            fetch_fault,
+            seed,
         }
     }
 
@@ -70,11 +98,14 @@ impl ShuffleManager {
             num_maps,
             num_reduces,
             outputs: vec![None; num_maps],
+            lost: HashSet::new(),
         });
     }
 
     /// Store the output of map task `map_part`, overwriting any previous
-    /// attempt's output (task retries are idempotent).
+    /// attempt's output (task retries are idempotent). If the partition
+    /// had been marked lost, this is its recomputation and the matching
+    /// `MapOutputRecomputed` event is recorded.
     pub(crate) fn put_map_output(
         &self,
         shuffle_id: usize,
@@ -89,9 +120,16 @@ impl ShuffleManager {
         assert!(map_part < st.num_maps, "map partition out of range");
         assert_eq!(buckets.len(), st.num_reduces, "bucket count mismatch");
         st.outputs[map_part] = Some(MapOutput { executor, buckets });
+        let recomputed = st.lost.remove(&map_part);
         drop(s);
         self.records.fetch_add(records, Ordering::Relaxed);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        if recomputed {
+            self.tracer.record_auto(EventKind::MapOutputRecomputed {
+                shuffle: shuffle_id,
+                partition: map_part,
+            });
+        }
         self.tracer.record_auto(EventKind::ShuffleWrite { shuffle: shuffle_id, records, bytes });
     }
 
@@ -128,21 +166,96 @@ impl ShuffleManager {
         Some(col)
     }
 
-    /// Drop every map output produced by `executor` across all shuffles
-    /// (simulating the loss of that executor). Returns how many outputs
-    /// were lost.
-    pub fn kill_executor(&self, executor: usize) -> usize {
-        let mut lost = 0;
-        let mut s = self.shuffles.lock();
-        for st in s.values_mut() {
-            for o in &mut st.outputs {
-                if o.as_ref().is_some_and(|m| m.executor == executor) {
-                    *o = None;
-                    lost += 1;
+    /// Fetch with fault injection and typed errors: under an active
+    /// fetch-failure rule, the decision keyed by the calling task's
+    /// `(stage, partition, attempt)` identity (and the shuffle id) may
+    /// mark a deterministic victim map output lost and fail the fetch.
+    /// A genuinely incomplete shuffle (e.g. after a mid-stage executor
+    /// kill) also fails typed, so the scheduler recovers via lineage
+    /// either way.
+    pub(crate) fn fetch_checked(
+        &self,
+        shuffle_id: usize,
+        reduce_part: usize,
+    ) -> Result<Vec<Bucket>, TaskError> {
+        if self.fetch_fault.is_active() {
+            if let Some(scope) = trace::task_scope() {
+                let fire = self.fetch_fault.should_fire(
+                    self.seed,
+                    FETCH_SALT.wrapping_add(shuffle_id as u64),
+                    scope.stage,
+                    scope.partition,
+                    scope.attempt,
+                );
+                if fire {
+                    let victim = self.inject_lost_output(shuffle_id, scope);
+                    return Err(TaskError::fetch_failed(
+                        shuffle_id,
+                        format!(
+                            "injected fetch failure (stage {} partition {} attempt {}): map output {victim} lost",
+                            scope.stage, scope.partition, scope.attempt
+                        ),
+                    )
+                    .injected());
                 }
             }
         }
-        lost
+        self.fetch(shuffle_id, reduce_part).ok_or_else(|| {
+            TaskError::fetch_failed(
+                shuffle_id,
+                format!("outputs missing for reduce partition {reduce_part}"),
+            )
+        })
+    }
+
+    /// Pick and mark the victim map output for an injected fetch
+    /// failure. The victim index is derived from the same deterministic
+    /// key as the decision, so a given `(stage, partition, attempt)`
+    /// always loses the same output. The `MapOutputLost` event is
+    /// recorded in the failing task's scope (once per injection) even if
+    /// another task already lost the same victim, keeping the trace
+    /// independent of reply ordering.
+    fn inject_lost_output(&self, shuffle_id: usize, scope: trace::TaskScope) -> usize {
+        let mut s = self.shuffles.lock();
+        let Some(st) = s.get_mut(&shuffle_id) else { return 0 };
+        let h = decision_hash(
+            self.seed,
+            VICTIM_SALT.wrapping_add(shuffle_id as u64),
+            scope.stage as u64,
+            scope.partition as u64,
+            scope.attempt as u64,
+        );
+        let victim = (h % st.num_maps.max(1) as u64) as usize;
+        st.outputs[victim] = None;
+        st.lost.insert(victim);
+        drop(s);
+        self.tracer
+            .record_auto(EventKind::MapOutputLost { shuffle: shuffle_id, partition: victim });
+        victim
+    }
+
+    /// Drop every map output produced by `executor` across all shuffles
+    /// (simulating the loss of that executor), recording a
+    /// `MapOutputLost` event per dropped output. Returns how many
+    /// outputs were lost.
+    pub fn kill_executor(&self, executor: usize) -> usize {
+        let mut lost: Vec<(usize, usize)> = Vec::new();
+        let mut s = self.shuffles.lock();
+        for (&sid, st) in s.iter_mut() {
+            for (i, o) in st.outputs.iter_mut().enumerate() {
+                if o.as_ref().is_some_and(|m| m.executor == executor) {
+                    *o = None;
+                    st.lost.insert(i);
+                    lost.push((sid, i));
+                }
+            }
+        }
+        drop(s);
+        lost.sort_unstable();
+        for &(sid, i) in &lost {
+            self.tracer.record_auto(EventKind::MapOutputLost { shuffle: sid, partition: i });
+        }
+        lost.len()
     }
 
     /// Total records moved through shuffles since creation.
@@ -159,6 +272,7 @@ impl ShuffleManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::TaskScope;
 
     fn bucket(v: Vec<(u32, u32)>) -> Bucket {
         Arc::new(v)
@@ -220,5 +334,65 @@ mod tests {
         assert!(m.fetch(99, 0).is_none());
         assert!(m.missing_maps(99).is_empty());
         assert!(!m.is_registered(99));
+    }
+
+    #[test]
+    fn fetch_checked_without_faults_matches_fetch() {
+        let m = ShuffleManager::new();
+        m.register(0, 1, 1);
+        let err = m.fetch_checked(0, 0).unwrap_err();
+        assert_eq!(err.kind, crate::task::TaskErrorKind::FetchFailed { shuffle: 0 });
+        assert!(!err.injected);
+        m.put_map_output(0, 0, 0, vec![bucket(vec![(1, 1)])], 1, 8);
+        assert!(m.fetch_checked(0, 0).is_ok());
+    }
+
+    #[test]
+    fn injected_fetch_failure_marks_victim_lost_then_recomputed() {
+        let m = ShuffleManager::with_tracer_and_faults(
+            Arc::new(TraceCollector::new(crate::config::TraceConfig::enabled())),
+            FaultRule::always_first(1),
+            42,
+        );
+        m.register(3, 2, 1);
+        m.put_map_output(3, 0, 0, vec![bucket(vec![(1, 1)])], 1, 8);
+        m.put_map_output(3, 1, 1, vec![bucket(vec![(2, 2)])], 1, 8);
+
+        // attempt 0 inside a task scope: injection fires, a victim is lost
+        trace::set_task_scope(Some(TaskScope { stage: 9, partition: 0, attempt: 0, executor: 0 }));
+        let err = m.fetch_checked(3, 0).unwrap_err();
+        assert!(err.injected, "{err}");
+        let missing = m.missing_maps(3);
+        assert_eq!(missing.len(), 1, "exactly one victim lost");
+
+        // recompute the victim, then attempt 1 succeeds
+        m.put_map_output(3, missing[0], 0, vec![bucket(vec![(1, 1)])], 1, 8);
+        trace::set_task_scope(Some(TaskScope { stage: 9, partition: 0, attempt: 1, executor: 0 }));
+        assert!(m.fetch_checked(3, 0).is_ok());
+        trace::set_task_scope(None);
+    }
+
+    #[test]
+    fn lost_and_recomputed_events_pair_up() {
+        let tracer = Arc::new(TraceCollector::new(crate::config::TraceConfig::enabled()));
+        let m = ShuffleManager::with_tracer(Arc::clone(&tracer));
+        m.register(0, 2, 1);
+        m.put_map_output(0, 0, 7, vec![bucket(vec![(1, 1)])], 1, 8);
+        m.put_map_output(0, 1, 8, vec![bucket(vec![(2, 2)])], 1, 8);
+        m.kill_executor(7);
+        m.put_map_output(0, 0, 3, vec![bucket(vec![(1, 1)])], 1, 8);
+        let events = tracer.snapshot().events;
+        let lost: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::MapOutputLost { shuffle: 0, partition: 0 }))
+            .collect();
+        let recomputed: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, EventKind::MapOutputRecomputed { shuffle: 0, partition: 0 })
+            })
+            .collect();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(recomputed.len(), 1);
     }
 }

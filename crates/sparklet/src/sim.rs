@@ -82,6 +82,13 @@ impl VirtualScheduler {
         self.driver_clock
     }
 
+    /// The driver sleeps `ticks` on its clock (e.g. a stage-retry
+    /// backoff), then observes the wake-up one tick later.
+    pub fn driver_backoff(&mut self, ticks: u64) -> u64 {
+        self.driver_clock += ticks + DRIVER_TICK;
+        self.driver_clock
+    }
+
     /// Start a task on `executor`'s lane, no earlier than `not_before`.
     /// Returns the start time; the lane is *not* advanced until
     /// [`VirtualScheduler::task_end`].
@@ -172,6 +179,8 @@ mod tests {
         assert_eq!(vs.driver_tick(), 2);
         assert_eq!(vs.driver_join(10), 11, "joins jump past finished work");
         assert_eq!(vs.driver_join(5), 12, "joins never go backwards");
+        assert_eq!(vs.driver_backoff(8), 21, "backoff sleeps then observes");
+        assert_eq!(vs.driver_backoff(0), 22, "zero backoff still advances");
     }
 
     #[test]

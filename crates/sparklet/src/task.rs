@@ -2,6 +2,7 @@
 
 use std::any::Any;
 use std::cell::Cell;
+use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -13,8 +14,91 @@ pub(crate) enum TaskOutput {
     Boxed(Box<dyn Any + Send>),
 }
 
+/// Why a task attempt failed — the scheduler picks its recovery path by
+/// kind: `Generic` failures are retried in place, `FetchFailed` triggers
+/// lineage recomputation of the lost map outputs, `Storage` failures
+/// surface as typed [`crate::SparkError::Storage`] once retries are
+/// exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskErrorKind {
+    /// User-code error or panic (retried in place).
+    Generic,
+    /// A reduce-side fetch could not obtain every map output of the
+    /// named shuffle.
+    FetchFailed {
+        /// The shuffle whose outputs were incomplete.
+        shuffle: usize,
+    },
+    /// The storage layer (DFS) failed — e.g. every replica of a block
+    /// was lost.
+    Storage,
+}
+
+/// A typed task-attempt failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// Recovery-relevant classification.
+    pub kind: TaskErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+    /// Whether this failure was injected by the fault plan (as opposed
+    /// to arising from user code or a real missing output).
+    pub injected: bool,
+}
+
+impl TaskError {
+    /// A plain user-code failure.
+    pub fn generic(message: impl Into<String>) -> Self {
+        TaskError { kind: TaskErrorKind::Generic, message: message.into(), injected: false }
+    }
+
+    /// A shuffle-fetch failure for `shuffle`.
+    pub fn fetch_failed(shuffle: usize, message: impl Into<String>) -> Self {
+        TaskError {
+            kind: TaskErrorKind::FetchFailed { shuffle },
+            message: message.into(),
+            injected: false,
+        }
+    }
+
+    /// A storage-layer failure.
+    pub fn storage(message: impl Into<String>) -> Self {
+        TaskError { kind: TaskErrorKind::Storage, message: message.into(), injected: false }
+    }
+
+    /// Builder-style: mark the failure as fault-plan-injected.
+    pub fn injected(mut self) -> Self {
+        self.injected = true;
+        self
+    }
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TaskErrorKind::Generic => write!(f, "{}", self.message),
+            TaskErrorKind::FetchFailed { shuffle } => {
+                write!(f, "fetch failed (shuffle {}): {}", shuffle, self.message)
+            }
+            TaskErrorKind::Storage => write!(f, "storage failure: {}", self.message),
+        }
+    }
+}
+
+impl From<String> for TaskError {
+    fn from(message: String) -> Self {
+        TaskError::generic(message)
+    }
+}
+
+impl From<&str> for TaskError {
+    fn from(message: &str) -> Self {
+        TaskError::generic(message)
+    }
+}
+
 /// The (re-runnable) work of one task: retries call it again.
-pub(crate) type TaskWork = Arc<dyn Fn() -> Result<TaskOutput, String> + Send + Sync>;
+pub(crate) type TaskWork = Arc<dyn Fn() -> Result<TaskOutput, TaskError> + Send + Sync>;
 
 /// A task as submitted by the scheduler.
 #[derive(Clone)]
@@ -35,7 +119,7 @@ pub(crate) struct AttemptResult {
     pub executor: usize,
     pub attempt: usize,
     pub busy: Duration,
-    pub outcome: Result<TaskOutput, String>,
+    pub outcome: Result<TaskOutput, TaskError>,
     /// Buffered accumulator updates (merged only on success).
     pub accum_updates: Vec<crate::accumulator::PendingUpdate>,
 }
@@ -74,5 +158,22 @@ mod tests {
         let spec2 = spec.clone();
         assert!(matches!((spec.work)(), Ok(TaskOutput::Unit)));
         assert!(matches!((spec2.work)(), Ok(TaskOutput::Unit)));
+    }
+
+    #[test]
+    fn task_error_kinds_display_and_convert() {
+        let g: TaskError = "boom".into();
+        assert_eq!(g.kind, TaskErrorKind::Generic);
+        assert!(!g.injected);
+        assert_eq!(g.to_string(), "boom");
+
+        let f = TaskError::fetch_failed(3, "map 1 missing").injected();
+        assert_eq!(f.kind, TaskErrorKind::FetchFailed { shuffle: 3 });
+        assert!(f.injected);
+        assert!(f.to_string().contains("shuffle 3"));
+
+        let s = TaskError::storage(String::from("all replicas lost"));
+        assert_eq!(s.kind, TaskErrorKind::Storage);
+        assert!(s.to_string().contains("storage failure"));
     }
 }

@@ -146,6 +146,35 @@ pub enum EventKind {
         /// Phase name.
         name: &'static str,
     },
+    /// A shuffle map output was lost — to an injected fetch failure
+    /// (recorded in the failing reduce task's scope) or an executor
+    /// kill (recorded driver-side).
+    MapOutputLost {
+        /// Shuffle id.
+        shuffle: usize,
+        /// Map partition whose output was lost.
+        partition: usize,
+    },
+    /// A previously-lost map output was recomputed from lineage
+    /// (recorded in the recomputing map task's scope).
+    MapOutputRecomputed {
+        /// Shuffle id.
+        shuffle: usize,
+        /// Map partition that was recomputed.
+        partition: usize,
+    },
+    /// The scheduler started a fetch-failure recovery round for a
+    /// stage, after a virtual-time backoff.
+    StageRetry {
+        /// The stage whose tasks hit fetch failures.
+        stage: usize,
+        /// The shuffle whose outputs are being recomputed.
+        shuffle: usize,
+        /// Recovery round within the stage (1-based).
+        retry: usize,
+        /// Virtual driver ticks waited before this round.
+        backoff_ticks: u64,
+    },
 }
 
 impl EventKind {
@@ -160,6 +189,9 @@ impl EventKind {
             EventKind::ExecutorKill { .. } => "executor",
             EventKind::DfsBlockRead { .. } | EventKind::DfsReplicaFallback { .. } => "dfs",
             EventKind::PhaseStart { .. } | EventKind::PhaseEnd { .. } => "phase",
+            EventKind::MapOutputLost { .. }
+            | EventKind::MapOutputRecomputed { .. }
+            | EventKind::StageRetry { .. } => "recovery",
         }
     }
 
@@ -327,6 +359,11 @@ impl TraceCollector {
             let vt = match (e.scope, e.kind) {
                 (None, EventKind::StageEnd { stage, .. }) => {
                     vs.driver_join(stage_max_end.get(&stage).copied().unwrap_or(0))
+                }
+                (None, EventKind::StageRetry { backoff_ticks, .. }) => {
+                    // recovery rounds wait out an exponential backoff on
+                    // the virtual driver clock
+                    vs.driver_backoff(backoff_ticks)
                 }
                 (None, kind) => {
                     let t = vs.driver_tick();
@@ -679,6 +716,29 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                 e.vt,
                 instant("dfs replica fallback", "dfs", e.vt, pid, tid,
                     &format!("\"block\":{block},\"lost\":{lost}")),
+            ),
+            EventKind::MapOutputLost { shuffle, partition } => push(
+                &mut entries,
+                &mut order,
+                e.vt,
+                instant("map output lost", "recovery", e.vt, pid, tid,
+                    &format!("\"shuffle\":{shuffle},\"partition\":{partition}")),
+            ),
+            EventKind::MapOutputRecomputed { shuffle, partition } => push(
+                &mut entries,
+                &mut order,
+                e.vt,
+                instant("map output recomputed", "recovery", e.vt, pid, tid,
+                    &format!("\"shuffle\":{shuffle},\"partition\":{partition}")),
+            ),
+            EventKind::StageRetry { stage, shuffle, retry, backoff_ticks } => push(
+                &mut entries,
+                &mut order,
+                e.vt,
+                instant("stage retry", "recovery", e.vt, pid, tid,
+                    &format!(
+                        "\"stage\":{stage},\"shuffle\":{shuffle},\"retry\":{retry},\"backoff_ticks\":{backoff_ticks}"
+                    )),
             ),
         }
     }

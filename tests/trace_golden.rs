@@ -3,10 +3,12 @@
 //! no matter how the OS schedules the worker threads — even when fault
 //! injection forces task retries.
 
+use scalable_dbscan::dbscan::ShuffleDbscan;
 use scalable_dbscan::engine::{
-    chrome_trace_json, validate_chrome_trace, EventKind, FaultConfig, Trace,
+    chrome_trace_json, validate_chrome_trace, EventKind, FaultConfig, FaultPlan, FaultRule, Trace,
 };
 use scalable_dbscan::prelude::*;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// One fresh context + traced 2-partition run with every task's first
@@ -64,4 +66,82 @@ fn golden_trace_structure() {
     for cat in ["job", "stage", "task", "broadcast", "phase"] {
         assert!(summary.count(cat) > 0, "missing {cat} events");
     }
+}
+
+/// One fresh context + traced shuffle-baseline run where the first
+/// fetch of every reduce task fails (injected), marking a map output
+/// lost and forcing lineage recomputation of exactly that output.
+fn traced_fetch_failure_run() -> (Trace, Vec<Label>) {
+    let spec = StandardDataset::C10k.scaled_spec(64);
+    let (data, _) = spec.generate();
+    let data = Arc::new(data);
+    let params = DbscanParams::new(spec.eps, spec.min_pts).unwrap();
+    let cfg = ClusterConfig::local(2)
+        .with_tracing()
+        .with_fault(FaultPlan::none().with_fetch_failures(FaultRule::always_first(1)))
+        .with_max_attempts(4)
+        .with_seed(42);
+    let ctx = Context::new(cfg);
+    let r = ShuffleDbscan::new(params).partitions(2).run(&ctx, Arc::clone(&data)).unwrap();
+    (ctx.trace().snapshot(), r.clustering.canonicalize().labels)
+}
+
+#[test]
+fn fetch_failure_recovery_trace_is_byte_identical_across_runs() {
+    let (ta, la) = traced_fetch_failure_run();
+    let (tb, lb) = traced_fetch_failure_run();
+    assert_eq!(la, lb, "recovered clustering must be deterministic");
+    assert_eq!(format!("{ta:?}"), format!("{tb:?}"), "recovery trace snapshots must match");
+    assert_eq!(
+        chrome_trace_json(&ta),
+        chrome_trace_json(&tb),
+        "recovery trace exports must match byte for byte"
+    );
+}
+
+#[test]
+fn fetch_failure_recovery_trace_structure() {
+    let (t, labels) = traced_fetch_failure_run();
+
+    // fault injection must not change the answer: same clustering as a
+    // clean run of the same workload
+    let spec = StandardDataset::C10k.scaled_spec(64);
+    let (data, _) = spec.generate();
+    let params = DbscanParams::new(spec.eps, spec.min_pts).unwrap();
+    let clean_ctx = Context::new(ClusterConfig::local(2));
+    let clean = ShuffleDbscan::new(params).partitions(2).run(&clean_ctx, Arc::new(data)).unwrap();
+    assert_eq!(labels, clean.clustering.canonicalize().labels);
+
+    // lineage recomputation is surgical: the set of recomputed map
+    // partitions equals the set marked lost — nothing more recomputed,
+    // nothing lost left behind
+    let lost: HashSet<(usize, usize)> = t
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::MapOutputLost { shuffle, partition } => Some((shuffle, partition)),
+            _ => None,
+        })
+        .collect();
+    let recomputed: HashSet<(usize, usize)> = t
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::MapOutputRecomputed { shuffle, partition } => Some((shuffle, partition)),
+            _ => None,
+        })
+        .collect();
+    assert!(!lost.is_empty(), "fetch faults must have marked map outputs lost");
+    assert_eq!(lost, recomputed, "exactly the lost outputs are recomputed");
+
+    // the driver recorded the recovery round with its virtual-time
+    // backoff, and the export carries the recovery category
+    assert!(
+        t.events.iter().any(
+            |e| matches!(e.kind, EventKind::StageRetry { backoff_ticks, .. } if backoff_ticks > 0)
+        ),
+        "stage retry with backoff must be traced"
+    );
+    let summary = validate_chrome_trace(&chrome_trace_json(&t)).expect("valid chrome trace");
+    assert!(summary.count("recovery") > 0, "recovery events must export");
 }
