@@ -1,0 +1,274 @@
+//! PR4 perf suite: cost-balanced partition planning and the
+//! dimension-specialized query kernels, measured head to head.
+//!
+//! Two experiments, both deterministic in the seed:
+//!
+//! 1. **Partitioning** — a skewed workload (Gaussian hotspot emitted as
+//!    the index prefix, uniform background after it) is clustered with
+//!    `Balance::Count` (the paper's equal-count split) and
+//!    `Balance::Cost` (the eps-grid cost planner). For each arm the
+//!    suite records wall clock, the executor stage's max/mean task-time
+//!    ratio, and the deterministic work imbalance from per-partition
+//!    `neighbors_found`. The two clusterings must be byte-identical —
+//!    the planner only moves cuts, never labels — and the suite exits
+//!    non-zero if they are not.
+//! 2. **Kernels** — `scan_block` (dispatching to the monomorphized
+//!    `D = 2/3/4` kernels) against `scan_block_generic` on the same
+//!    block, reported as queries/sec per dimension, with the generic
+//!    fallback dim included as the control.
+//!
+//! Results land in `<out_dir>/BENCH_PR4.json` for EXPERIMENTS.md and
+//! the CI artifact.
+//!
+//! Usage:
+//!   cargo run --release -p dbscan-bench --bin perf_suite -- [out_dir] [n]
+
+use dbscan_bench::report;
+use dbscan_core::{Balance, DbscanParams, SparkDbscan, SparkDbscanResult};
+use dbscan_datagen::{SkewedGenerator, SkewedParams};
+use dbscan_spatial::{scan_block, scan_block_generic, Dataset, Metric};
+use serde::Serialize;
+use sparklet::{ClusterConfig, Context};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+const PARTITIONS: usize = 8;
+const SEED: u64 = 42;
+const EPS: f64 = 25.0;
+const MIN_PTS: usize = 5;
+
+#[derive(Serialize)]
+struct Config {
+    n: usize,
+    dim: usize,
+    seed: u64,
+    partitions: usize,
+    eps: f64,
+    min_pts: usize,
+    hotspot_fraction: f64,
+    hotspot_sigma: f64,
+    side: f64,
+}
+
+#[derive(Serialize)]
+struct Arm {
+    balance: &'static str,
+    wall_ms: f64,
+    plan_ms: f64,
+    executor_wall_ms: f64,
+    task_max_ms: f64,
+    /// LPT makespan on `PARTITIONS` virtual executors — what a cluster
+    /// with one core per partition would observe (the host may have
+    /// fewer cores than partitions, serializing real wall time).
+    simulated_makespan_ms: f64,
+    task_max_mean_ratio: f64,
+    work_max_mean_ratio: f64,
+    partition_work: Vec<u64>,
+    predicted_cost: Option<Vec<f64>>,
+    clusters: usize,
+    noise: usize,
+}
+
+#[derive(Serialize)]
+struct Partitioning {
+    count: Arm,
+    cost: Arm,
+    labels_identical: bool,
+    work_ratio_improvement: f64,
+}
+
+#[derive(Serialize)]
+struct KernelRow {
+    dim: usize,
+    specialized: bool,
+    rows: usize,
+    queries: usize,
+    specialized_qps: f64,
+    generic_qps: f64,
+    speedup: f64,
+    matches: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    config: Config,
+    partitioning: Partitioning,
+    kernels: Vec<KernelRow>,
+}
+
+/// One arm of the partitioning experiment.
+fn run_arm(balance: Balance, data: &Arc<Dataset>) -> (SparkDbscanResult, f64) {
+    let params = DbscanParams::new(EPS, MIN_PTS).expect("valid params");
+    let ctx = Context::new(ClusterConfig::local(PARTITIONS).with_seed(SEED));
+    let t = Instant::now();
+    let result = SparkDbscan::new(params)
+        .partitions(PARTITIONS)
+        .exact()
+        .balance(balance)
+        .run(&ctx, Arc::clone(data));
+    (result, t.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Max/mean over the deterministic work proxy (`neighbors_found` per
+/// partition) — immune to timer noise, in the planner's own cost units.
+fn work_ratio(result: &SparkDbscanResult) -> f64 {
+    let work: Vec<f64> =
+        result.executor_stats.iter().map(|(_, s)| s.neighbors_found as f64).collect();
+    let max = work.iter().cloned().fold(0.0, f64::max);
+    let mean = work.iter().sum::<f64>() / work.len().max(1) as f64;
+    if mean > 0.0 {
+        max / mean
+    } else {
+        1.0
+    }
+}
+
+fn arm(name: &'static str, result: &SparkDbscanResult, wall_ms: f64) -> Arm {
+    // the executor stage is the one carrying the clustering tasks
+    let stage = result
+        .job
+        .stages
+        .iter()
+        .max_by_key(|s| s.executor_busy())
+        .expect("executor job has stages");
+    Arm {
+        balance: name,
+        wall_ms,
+        plan_ms: result.timings.plan.as_secs_f64() * 1e3,
+        executor_wall_ms: result.timings.executor_wall.as_secs_f64() * 1e3,
+        task_max_ms: stage.max_task().as_secs_f64() * 1e3,
+        simulated_makespan_ms: stage.simulated_makespan(PARTITIONS).as_secs_f64() * 1e3,
+        task_max_mean_ratio: stage.max_mean_ratio(),
+        work_max_mean_ratio: work_ratio(result),
+        partition_work: result
+            .executor_stats
+            .iter()
+            .map(|(_, s)| s.neighbors_found as u64)
+            .collect(),
+        predicted_cost: result.predicted_cost.clone(),
+        clusters: result.clustering.num_clusters(),
+        noise: result.clustering.noise_count(),
+    }
+}
+
+/// Queries/sec of one scan path over a prepared block.
+fn kernel_qps(
+    generic: bool,
+    dim: usize,
+    queries: &[Vec<f64>],
+    block: &[f64],
+    thr: f64,
+) -> (f64, u64) {
+    let mut matches = 0u64;
+    let t = Instant::now();
+    for q in queries {
+        let count = |_i: usize| {
+            matches += 1;
+            true
+        };
+        if generic {
+            scan_block_generic(Metric::Euclidean, dim, q, block, thr, count);
+        } else {
+            scan_block(Metric::Euclidean, dim, q, block, thr, count);
+        }
+    }
+    (queries.len() as f64 / t.elapsed().as_secs_f64(), matches)
+}
+
+fn kernel_experiment(rows: usize, queries: usize) -> Vec<KernelRow> {
+    let mut out = Vec::new();
+    // 2/3/4 exercise the monomorphized kernels, 5 the generic fallback
+    for dim in [2usize, 3, 4, 5] {
+        // deterministic pseudo-data, no RNG needed for a throughput test
+        let block: Vec<f64> = (0..rows * dim).map(|i| ((i as f64) * 0.731).sin() * 500.0).collect();
+        let qs: Vec<Vec<f64>> = (0..queries)
+            .map(|q| (0..dim).map(|k| (((q * dim + k) as f64) * 1.37).cos() * 500.0).collect())
+            .collect();
+        let thr = Metric::Euclidean.threshold(EPS);
+        // one warm-up pass per path, then the measured pass
+        let _ = kernel_qps(false, dim, &qs, &block, thr);
+        let _ = kernel_qps(true, dim, &qs, &block, thr);
+        let (fast_qps, fast_matches) = kernel_qps(false, dim, &qs, &block, thr);
+        let (slow_qps, slow_matches) = kernel_qps(true, dim, &qs, &block, thr);
+        assert_eq!(fast_matches, slow_matches, "kernel paths disagree at dim {dim}");
+        println!(
+            "kernel dim={dim}: specialized {:.2} Mq/s, generic {:.2} Mq/s ({:.2}x)",
+            fast_qps / 1e6,
+            slow_qps / 1e6,
+            fast_qps / slow_qps
+        );
+        out.push(KernelRow {
+            dim,
+            specialized: dbscan_spatial::SPECIALIZED_DIMS.contains(&dim),
+            rows,
+            queries,
+            specialized_qps: fast_qps,
+            generic_qps: slow_qps,
+            speedup: fast_qps / slow_qps,
+            matches: fast_matches,
+        });
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_dir = args.get(1).map(String::as_str).unwrap_or("results");
+    let n: usize = args.get(2).map(|s| s.parse().expect("n must be an integer")).unwrap_or(20_000);
+
+    // ---- experiment 1: count vs cost partitioning on a skewed set ----
+    let (data, _) = SkewedGenerator::new(SkewedParams::new(n, 2, SEED)).generate();
+    let data = Arc::new(data);
+    println!("skewed dataset: n={n} dim=2 seed={SEED}, {PARTITIONS} partitions, eps={EPS}");
+
+    let (count_result, count_ms) = run_arm(Balance::Count, &data);
+    let (cost_result, cost_ms) = run_arm(Balance::Cost, &data);
+
+    let identical = count_result.clustering.canonicalize().labels
+        == cost_result.clustering.canonicalize().labels;
+    let (count_work, cost_work) = (work_ratio(&count_result), work_ratio(&cost_result));
+    let count_arm = arm("count", &count_result, count_ms);
+    let cost_arm = arm("cost", &cost_result, cost_ms);
+    println!(
+        "count: wall {count_ms:.1} ms, makespan@{PARTITIONS} {:.1} ms, work max/mean {count_work:.2}\n\
+         cost:  wall {cost_ms:.1} ms, makespan@{PARTITIONS} {:.1} ms, work max/mean {cost_work:.2}",
+        count_arm.simulated_makespan_ms, cost_arm.simulated_makespan_ms
+    );
+
+    let report_value = Report {
+        bench: "BENCH_PR4",
+        config: Config {
+            n,
+            dim: 2,
+            seed: SEED,
+            partitions: PARTITIONS,
+            eps: EPS,
+            min_pts: MIN_PTS,
+            hotspot_fraction: 0.25,
+            hotspot_sigma: 5.0,
+            side: 1000.0,
+        },
+        partitioning: Partitioning {
+            count: count_arm,
+            cost: cost_arm,
+            labels_identical: identical,
+            work_ratio_improvement: count_work / cost_work,
+        },
+        kernels: kernel_experiment(4096, 512),
+    };
+    report::write_json(Path::new(out_dir), "BENCH_PR4", &report_value).expect("write BENCH_PR4");
+
+    if !identical {
+        eprintln!("FAIL: cost-balanced labels differ from equal-count labels");
+        std::process::exit(1);
+    }
+    if cost_work > count_work {
+        eprintln!(
+            "FAIL: cost balancing worsened work imbalance ({count_work:.2} -> {cost_work:.2})"
+        );
+        std::process::exit(1);
+    }
+    println!("perf suite: labels identical, work imbalance {count_work:.2} -> {cost_work:.2}");
+}

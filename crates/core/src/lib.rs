@@ -61,6 +61,7 @@ pub use params::{DbscanParams, ParamError};
 pub use partitioned::driver::{SparkDbscan, SparkDbscanResult, Timings};
 pub use partitioned::executor_side::{local_partial_clusters, ExecutorStats, LocalClustering};
 pub use partitioned::merge::{merge_partial_clusters, MergeOutcome, MergeStrategy};
+pub use partitioned::planner::{plan_partitions, Balance, CostPlan};
 pub use partitioned::SeedPolicy;
 pub use reorder::{apply_permutation, zorder_permutation};
 pub use runner::{DbscanRunner, RunEnv, RunOutcome, RunTimings, RunnerError};

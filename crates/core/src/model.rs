@@ -3,23 +3,45 @@
 use serde::{Deserialize, Serialize};
 
 /// The contiguous index-range partitioning of `n` points into `p`
-/// partitions (Fig. 4's "Range: 0 -- 2499"). Partition `i` owns
-/// `[i*n/p, (i+1)*n/p)`.
+/// partitions (Fig. 4's "Range: 0 -- 2499").
+///
+/// Represented as `p + 1` sorted cut points `cuts[0] = 0 <= cuts[1] <=
+/// ... <= cuts[p] = n`; partition `i` owns `[cuts[i], cuts[i+1])`. The
+/// equal-count constructor ([`PartitionRanges::new`]) reproduces the
+/// paper's `[i*n/p, (i+1)*n/p)` split exactly; the cost-balanced planner
+/// ([`crate::partitioned::planner`]) supplies arbitrary contiguous cuts
+/// through [`PartitionRanges::from_cuts`]. SEED semantics only require
+/// ranges to be contiguous and ordered, which every cut vector satisfies
+/// by construction.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PartitionRanges {
     n: u32,
-    p: u32,
+    cuts: Vec<u32>,
 }
 
 impl PartitionRanges {
-    /// Partition `n` points into `p` contiguous ranges.
+    /// Partition `n` points into `p` equal-count contiguous ranges
+    /// (partition `i` owns `[i*n/p, (i+1)*n/p)`, as in the paper).
     pub fn new(n: usize, p: usize) -> Self {
-        PartitionRanges { n: n as u32, p: (p.max(1)) as u32 }
+        let p = p.max(1);
+        let cuts = (0..=p as u64).map(|i| (i * n as u64 / p as u64) as u32).collect();
+        PartitionRanges { n: n as u32, cuts }
+    }
+
+    /// Partition `n` points along explicit cut points. `cuts` must have
+    /// length `p + 1 >= 2`, start at `0`, end at `n`, and be
+    /// non-decreasing (empty partitions are allowed).
+    pub fn from_cuts(n: usize, cuts: Vec<u32>) -> Self {
+        assert!(cuts.len() >= 2, "need at least one partition");
+        assert_eq!(cuts[0], 0, "first cut must be 0");
+        assert_eq!(*cuts.last().unwrap() as usize, n, "last cut must be n");
+        assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "cuts must be sorted");
+        PartitionRanges { n: n as u32, cuts }
     }
 
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
-        self.p as usize
+        self.cuts.len() - 1
     }
 
     /// Total number of points.
@@ -27,24 +49,25 @@ impl PartitionRanges {
         self.n as usize
     }
 
+    /// The cut points (`num_partitions() + 1` sorted values from `0` to
+    /// `n`).
+    pub fn cut_points(&self) -> &[u32] {
+        &self.cuts
+    }
+
     /// The half-open index range `[start, end)` of partition `i`.
     pub fn range(&self, i: usize) -> (u32, u32) {
-        let i = i as u64;
-        let n = self.n as u64;
-        let p = self.p as u64;
-        ((i * n / p) as u32, ((i + 1) * n / p) as u32)
+        (self.cuts[i], self.cuts[i + 1])
     }
 
     /// Which partition owns point `idx`.
     pub fn partition_of(&self, idx: u32) -> usize {
         debug_assert!(idx < self.n);
-        // exact inverse of range(): the unique i with
-        // floor(i*n/p) <= idx < floor((i+1)*n/p) is ceil((idx+1)*p/n) - 1
-        let n = self.n as u64;
-        let p = self.p as u64;
-        let i = ((idx as u64 + 1) * p).div_ceil(n) - 1;
-        debug_assert!(self.contains(i as usize, idx));
-        i as usize
+        // last cut <= idx; empty partitions share a cut value but only
+        // the rightmost of them contains idx, which is what this finds
+        let i = self.cuts.partition_point(|&c| c <= idx) - 1;
+        debug_assert!(self.contains(i, idx));
+        i
     }
 
     /// Whether `idx` lies in partition `i`.
@@ -158,6 +181,60 @@ mod tests {
         let r = PartitionRanges::new(3, 10);
         let total: u32 = (0..10).map(|i| r.range(i)).map(|(a, b)| b - a).sum();
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn from_cuts_partitions_everything_exactly_once() {
+        let r = PartitionRanges::from_cuts(10, vec![0, 4, 4, 9, 10]);
+        assert_eq!(r.num_partitions(), 4);
+        assert_eq!(r.range(0), (0, 4));
+        assert_eq!(r.range(1), (4, 4)); // empty partition allowed
+        assert_eq!(r.range(2), (4, 9));
+        assert_eq!(r.range(3), (9, 10));
+        let mut covered = vec![0u8; 10];
+        for i in 0..4 {
+            let (a, b) = r.range(i);
+            for x in a..b {
+                covered[x as usize] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1));
+        // partition_of skips the empty partition at the shared cut
+        assert_eq!(r.partition_of(3), 0);
+        assert_eq!(r.partition_of(4), 2);
+        assert_eq!(r.partition_of(9), 3);
+    }
+
+    #[test]
+    fn equal_count_cuts_match_closed_form() {
+        for (n, p) in [(10usize, 3usize), (5000, 2), (7, 7), (100, 1), (13, 5), (3, 10)] {
+            let r = PartitionRanges::new(n, p);
+            for i in 0..p.max(1) {
+                let (a, b) = r.range(i);
+                assert_eq!(a as u64, i as u64 * n as u64 / p.max(1) as u64);
+                assert_eq!(b as u64, (i as u64 + 1) * n as u64 / p.max(1) as u64);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "last cut must be n")]
+    fn from_cuts_rejects_short_coverage() {
+        let _ = PartitionRanges::from_cuts(10, vec![0, 4, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cuts must be sorted")]
+    fn from_cuts_rejects_unsorted() {
+        let _ = PartitionRanges::from_cuts(10, vec![0, 6, 4, 10]);
+    }
+
+    #[test]
+    fn partition_ranges_serde_roundtrip() {
+        let r = PartitionRanges::from_cuts(10, vec![0, 4, 4, 9, 10]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PartitionRanges = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
     }
 
     #[test]

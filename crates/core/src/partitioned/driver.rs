@@ -12,8 +12,9 @@ use crate::filter::filter_small_partials;
 use crate::label::Clustering;
 use crate::model::{PartialCluster, PartitionRanges};
 use crate::params::DbscanParams;
-use crate::partitioned::executor_side::local_partial_clusters;
+use crate::partitioned::executor_side::{local_partial_clusters, ExecutorStats};
 use crate::partitioned::merge::{merge_partial_clusters, MergeStrategy};
+use crate::partitioned::planner::{plan_partitions, Balance};
 use crate::partitioned::SeedPolicy;
 use crate::reorder::{apply_permutation, zorder_permutation};
 use dbscan_spatial::{BkdTree, Dataset, PointId, PruneConfig, QueryScratch, SpatialIndex};
@@ -27,6 +28,9 @@ pub struct Timings {
     /// Driver: Z-order reordering (zero unless spatial partitioning is
     /// enabled).
     pub reorder: Duration,
+    /// Driver: cost-balanced partition planning (zero under
+    /// [`Balance::Count`]).
+    pub plan: Duration,
     /// Driver: kd-tree construction (Fig. 5 numerator).
     pub kdtree_build: Duration,
     /// Executor phase wall time as seen by the driver.
@@ -60,6 +64,12 @@ pub struct SparkDbscanResult {
     pub shuffle_records: u64,
     /// Merge operations performed in the driver.
     pub merge_ops: usize,
+    /// Per-partition executor instrumentation, sorted by partition.
+    pub executor_stats: Vec<(u32, ExecutorStats)>,
+    /// The planner's predicted work units per partition (only under
+    /// [`Balance::Cost`]); compare against `executor_stats` to judge
+    /// prediction quality.
+    pub predicted_cost: Option<Vec<f64>>,
 }
 
 /// The paper's parallel DBSCAN, configured via builder methods.
@@ -72,6 +82,7 @@ pub struct SparkDbscan {
     prune: PruneConfig,
     min_partial_size: Option<usize>,
     spatial_partitioning: bool,
+    balance: Balance,
 }
 
 impl SparkDbscan {
@@ -86,6 +97,7 @@ impl SparkDbscan {
             prune: PruneConfig::EXACT,
             min_partial_size: None,
             spatial_partitioning: false,
+            balance: Balance::Count,
         }
     }
 
@@ -134,6 +146,16 @@ impl SparkDbscan {
         self
     }
 
+    /// Choose how index ranges are balanced across partitions:
+    /// equal point counts (the paper, default) or equal estimated
+    /// eps-query cost (see [`crate::partitioned::planner`]). Ranges stay
+    /// contiguous either way, so the clustering result is identical —
+    /// only task load balance changes.
+    pub fn balance(mut self, b: Balance) -> Self {
+        self.balance = b;
+        self
+    }
+
     /// The hardened exact configuration (see crate docs).
     pub fn exact(mut self) -> Self {
         self.seed_policy = SeedPolicy::PerBoundaryEdge;
@@ -165,7 +187,23 @@ impl SparkDbscan {
         };
         let n = data.len();
         let p = self.num_partitions.unwrap_or_else(|| ctx.num_executors()).max(1);
-        let ranges = PartitionRanges::new(n, p);
+
+        // ---- driver: partition planning ----
+        let t = Instant::now();
+        let (ranges, predicted_cost) = match self.balance {
+            Balance::Count => (PartitionRanges::new(n, p), None),
+            Balance::Cost => {
+                trace.phase_start("partition_plan");
+                let plan = plan_partitions(&data, self.params.eps, p);
+                trace.phase_end("partition_plan");
+                for (i, &c) in plan.predicted.iter().enumerate() {
+                    let (a, b) = plan.ranges.range(i);
+                    trace.plan_partition(i, (b - a) as u64, c.round() as u64);
+                }
+                (plan.ranges, Some(plan.predicted))
+            }
+        };
+        let plan_time = t.elapsed();
         let shuffle_before = ctx.shuffle_records();
 
         // ---- driver: build + broadcast the kd-tree ----
@@ -189,8 +227,11 @@ impl SparkDbscan {
         // ---- executors: local clustering, results via accumulators ----
         let partials_acc = ctx.collection_accumulator::<PartialCluster>();
         let cores_acc = ctx.collection_accumulator::<Vec<u32>>();
+        let stats_acc = ctx.collection_accumulator::<(u32, ExecutorStats)>();
         let pa = partials_acc.clone();
         let ca = cores_acc.clone();
+        let sa = stats_acc.clone();
+        let th = trace.clone();
         let bcast = shared.clone();
 
         let t = Instant::now();
@@ -216,12 +257,16 @@ impl SparkDbscan {
                     part,
                     info.seed_policy,
                 );
+                // work actually performed, in the planner's units
+                // (candidates scanned ~ neighbors found across queries)
+                th.task_work(local.stats.neighbors_found as u64);
                 // Algorithm 2 lines 26-28: send partial clusters to the
                 // driver through the accumulator at closure end
                 for c in local.clusters {
                     pa.add(c);
                 }
                 ca.add(local.core_points);
+                sa.add((part as u32, local.stats));
             })
             .expect("executor job");
         let executor_wall = t.elapsed();
@@ -269,12 +314,16 @@ impl SparkDbscan {
             clustering = crate::label::Clustering { labels, core: cores };
         }
 
+        let mut executor_stats = stats_acc.value();
+        executor_stats.sort_by_key(|&(part, _)| part);
+
         SparkDbscanResult {
             clustering,
             num_partial_clusters,
             filtered_partials: filtered,
             timings: Timings {
                 reorder,
+                plan: plan_time,
                 kdtree_build,
                 executor_wall,
                 executor_busy: job.executor_busy(),
@@ -284,6 +333,8 @@ impl SparkDbscan {
             job,
             shuffle_records: ctx.shuffle_records() - shuffle_before,
             merge_ops: outcome.merge_ops,
+            executor_stats,
+            predicted_cost,
         }
     }
 }
@@ -445,6 +496,79 @@ mod tests {
                 assert_eq!(*blob_of_label.entry(*c).or_insert(blob), blob, "blobs merged");
             }
         }
+    }
+
+    /// Dense hotspot emitted first, sparse background after — index
+    /// order correlates with density, the worst case for equal-count
+    /// ranges.
+    fn hotspot(n_hot: usize, n_bg: usize) -> Arc<Dataset> {
+        let mut rows = Vec::new();
+        for i in 0..n_hot {
+            rows.push(vec![(i % 17) as f64 * 0.05, (i / 17) as f64 * 0.05]);
+        }
+        for i in 0..n_bg {
+            rows.push(vec![500.0 + (i % 31) as f64 * 20.0, (i / 31) as f64 * 20.0]);
+        }
+        Arc::new(Dataset::from_rows(rows))
+    }
+
+    #[test]
+    fn cost_balance_is_label_identical_to_count() {
+        let data = hotspot(300, 300);
+        let params = DbscanParams::new(0.6, 4).unwrap();
+        let ctx = Context::new(ClusterConfig::local(8));
+        let count = SparkDbscan::new(params).partitions(8).exact().run(&ctx, Arc::clone(&data));
+        let cost = SparkDbscan::new(params)
+            .partitions(8)
+            .exact()
+            .balance(Balance::Cost)
+            .run(&ctx, Arc::clone(&data));
+        assert_eq!(
+            count.clustering.canonicalize().labels,
+            cost.clustering.canonicalize().labels,
+            "balance choice must not change the clustering"
+        );
+        assert_eq!(count.clustering.core, cost.clustering.core);
+        assert!(cost.predicted_cost.is_some());
+        assert!(count.predicted_cost.is_none());
+        assert!(cost.timings.plan > Duration::ZERO);
+    }
+
+    #[test]
+    fn cost_balance_reduces_query_imbalance() {
+        let data = hotspot(400, 400);
+        let params = DbscanParams::new(0.6, 4).unwrap();
+        let ctx = Context::new(ClusterConfig::local(8));
+        let imbalance = |r: &SparkDbscanResult| {
+            let q: Vec<f64> =
+                r.executor_stats.iter().map(|(_, s)| s.neighbors_found as f64).collect();
+            let max = q.iter().cloned().fold(0.0, f64::max);
+            max / (q.iter().sum::<f64>() / q.len() as f64)
+        };
+        let count = SparkDbscan::new(params).partitions(8).run(&ctx, Arc::clone(&data));
+        let cost = SparkDbscan::new(params)
+            .partitions(8)
+            .balance(Balance::Cost)
+            .run(&ctx, Arc::clone(&data));
+        assert_eq!(count.executor_stats.len(), 8);
+        assert!(
+            imbalance(&cost) < imbalance(&count),
+            "cost {} vs count {}",
+            imbalance(&cost),
+            imbalance(&count)
+        );
+    }
+
+    #[test]
+    fn executor_stats_are_collected_per_partition() {
+        let data = blobs(2, 40, 80.0);
+        let ctx = Context::new(ClusterConfig::local(4));
+        let r = SparkDbscan::new(DbscanParams::new(0.5, 3).unwrap()).partitions(4).run(&ctx, data);
+        assert_eq!(r.executor_stats.len(), 4);
+        let parts: Vec<u32> = r.executor_stats.iter().map(|&(p, _)| p).collect();
+        assert_eq!(parts, vec![0, 1, 2, 3], "sorted by partition");
+        let total: usize = r.executor_stats.iter().map(|(_, s)| s.points_processed).sum();
+        assert_eq!(total, 80, "every point processed exactly once");
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub struct ExecutorStats {
     pub points_processed: usize,
     /// eps-neighborhood queries issued.
     pub neighbor_queries: usize,
+    /// Total neighbors returned across all queries — the executor's
+    /// real scan effort (what the cost planner predicts), unlike
+    /// `neighbor_queries`, which just tracks partition size.
+    pub neighbors_found: usize,
     /// Own points found noise at the top level (may become borders of
     /// other partitions' clusters after the merge).
     pub local_noise: usize,
@@ -100,6 +104,7 @@ pub fn local_partial_clusters(
         nbuf.clear();
         neighbors_of(p, &mut nbuf);
         stats.neighbor_queries += 1;
+        stats.neighbors_found += nbuf.len();
         if nbuf.len() < params.min_pts {
             // Algorithm 2 line 9: "mark p as noise" (it may later be
             // claimed as a border point by an expanding cluster)
@@ -164,6 +169,7 @@ pub fn local_partial_clusters(
             nbuf.clear();
             neighbors_of(q, &mut nbuf);
             stats.neighbor_queries += 1;
+            stats.neighbors_found += nbuf.len();
             if nbuf.len() >= params.min_pts {
                 core_points.push(q);
                 queue.extend(nbuf.iter().map(|id| id.0).filter(|&r| {

@@ -9,10 +9,13 @@
 //! * [`driver`] — the full pipeline on the sparklet engine: broadcast of
 //!   the kd-tree, `foreach`-style executor jobs, accumulator collection,
 //!   driver-side merge, and the timing split reported in Figs. 6 and 8.
+//! * [`planner`] — cost-balanced choice of the contiguous cut points
+//!   (load balance on skewed data; the clustering itself is unchanged).
 
 pub mod driver;
 pub mod executor_side;
 pub mod merge;
+pub mod planner;
 
 /// How many SEEDs an executor places per foreign partition per partial
 /// cluster.

@@ -180,7 +180,7 @@ impl DbscanRunner for SparkDbscan {
             clustering: r.clustering,
             timings: RunTimings {
                 total: r.timings.total,
-                setup: r.timings.reorder + r.timings.kdtree_build,
+                setup: r.timings.reorder + r.timings.plan + r.timings.kdtree_build,
                 executor: r.timings.executor_wall,
                 merge: r.timings.merge,
             },

@@ -17,6 +17,7 @@ pub mod catalog;
 pub mod cluster_gen;
 pub mod io;
 pub mod normal;
+pub mod skewed;
 
 pub use catalog::{DatasetSpec, StandardDataset};
 pub use cluster_gen::{ClusterGenerator, GeneratorParams, GroundTruth};
@@ -24,3 +25,4 @@ pub use io::{
     dataset_from_csv, dataset_to_csv, parse_csv_row, read_dataset_from_dfs, write_dataset_to_dfs,
 };
 pub use normal::NormalSampler;
+pub use skewed::{SkewedGenerator, SkewedParams};

@@ -1,0 +1,201 @@
+//! Skewed workloads: a Gaussian hotspot over a uniform background.
+//!
+//! The equal-count partitioning of the paper is only stressed when
+//! per-point query cost varies with index position. This generator
+//! produces exactly that regime: a tight Gaussian **hotspot** holding a
+//! configurable fraction of the points, plus a sparse **uniform
+//! background** filling the rest of the cube. By default the hotspot
+//! block is emitted *first* (contiguously), so point index correlates
+//! with spatial density and equal-count index ranges are genuinely
+//! imbalanced — the scenario the cost planner
+//! (`dbscan-core::partitioned::planner`) exists for. Set
+//! [`SkewedParams::shuffle`] to destroy that correlation and get the
+//! "skew hidden by shuffling" control arm.
+//!
+//! Deterministic per seed, like every generator in this crate.
+
+use crate::normal::NormalSampler;
+use dbscan_spatial::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a skewed dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewedParams {
+    /// Total number of points.
+    pub n: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Fraction of points in the hotspot, in `(0, 1]`.
+    pub hotspot_fraction: f64,
+    /// Per-axis standard deviation of the hotspot Gaussian.
+    pub hotspot_sigma: f64,
+    /// Side length of the bounding hyper-cube the background fills.
+    pub side: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Shuffle the emitted rows (default `false`: hotspot first, so
+    /// index order carries the skew to equal-count partitioning).
+    pub shuffle: bool,
+}
+
+impl SkewedParams {
+    /// Defaults tuned to the paper's scale: a quarter of the points in
+    /// a `sigma = 5` hotspot at the cube center, the rest uniform over
+    /// `[0, 1000]^d`. At `eps = 25` a hotspot query scans hundreds of
+    /// candidates while a background query scans a handful.
+    pub fn new(n: usize, dim: usize, seed: u64) -> Self {
+        SkewedParams {
+            n,
+            dim,
+            hotspot_fraction: 0.25,
+            hotspot_sigma: 5.0,
+            side: 1000.0,
+            seed,
+            shuffle: false,
+        }
+    }
+}
+
+/// The generator itself.
+#[derive(Debug, Clone)]
+pub struct SkewedGenerator {
+    params: SkewedParams,
+}
+
+impl SkewedGenerator {
+    /// Create with the given parameters.
+    ///
+    /// # Panics
+    /// Panics on nonsensical parameters (zero dim, fraction outside
+    /// `(0, 1]`, non-positive sigma/side).
+    pub fn new(params: SkewedParams) -> Self {
+        assert!(params.dim > 0, "dimension must be positive");
+        assert!(
+            params.hotspot_fraction > 0.0 && params.hotspot_fraction <= 1.0,
+            "hotspot fraction must be in (0, 1]"
+        );
+        assert!(params.hotspot_sigma > 0.0, "sigma must be positive");
+        assert!(params.side > 0.0, "side must be positive");
+        SkewedGenerator { params }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &SkewedParams {
+        &self.params
+    }
+
+    /// Generate the dataset plus a per-point hotspot flag (`true` for
+    /// hotspot members), indexed by point.
+    pub fn generate(&self) -> (Dataset, Vec<bool>) {
+        let p = &self.params;
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let mut normal = NormalSampler::new();
+
+        let hot_n = ((p.n as f64 * p.hotspot_fraction).round() as usize).min(p.n);
+        let center = vec![p.side / 2.0; p.dim];
+
+        let mut rows: Vec<(bool, Vec<f64>)> = Vec::with_capacity(p.n);
+        for _ in 0..hot_n {
+            let row: Vec<f64> =
+                center.iter().map(|&m| normal.sample(&mut rng, m, p.hotspot_sigma)).collect();
+            rows.push((true, row));
+        }
+        for _ in hot_n..p.n {
+            let row: Vec<f64> = (0..p.dim).map(|_| rng.random_range(0.0..p.side)).collect();
+            rows.push((false, row));
+        }
+        if p.shuffle {
+            rows.shuffle(&mut rng);
+        }
+
+        let mut ds = Dataset::empty(p.dim);
+        let mut hotspot = Vec::with_capacity(p.n);
+        for (is_hot, row) in rows {
+            ds.push(&row);
+            hotspot.push(is_hot);
+        }
+        (ds, hotspot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_spatial::{BkdTree, SpatialIndex};
+    use std::sync::Arc;
+
+    fn small() -> SkewedParams {
+        SkewedParams::new(2000, 2, 7)
+    }
+
+    #[test]
+    fn generates_requested_size_and_split() {
+        let (ds, hot) = SkewedGenerator::new(small()).generate();
+        assert_eq!(ds.len(), 2000);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(hot.iter().filter(|&&h| h).count(), 500);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, ha) = SkewedGenerator::new(small()).generate();
+        let (b, hb) = SkewedGenerator::new(small()).generate();
+        assert_eq!(a, b);
+        assert_eq!(ha, hb);
+        let mut other = small();
+        other.seed = 8;
+        let (c, _) = SkewedGenerator::new(other).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hotspot_is_contiguous_prefix_by_default() {
+        let (_, hot) = SkewedGenerator::new(small()).generate();
+        assert!(hot[..500].iter().all(|&h| h), "hotspot must be the index prefix");
+        assert!(hot[500..].iter().all(|&h| !h));
+    }
+
+    #[test]
+    fn shuffle_destroys_the_prefix() {
+        let mut p = small();
+        p.shuffle = true;
+        let (_, hot) = SkewedGenerator::new(p).generate();
+        assert!(!hot[..500].iter().all(|&h| h), "shuffled hotspot still a prefix");
+        assert_eq!(hot.iter().filter(|&&h| h).count(), 500);
+    }
+
+    #[test]
+    fn hotspot_queries_cost_more_than_background() {
+        // the property the cost planner exploits: at eps = 25 a hotspot
+        // point sees most of the hotspot, a background point almost
+        // nothing
+        let (ds, hot) = SkewedGenerator::new(small()).generate();
+        let ds = Arc::new(ds);
+        let tree = BkdTree::build(Arc::clone(&ds));
+        let mean = |flag: bool| {
+            let (mut sum, mut cnt) = (0usize, 0usize);
+            for (id, row) in ds.iter() {
+                if hot[id.idx()] == flag {
+                    sum += tree.count_within(row, 25.0);
+                    cnt += 1;
+                }
+            }
+            sum as f64 / cnt as f64
+        };
+        let (hot_mean, bg_mean) = (mean(true), mean(false));
+        assert!(
+            hot_mean > 20.0 * bg_mean,
+            "hotspot {hot_mean} vs background {bg_mean}: not skewed enough"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hotspot fraction")]
+    fn rejects_bad_fraction() {
+        let mut p = small();
+        p.hotspot_fraction = 0.0;
+        let _ = SkewedGenerator::new(p);
+    }
+}

@@ -75,6 +75,23 @@ impl StageMetrics {
     pub fn max_task(&self) -> Duration {
         self.tasks.iter().map(|t| t.simulated()).max().unwrap_or(Duration::ZERO)
     }
+
+    /// Max-over-mean of simulated task times — the stage's load-balance
+    /// number. `1.0` means perfectly even tasks; the stage's wall clock
+    /// is roughly `mean x ratio` once executors outnumber tasks, so the
+    /// ratio is exactly what cost-balanced partitioning tries to pull
+    /// down. Returns `1.0` for an empty or zero-time stage.
+    pub fn max_mean_ratio(&self) -> f64 {
+        if self.tasks.is_empty() {
+            return 1.0;
+        }
+        let total: Duration = self.tasks.iter().map(|t| t.simulated()).sum();
+        let mean = total.as_secs_f64() / self.tasks.len() as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        self.max_task().as_secs_f64() / mean
+    }
 }
 
 /// Measurements for one job (one action).
@@ -176,6 +193,16 @@ mod tests {
         let s = stage(vec![task(0, 10), task(1, 20), task(2, 30)]);
         assert_eq!(s.executor_busy(), Duration::from_millis(60));
         assert_eq!(s.max_task(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn max_mean_ratio_measures_imbalance() {
+        let even = stage(vec![task(0, 10), task(1, 10), task(2, 10)]);
+        assert!((even.max_mean_ratio() - 1.0).abs() < 1e-12);
+        let skewed = stage(vec![task(0, 10), task(1, 10), task(2, 40)]);
+        assert!((skewed.max_mean_ratio() - 2.0).abs() < 1e-12);
+        assert_eq!(stage(vec![]).max_mean_ratio(), 1.0);
+        assert_eq!(stage(vec![task(0, 0)]).max_mean_ratio(), 1.0);
     }
 
     #[test]

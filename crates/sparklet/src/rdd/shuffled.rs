@@ -145,8 +145,22 @@ where
 
     fn compute(&self, part: usize) -> Result<Vec<(K, C)>, crate::task::TaskError> {
         // fetch_checked applies the fault plan's fetch-failure rule and
-        // returns typed errors, routing recovery through lineage
+        // returns typed errors, routing recovery through lineage; the
+        // fetch itself is an Arc refcount bump per map output
         let column = self.shuffles.fetch_checked(self.shuffle_id, part)?;
+        if let [only] = column.as_slice() {
+            // single map output: map-side combine already made the keys
+            // unique within the bucket, so there is nothing to merge —
+            // skip the combiner table (the bucket is shared with the
+            // manager, so the pairs are still cloned out, once)
+            let pairs = only
+                .downcast_ref::<Vec<(K, C)>>()
+                .ok_or_else(|| "shuffle bucket type mismatch".to_string())?;
+            let records = pairs.len() as u64;
+            let bytes = records * std::mem::size_of::<(K, C)>() as u64;
+            self.shuffles.trace_read(self.shuffle_id, records, bytes);
+            return Ok(pairs.clone());
+        }
         let mut table: std::collections::HashMap<K, C> = std::collections::HashMap::new();
         let mut records = 0u64;
         for bucket in column {
@@ -154,6 +168,7 @@ where
                 .downcast_ref::<Vec<(K, C)>>()
                 .ok_or_else(|| "shuffle bucket type mismatch".to_string())?;
             records += pairs.len() as u64;
+            table.reserve(pairs.len());
             for (k, c) in pairs.iter().cloned() {
                 match table.entry(k) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {

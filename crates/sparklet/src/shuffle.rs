@@ -156,6 +156,12 @@ impl ShuffleManager {
 
     /// Fetch the bucket column for `reduce_part`: one bucket per map
     /// partition. `None` if any map output is missing.
+    ///
+    /// Buckets are stored behind [`Arc`], so a fetch is a refcount bump
+    /// per map output — no record data is copied (regression-tested by
+    /// `fetch_is_refcount_bump_not_deep_clone`). Logical shuffle
+    /// records/bytes are accounted at write and read time regardless,
+    /// since they model what a real cluster would move.
     pub(crate) fn fetch(&self, shuffle_id: usize, reduce_part: usize) -> Option<Vec<Bucket>> {
         let s = self.shuffles.lock();
         let st = s.get(&shuffle_id)?;
@@ -292,6 +298,23 @@ mod tests {
         assert_eq!(b, &vec![(1, 1)]);
         assert_eq!(m.total_records(), 3);
         assert_eq!(m.total_bytes(), 48);
+    }
+
+    #[test]
+    fn fetch_is_refcount_bump_not_deep_clone() {
+        let m = ShuffleManager::new();
+        m.register(0, 2, 1);
+        let b0 = bucket(vec![(1u32, 1u32)]);
+        let b1 = bucket(vec![(2u32, 2u32)]);
+        m.put_map_output(0, 0, 0, vec![Arc::clone(&b0)], 1, 8);
+        m.put_map_output(0, 1, 1, vec![Arc::clone(&b1)], 1, 8);
+        let col = m.fetch(0, 0).unwrap();
+        assert!(Arc::ptr_eq(&col[0], &b0), "fetch must share the stored allocation");
+        assert!(Arc::ptr_eq(&col[1], &b1));
+        // repeated reads keep sharing — no copy amplification with
+        // reduce-side retries
+        let again = m.fetch(0, 0).unwrap();
+        assert!(Arc::ptr_eq(&again[0], &b0));
     }
 
     #[test]

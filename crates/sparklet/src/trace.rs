@@ -175,6 +175,26 @@ pub enum EventKind {
         /// Virtual driver ticks waited before this round.
         backoff_ticks: u64,
     },
+    /// The driver planned one partition of a job (driver-side, emitted
+    /// once per partition before the stage runs). Comparing
+    /// `predicted_cost` against the partition's [`EventKind::TaskWork`]
+    /// shows the planner's prediction quality in the same trace.
+    PartitionPlan {
+        /// Partition index.
+        partition: usize,
+        /// Points assigned to the partition.
+        points: u64,
+        /// Planner-estimated work units (point count when planning is
+        /// count-based).
+        predicted_cost: u64,
+    },
+    /// Work actually performed by a task, in planner work units
+    /// (recorded in-task on completion; stretches the task's virtual
+    /// timeline so skewed tasks are visibly longer in exports).
+    TaskWork {
+        /// Work units performed (e.g. neighbor queries issued).
+        units: u64,
+    },
 }
 
 impl EventKind {
@@ -192,6 +212,8 @@ impl EventKind {
             EventKind::MapOutputLost { .. }
             | EventKind::MapOutputRecomputed { .. }
             | EventKind::StageRetry { .. } => "recovery",
+            EventKind::PartitionPlan { .. } => "plan",
+            EventKind::TaskWork { .. } => "task",
         }
     }
 
@@ -203,6 +225,7 @@ impl EventKind {
                 1 + bytes / 256
             }
             EventKind::DfsBlockRead { bytes, .. } => 1 + bytes / 1024,
+            EventKind::TaskWork { units } => 1 + units / 16,
             _ => 1,
         }
     }
@@ -453,6 +476,24 @@ impl TraceHandle {
     /// Mark the end of a named driver-side algorithm phase.
     pub fn phase_end(&self, name: &'static str) {
         self.collector.record_driver(EventKind::PhaseEnd { name });
+    }
+
+    /// Record the driver's plan for one partition of an upcoming stage
+    /// (point count plus predicted work units).
+    pub fn plan_partition(&self, partition: usize, points: u64, predicted_cost: u64) {
+        self.collector.record_driver(EventKind::PartitionPlan {
+            partition,
+            points,
+            predicted_cost,
+        });
+    }
+
+    /// Record work units actually performed by the calling task (or the
+    /// driver, outside a task scope). Advances the task's virtual-time
+    /// cursor proportionally, so heavy tasks are visibly longer in
+    /// exported timelines.
+    pub fn task_work(&self, units: u64) {
+        self.collector.record_auto(EventKind::TaskWork { units });
     }
 
     /// Drain a canonically ordered, virtually timestamped snapshot.
@@ -739,6 +780,22 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                     &format!(
                         "\"stage\":{stage},\"shuffle\":{shuffle},\"retry\":{retry},\"backoff_ticks\":{backoff_ticks}"
                     )),
+            ),
+            EventKind::PartitionPlan { partition, points, predicted_cost } => push(
+                &mut entries,
+                &mut order,
+                e.vt,
+                instant("partition plan", "plan", e.vt, pid, tid,
+                    &format!(
+                        "\"partition\":{partition},\"points\":{points},\"predicted_cost\":{predicted_cost}"
+                    )),
+            ),
+            EventKind::TaskWork { units } => push(
+                &mut entries,
+                &mut order,
+                e.vt,
+                instant("task work", "task", e.vt, pid, tid,
+                    &format!("\"units\":{units}")),
             ),
         }
     }

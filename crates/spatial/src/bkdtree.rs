@@ -247,16 +247,13 @@ impl BkdTree {
             if node.is_leaf() {
                 let (start, end) = (node.a as usize, node.b as usize);
                 let block = &self.coords[start * d..end * d];
-                for (i, row) in block.chunks_exact(d).enumerate() {
-                    if metric.reduced_distance(query, row) <= thr {
-                        out.push(PointId(self.ids[start + i]));
-                        reported += 1;
-                        if let Some(maxn) = cfg.max_neighbors {
-                            if reported >= maxn {
-                                break 'walk;
-                            }
-                        }
-                    }
+                let finished = crate::kernel::scan_block(metric, d, query, block, thr, |i| {
+                    out.push(PointId(self.ids[start + i]));
+                    reported += 1;
+                    cfg.max_neighbors.is_none_or(|maxn| reported < maxn)
+                });
+                if !finished {
+                    break 'walk;
                 }
             } else {
                 let delta = query[node.axis as usize] - node.split;
@@ -314,13 +311,12 @@ impl BkdTree {
             if node.is_leaf() {
                 let (start, end) = (node.a as usize, node.b as usize);
                 let block = &self.coords[start * d..end * d];
-                for row in block.chunks_exact(d) {
-                    if metric.reduced_distance(query, row) <= thr {
-                        count += 1;
-                        if count >= k {
-                            return true;
-                        }
-                    }
+                let finished = crate::kernel::scan_block(metric, d, query, block, thr, |_| {
+                    count += 1;
+                    count < k
+                });
+                if !finished {
+                    return true;
                 }
             } else {
                 let delta = query[node.axis as usize] - node.split;
@@ -413,10 +409,10 @@ impl SpatialIndex for BkdTree {
                 if node.is_leaf() {
                     let (start, end) = (node.a as usize, node.b as usize);
                     let block = &self.coords[start * d..end * d];
-                    count += block
-                        .chunks_exact(d)
-                        .filter(|row| metric.reduced_distance(query, row) <= thr)
-                        .count();
+                    crate::kernel::scan_block(metric, d, query, block, thr, |_| {
+                        count += 1;
+                        true
+                    });
                 } else {
                     let delta = query[node.axis as usize] - node.split;
                     let (near, far) =

@@ -38,19 +38,34 @@ impl SpatialIndex for BruteForceIndex {
 
     fn range_into(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
         let thr = self.metric.threshold(eps);
-        for (id, row) in self.dataset.iter() {
-            if self.metric.reduced_distance(query, row) <= thr {
-                out.push(id);
-            }
-        }
+        crate::kernel::scan_block(
+            self.metric,
+            self.dataset.dim(),
+            query,
+            self.dataset.flat(),
+            thr,
+            |i| {
+                out.push(PointId(i as u32));
+                true
+            },
+        );
     }
 
     fn count_within(&self, query: &[f64], eps: f64) -> usize {
         let thr = self.metric.threshold(eps);
-        self.dataset
-            .iter()
-            .filter(|(_, row)| self.metric.reduced_distance(query, row) <= thr)
-            .count()
+        let mut count = 0usize;
+        crate::kernel::scan_block(
+            self.metric,
+            self.dataset.dim(),
+            query,
+            self.dataset.flat(),
+            thr,
+            |_| {
+                count += 1;
+                true
+            },
+        );
+        count
     }
 
     fn name(&self) -> &'static str {

@@ -33,6 +33,7 @@ pub mod dataset;
 pub mod grid;
 pub mod index;
 pub mod kdtree;
+pub mod kernel;
 pub mod metric;
 pub mod point;
 pub mod rtree;
@@ -44,6 +45,7 @@ pub use dataset::Dataset;
 pub use grid::GridIndex;
 pub use index::SpatialIndex;
 pub use kdtree::{KdTree, PruneConfig};
+pub use kernel::{scan_block, scan_block_generic, SPECIALIZED_DIMS};
 pub use metric::{chebyshev, euclidean, manhattan, squared_euclidean, Metric};
 pub use point::PointId;
 pub use rtree::RTree;

@@ -36,14 +36,12 @@ impl Metric {
     /// paired with [`Metric::threshold`] for comparisons.
     ///
     /// For Euclidean this is the *squared* distance; for the others it is
-    /// the distance itself.
+    /// the distance itself. Dispatches to a dimension-monomorphized kernel
+    /// for small `d` (see [`crate::kernel`]); the result is bit-identical
+    /// to the generic loop either way.
     #[inline]
     pub fn reduced_distance(self, a: &[f64], b: &[f64]) -> f64 {
-        match self {
-            Metric::Euclidean => squared_euclidean(a, b),
-            Metric::Manhattan => manhattan(a, b),
-            Metric::Chebyshev => chebyshev(a, b),
-        }
+        crate::kernel::reduced_distance_dispatch(self, a, b)
     }
 
     /// Transform a radius into the reduced-distance space of

@@ -51,8 +51,9 @@ pub use sparklet as engine;
 /// The most common imports for applications.
 pub mod prelude {
     pub use dbscan_core::{
-        Clustering, DbscanParams, DbscanRunner, Label, MergeStrategy, MrDbscan, ParamError, RunEnv,
-        RunOutcome, RunTimings, RunnerError, SeedPolicy, SequentialDbscan, SparkDbscan,
+        Balance, Clustering, DbscanParams, DbscanRunner, Label, MergeStrategy, MrDbscan,
+        ParamError, RunEnv, RunOutcome, RunTimings, RunnerError, SeedPolicy, SequentialDbscan,
+        SparkDbscan,
     };
     pub use dbscan_datagen::{DatasetSpec, StandardDataset};
     pub use dbscan_spatial::{Dataset, KdTree, PointId, SpatialIndex};

@@ -211,6 +211,44 @@ fn chaos_accumulators_merge_once_under_every_plan() {
 }
 
 #[test]
+fn chaos_cost_balanced_matches_clean_equal_count() {
+    // the cost planner only moves partition *cuts*; SEED semantics are
+    // invariant under any contiguous index ranges, so a cost-balanced
+    // exact run under every fault plan must stay byte-identical to the
+    // clean equal-count reference
+    for seed in SEEDS {
+        let (data, params) = dataset(seed);
+
+        let clean_ctx = Context::new(ClusterConfig::local(PARTITIONS).with_seed(seed));
+        let reference = SparkDbscan::new(params)
+            .exact()
+            .run(&clean_ctx, Arc::clone(&data))
+            .clustering
+            .canonicalize();
+
+        for (plan_name, plan) in plans() {
+            let tag = format!("seed={seed} plan={plan_name} runner=spark-cost-balanced");
+            let ctx = Context::new(chaos_config(seed, &plan));
+            let out = SparkDbscan::new(params)
+                .exact()
+                .balance(Balance::Cost)
+                .run(&ctx, Arc::clone(&data));
+            let trace = ctx.trace().snapshot();
+            if out.clustering.canonicalize().labels != reference.labels {
+                fail(&tag, Some(&trace), "cost-balanced labels differ from clean equal-count");
+            }
+            let (lost, recomputed) = lost_and_recomputed(&trace);
+            if !recomputed.is_subset(&lost) {
+                fail(&tag, Some(&trace), "recomputed a map output that was never lost");
+            }
+            if out.predicted_cost.as_ref().is_none_or(|p| p.len() != PARTITIONS) {
+                fail(&tag, Some(&trace), "cost plan predictions missing from the result");
+            }
+        }
+    }
+}
+
+#[test]
 fn chaos_runs_are_reproducible_from_the_seed_alone() {
     // the printed tag is the whole reproduction recipe: same seed +
     // plan + runner must give the same clustering AND the same
