@@ -20,13 +20,29 @@
 //! Results land in `<out_dir>/BENCH_PR4.json` for EXPERIMENTS.md and
 //! the CI artifact.
 //!
+//! 3. **Driver phases (PR 6)** — the serial driver fraction: the
+//!    kd-tree bulk-build and the Algorithm-4 merge are run once at one
+//!    worker, their per-shard/per-phase wall times are replayed through
+//!    the LPT fork-join model at 1/2/4/8 workers, and the parallel
+//!    implementations are checked byte-identical against the
+//!    sequential ones. (The CI host has a single core, so — exactly
+//!    like the PR4 `simulated_makespan_ms` — real multi-thread wall
+//!    clock would only measure contention; the model is fed by
+//!    measured chunk times.) Results land in `<out_dir>/BENCH_PR6.json`
+//!    and the suite exits non-zero on any identity violation.
+//!
 //! Usage:
 //!   cargo run --release -p dbscan-bench --bin perf_suite -- [out_dir] [n]
 
 use dbscan_bench::report;
-use dbscan_core::{Balance, DbscanParams, SparkDbscan, SparkDbscanResult};
-use dbscan_datagen::{SkewedGenerator, SkewedParams};
-use dbscan_spatial::{scan_block, scan_block_generic, Dataset, Metric};
+use dbscan_core::{
+    local_partial_clusters, merge_partial_clusters_threaded, merge_unionfind_report, Balance,
+    DbscanParams, MergeStrategy, PartitionRanges, SeedPolicy, SparkDbscan, SparkDbscanResult,
+};
+use dbscan_datagen::{ClusterGenerator, GeneratorParams, SkewedGenerator, SkewedParams};
+use dbscan_spatial::{
+    scan_block, scan_block_generic, BkdTree, BuildConfig, Dataset, Metric, SpatialIndex,
+};
 use serde::Serialize;
 use sparklet::{ClusterConfig, Context};
 use std::path::Path;
@@ -96,6 +112,58 @@ struct Report {
     config: Config,
     partitioning: Partitioning,
     kernels: Vec<KernelRow>,
+}
+
+/// Modeled makespan of one driver phase at one worker count.
+#[derive(Serialize)]
+struct PhasePoint {
+    threads: usize,
+    modeled_ms: f64,
+    speedup: f64,
+}
+
+/// One merge sub-phase's measured wall time.
+#[derive(Serialize)]
+struct MergePhaseRow {
+    name: &'static str,
+    serial: bool,
+    chunks: usize,
+    ms: f64,
+}
+
+/// Driver-phase measurements for one dataset size.
+#[derive(Serialize)]
+struct DriverPhaseCase {
+    n: usize,
+    dim: usize,
+    partitions: usize,
+    par_cutoff: usize,
+    // kd-tree bulk build
+    build_shards: usize,
+    build_serial_ms: f64,
+    build_internal_ms: f64,
+    build_coords_ms: f64,
+    build_models: Vec<PhasePoint>,
+    build_speedup_at_8: f64,
+    build_structure_identical: bool,
+    // Algorithm-4 merge
+    partial_clusters: usize,
+    seed_edges: usize,
+    merge_serial_ms: f64,
+    merge_phases: Vec<MergePhaseRow>,
+    merge_models: Vec<PhasePoint>,
+    merge_speedup_at_8: f64,
+    merge_labels_identical: bool,
+}
+
+#[derive(Serialize)]
+struct ReportPr6 {
+    bench: &'static str,
+    seed: u64,
+    eps: f64,
+    min_pts: usize,
+    model_threads: Vec<usize>,
+    cases: Vec<DriverPhaseCase>,
 }
 
 /// One arm of the partitioning experiment.
@@ -213,6 +281,129 @@ fn kernel_experiment(rows: usize, queries: usize) -> Vec<KernelRow> {
     out
 }
 
+const MODEL_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Driver-phase experiment for one dataset size: measure the build and
+/// the merge once at one worker, model the fork-join makespan at each
+/// worker count, and verify the parallel paths are byte-identical.
+/// Exits the process on an identity violation — a wrong answer must
+/// never ship inside a performance report.
+fn driver_phase_case(n: usize) -> DriverPhaseCase {
+    // Table-I-style clustered data (10-dim Gaussian blobs + noise), so
+    // eps-neighborhoods stay bounded at 100k points — the skewed 2-d
+    // hotspot of experiment 1 would make N(eps) quadratic in n here.
+    let params = GeneratorParams::new(n, 10, (n / 1600).max(4), SEED);
+    let (data, _) = ClusterGenerator::new(params).generate();
+    let data = Arc::new(data);
+    let dbscan = DbscanParams::new(EPS, MIN_PTS).expect("valid params");
+
+    // ~32 shards regardless of n, so LPT has room at every modeled k
+    let cutoff = (n / 32).max(1024);
+    let cfg = BuildConfig::default().with_par_cutoff(cutoff);
+
+    // -- build: measure at 1 worker, model k, verify an 8-worker build
+    let (tree, build) =
+        BkdTree::build_with_report(Arc::clone(&data), Metric::Euclidean, cfg.with_threads(1));
+    let (tree8, _) =
+        BkdTree::build_with_report(Arc::clone(&data), Metric::Euclidean, cfg.with_threads(8));
+    let build_identical = tree.same_structure(&tree8);
+
+    let base = build.modeled_makespan_nanos(1) as f64;
+    let build_models: Vec<PhasePoint> = MODEL_THREADS
+        .iter()
+        .map(|&k| {
+            let m = build.modeled_makespan_nanos(k) as f64;
+            PhasePoint { threads: k, modeled_ms: m / 1e6, speedup: base / m }
+        })
+        .collect();
+    let build_speedup_at_8 = build_models.last().map(|p| p.speedup).unwrap_or(1.0);
+
+    // -- merge: real partial clusters from 64 executor-side runs, then
+    // the instrumented union-find pipeline at 1 worker
+    let partitions = 64;
+    let ranges = PartitionRanges::new(n, partitions);
+    let mut partials = Vec::new();
+    let mut core = vec![false; n];
+    for p in 0..partitions {
+        let local = local_partial_clusters(
+            |i, out| tree.range_into(data.row(i as usize), dbscan.eps, out),
+            dbscan,
+            &ranges,
+            p,
+            SeedPolicy::PerBoundaryEdge,
+        );
+        partials.extend(local.clusters);
+        for c in local.core_points {
+            core[c as usize] = true;
+        }
+    }
+
+    let (serial_out, mrep) = merge_unionfind_report(n, &partials, &core, 1);
+    let par_out = merge_partial_clusters_threaded(n, &partials, MergeStrategy::UnionFind, &core, 8);
+    let merge_identical = serial_out.clustering.labels == par_out.clustering.labels;
+
+    let mbase = mrep.modeled_makespan_nanos(1) as f64;
+    let merge_models: Vec<PhasePoint> = MODEL_THREADS
+        .iter()
+        .map(|&k| {
+            let m = mrep.modeled_makespan_nanos(k) as f64;
+            PhasePoint { threads: k, modeled_ms: m / 1e6, speedup: mbase / m }
+        })
+        .collect();
+    let merge_speedup_at_8 = merge_models.last().map(|p| p.speedup).unwrap_or(1.0);
+
+    let case = DriverPhaseCase {
+        n,
+        dim: 10,
+        partitions,
+        par_cutoff: cutoff,
+        build_shards: build.shards.len(),
+        build_serial_ms: base / 1e6,
+        build_internal_ms: build.internal_total_nanos() as f64 / 1e6,
+        build_coords_ms: build.coords_nanos as f64 / 1e6,
+        build_models,
+        build_speedup_at_8,
+        build_structure_identical: build_identical,
+        partial_clusters: partials.len(),
+        seed_edges: serial_out.merge_ops,
+        merge_serial_ms: mbase / 1e6,
+        merge_phases: mrep
+            .phases
+            .iter()
+            .map(|p| MergePhaseRow {
+                name: p.name,
+                serial: p.serial,
+                chunks: p.chunk_nanos.len(),
+                ms: p.chunk_nanos.iter().sum::<u64>() as f64 / 1e6,
+            })
+            .collect(),
+        merge_models,
+        merge_speedup_at_8,
+        merge_labels_identical: merge_identical,
+    };
+    println!(
+        "driver phases n={n}: build {:.1} ms serial -> {:.1} ms @8 ({:.2}x, {} shards), \
+         merge {:.2} ms serial -> {:.2} ms @8 ({:.2}x, {} partials)",
+        case.build_serial_ms,
+        case.build_models.last().unwrap().modeled_ms,
+        build_speedup_at_8,
+        case.build_shards,
+        case.merge_serial_ms,
+        case.merge_models.last().unwrap().modeled_ms,
+        merge_speedup_at_8,
+        case.partial_clusters,
+    );
+    if !build_identical {
+        eprintln!("FAIL: n={n}: 8-thread kd-tree build is not structurally identical");
+        std::process::exit(1);
+    }
+    if !merge_identical {
+        eprintln!("FAIL: n={n}: 8-thread merge labels differ from sequential merge");
+        std::process::exit(1);
+    }
+    case
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_dir = args.get(1).map(String::as_str).unwrap_or("results");
@@ -271,4 +462,15 @@ fn main() {
         std::process::exit(1);
     }
     println!("perf suite: labels identical, work imbalance {count_work:.2} -> {cost_work:.2}");
+
+    // ---- experiment 3: driver phases (build + merge) at 20k / 100k ----
+    let pr6 = ReportPr6 {
+        bench: "BENCH_PR6",
+        seed: SEED,
+        eps: EPS,
+        min_pts: MIN_PTS,
+        model_threads: MODEL_THREADS.to_vec(),
+        cases: vec![driver_phase_case(20_000), driver_phase_case(100_000)],
+    };
+    report::write_json(Path::new(out_dir), "BENCH_PR6", &pr6).expect("write BENCH_PR6");
 }

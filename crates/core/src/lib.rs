@@ -59,8 +59,14 @@ pub use mr::{MrDbscan, MrDbscanResult};
 pub use mr_iterative::{MrDbscanIterative, MrIterativeResult, PointState};
 pub use params::{DbscanParams, ParamError};
 pub use partitioned::driver::{SparkDbscan, SparkDbscanResult, Timings};
-pub use partitioned::executor_side::{local_partial_clusters, ExecutorStats, LocalClustering};
-pub use partitioned::merge::{merge_partial_clusters, MergeOutcome, MergeStrategy};
+pub use partitioned::executor_side::{
+    local_partial_clusters, local_partial_clusters_scratch, ExecutorScratch, ExecutorStats,
+    LocalClustering,
+};
+pub use partitioned::merge::{
+    extract_seed_edges, merge_partial_clusters, merge_partial_clusters_threaded,
+    merge_unionfind_report, merge_with_edges, MergeOutcome, MergePhase, MergeReport, MergeStrategy,
+};
 pub use partitioned::planner::{plan_partitions, Balance, CostPlan};
 pub use partitioned::SeedPolicy;
 pub use reorder::{apply_permutation, zorder_permutation};

@@ -12,15 +12,32 @@ use crate::filter::filter_small_partials;
 use crate::label::Clustering;
 use crate::model::{PartialCluster, PartitionRanges};
 use crate::params::DbscanParams;
-use crate::partitioned::executor_side::{local_partial_clusters, ExecutorStats};
-use crate::partitioned::merge::{merge_partial_clusters, MergeStrategy};
+use crate::partitioned::executor_side::{
+    local_partial_clusters_scratch, ExecutorScratch, ExecutorStats,
+};
+use crate::partitioned::merge::{
+    extract_seed_edges, merge_partial_clusters, merge_with_edges, MergeStrategy,
+};
 use crate::partitioned::planner::{plan_partitions, Balance};
 use crate::partitioned::SeedPolicy;
 use crate::reorder::{apply_permutation, zorder_permutation};
-use dbscan_spatial::{BkdTree, Dataset, PointId, PruneConfig, QueryScratch, SpatialIndex};
+use dbscan_spatial::{
+    BkdTree, BuildConfig, BuildReport, Dataset, Metric, PointId, PruneConfig, QueryScratch,
+    SpatialIndex,
+};
 use sparklet::{Context, JobMetrics};
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Per-worker reusable scratch: the kd-query traversal stack plus
+    /// the epoch-stamped executor state. Worker threads persist across
+    /// tasks (and runs), so steady-state tasks allocate nothing on the
+    /// expansion hot path.
+    static WORKER_SCRATCH: RefCell<(QueryScratch, ExecutorScratch)> =
+        RefCell::new((QueryScratch::new(), ExecutorScratch::new()));
+}
 
 /// Wall-clock decomposition of one run (the quantities of Figs. 5/6/8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,6 +57,12 @@ pub struct Timings {
     /// Driver: merging partial clusters (the growing component in
     /// Fig. 6).
     pub merge: Duration,
+    /// Merge sub-phase: SEED-edge extraction (owner index + edge scan);
+    /// zero for the paper-literal merge strategies.
+    pub merge_extract: Duration,
+    /// Merge sub-phase: union-find seal + label assembly; zero for the
+    /// paper-literal merge strategies.
+    pub merge_union: Duration,
     /// Whole run.
     pub total: Duration,
 }
@@ -70,6 +93,9 @@ pub struct SparkDbscanResult {
     /// [`Balance::Cost`]); compare against `executor_stats` to judge
     /// prediction quality.
     pub predicted_cost: Option<Vec<f64>>,
+    /// Shard/critical-path decomposition of the kd-tree build (feeds
+    /// the driver-phase Amdahl model in the perf suite).
+    pub build: BuildReport,
 }
 
 /// The paper's parallel DBSCAN, configured via builder methods.
@@ -83,11 +109,15 @@ pub struct SparkDbscan {
     min_partial_size: Option<usize>,
     spatial_partitioning: bool,
     balance: Balance,
+    build_config: BuildConfig,
+    merge_threads: usize,
 }
 
 impl SparkDbscan {
     /// Default configuration: paper-literal SEED policy and merge, one
     /// partition per executor, exact kd-tree queries, no filtering.
+    /// Driver phases parallelize per `DBSCAN_BUILD_THREADS` (auto when
+    /// unset) — the result is byte-identical at any thread count.
     pub fn new(params: DbscanParams) -> Self {
         SparkDbscan {
             params,
@@ -98,6 +128,8 @@ impl SparkDbscan {
             min_partial_size: None,
             spatial_partitioning: false,
             balance: Balance::Count,
+            build_config: BuildConfig::from_env(),
+            merge_threads: 0,
         }
     }
 
@@ -163,6 +195,22 @@ impl SparkDbscan {
         self
     }
 
+    /// Configure the driver-side kd-tree bulk build (worker count,
+    /// bucket size, parallel cutoff). The tree is structurally
+    /// identical for every configuration with the same bucket size.
+    pub fn build_config(mut self, cfg: BuildConfig) -> Self {
+        self.build_config = cfg;
+        self
+    }
+
+    /// Worker count for the parallel union-find merge (0 = follow the
+    /// build config). Labels are byte-identical at any count; the
+    /// paper-literal merge strategies always run serial.
+    pub fn merge_threads(mut self, threads: usize) -> Self {
+        self.merge_threads = threads;
+        self
+    }
+
     /// Run the full pipeline on `ctx` over `data`.
     ///
     /// When the context has tracing enabled the driver phases appear in
@@ -206,10 +254,19 @@ impl SparkDbscan {
         let plan_time = t.elapsed();
         let shuffle_before = ctx.shuffle_records();
 
-        // ---- driver: build + broadcast the kd-tree ----
+        // ---- driver: build + broadcast the kd-tree (parallel bulk
+        // build; structurally identical at every thread count) ----
         let t = Instant::now();
         trace.phase_start("kdtree_build");
-        let tree = BkdTree::build(Arc::clone(&data));
+        let (tree, build_report) =
+            BkdTree::build_with_report(Arc::clone(&data), Metric::Euclidean, self.build_config);
+        // the shard decomposition is a pure function of (n, bucket,
+        // cutoff) — never of the thread count — and the payloads carry
+        // no wall times, so these events keep the trace byte-identical
+        // across thread counts
+        for (i, s) in build_report.shards.iter().enumerate() {
+            trace.build_shard(i, s.len as u64);
+        }
         trace.phase_end("kdtree_build");
         let kdtree_build = t.elapsed();
         let broadcast_size = data.size_bytes() + tree.size_bytes();
@@ -224,13 +281,30 @@ impl SparkDbscan {
             broadcast_size,
         );
 
-        // ---- executors: local clustering, results via accumulators ----
-        let partials_acc = ctx.collection_accumulator::<PartialCluster>();
-        let cores_acc = ctx.collection_accumulator::<Vec<u32>>();
-        let stats_acc = ctx.collection_accumulator::<(u32, ExecutorStats)>();
-        let pa = partials_acc.clone();
-        let ca = cores_acc.clone();
-        let sa = stats_acc.clone();
+        // ---- executors: local clustering, streamed to the driver ----
+        // A single accumulator whose *fold* runs on the driver thread
+        // the moment each task succeeds (the scheduler's drain
+        // callback): partial clusters are appended and core flags are
+        // written straight into the dense array the merge's edge
+        // extraction reads — prep work overlapped with the tasks still
+        // running, instead of deferred behind a full-stage barrier.
+        // Exactly-once holds because folds only apply on task success.
+        let collected_acc =
+            ctx.accumulator_with(Collected::default(), move |state: &mut Collected, feed: Feed| {
+                match feed {
+                    Feed::Partial(c) => state.partials.push(c),
+                    Feed::Cores(cs) => {
+                        if state.core.len() < n {
+                            state.core.resize(n, false);
+                        }
+                        for c in cs {
+                            state.core[c as usize] = true;
+                        }
+                    }
+                    Feed::Stats(part, stats) => state.stats.push((part, stats)),
+                }
+            });
+        let acc = collected_acc.clone();
         let th = trace.clone();
         let bcast = shared.clone();
 
@@ -239,42 +313,50 @@ impl SparkDbscan {
             .foreach_partition(move |part, _indices| {
                 let info = bcast.value();
                 let dataset = info.tree.dataset();
-                // one scratch per task: every query in this partition
-                // reuses the same traversal stack (no per-query allocs)
-                let mut scratch = QueryScratch::new();
-                let local = local_partial_clusters(
-                    |q, out| {
-                        info.tree.range_pruned_scratch(
-                            dataset.point(PointId(q)),
-                            info.params.eps,
-                            info.prune,
-                            &mut scratch,
-                            out,
-                        );
-                    },
-                    info.params,
-                    &info.ranges,
-                    part,
-                    info.seed_policy,
-                );
+                // per-worker scratch: the query traversal stack and the
+                // epoch-stamped expansion state persist across tasks,
+                // so the hot path allocates nothing in steady state
+                let local = WORKER_SCRATCH.with(|s| {
+                    let (qscratch, escratch) = &mut *s.borrow_mut();
+                    local_partial_clusters_scratch(
+                        |q, out| {
+                            info.tree.range_pruned_scratch(
+                                dataset.point(PointId(q)),
+                                info.params.eps,
+                                info.prune,
+                                qscratch,
+                                out,
+                            );
+                        },
+                        info.params,
+                        &info.ranges,
+                        part,
+                        info.seed_policy,
+                        escratch,
+                    )
+                });
                 // work actually performed, in the planner's units
                 // (candidates scanned ~ neighbors found across queries)
                 th.task_work(local.stats.neighbors_found as u64);
                 // Algorithm 2 lines 26-28: send partial clusters to the
                 // driver through the accumulator at closure end
                 for c in local.clusters {
-                    pa.add(c);
+                    acc.add(Feed::Partial(c));
                 }
-                ca.add(local.core_points);
-                sa.add((part as u32, local.stats));
+                acc.add(Feed::Cores(local.core_points));
+                acc.add(Feed::Stats(part as u32, local.stats));
             })
             .expect("executor job");
         let executor_wall = t.elapsed();
         let job = ctx.last_job().expect("job metrics recorded");
 
         // ---- driver: merge (Algorithm 4) ----
-        let mut partials = partials_acc.value();
-        // The accumulator collects in task *completion* order, which
+        let Collected { mut partials, mut core, stats: mut executor_stats } = collected_acc.take();
+        // core flags gate the merge (only core SEEDs may weld clusters
+        // together — see merge docs); empty partitions may leave the
+        // lazily-sized array short
+        core.resize(n, false);
+        // The accumulator folds in task *completion* order, which
         // varies with scheduling and retries. The merge must be a pure
         // function of the data, so restore the canonical order first.
         partials.sort_by_key(|c| (c.owner, c.members.first().copied()));
@@ -285,18 +367,28 @@ impl SparkDbscan {
         let filtered = before_filter - partials.len();
         let num_partial_clusters = partials.len();
 
-        // core flags arrive with the partial clusters and gate the merge
-        // (only core SEEDs may weld clusters together — see merge docs)
-        let mut core = vec![false; n];
-        for cores in cores_acc.value() {
-            for c in cores {
-                core[c as usize] = true;
-            }
-        }
-
+        let merge_threads = match self.merge_threads {
+            0 => self.build_config.effective_threads(),
+            t => t,
+        };
         let t = Instant::now();
         trace.phase_start("merge");
-        let outcome = merge_partial_clusters(n, &partials, self.merge_strategy, &core);
+        let (outcome, merge_extract, merge_union) = match self.merge_strategy {
+            MergeStrategy::UnionFind => {
+                let tx = Instant::now();
+                trace.phase_start("merge_extract");
+                let edges = extract_seed_edges(n, &partials, &core, merge_threads);
+                trace.phase_end("merge_extract");
+                let merge_extract = tx.elapsed();
+                let tu = Instant::now();
+                trace.phase_start("merge_union");
+                let outcome = merge_with_edges(n, &partials, &edges, merge_threads);
+                trace.phase_end("merge_union");
+                (outcome, merge_extract, tu.elapsed())
+            }
+            // paper-literal strategies stay the serial baseline arm
+            s => (merge_partial_clusters(n, &partials, s, &core), Duration::ZERO, Duration::ZERO),
+        };
         trace.phase_end("merge");
         let merge = t.elapsed();
 
@@ -314,7 +406,6 @@ impl SparkDbscan {
             clustering = crate::label::Clustering { labels, core: cores };
         }
 
-        let mut executor_stats = stats_acc.value();
         executor_stats.sort_by_key(|&(part, _)| part);
 
         SparkDbscanResult {
@@ -328,6 +419,8 @@ impl SparkDbscan {
                 executor_wall,
                 executor_busy: job.executor_busy(),
                 merge,
+                merge_extract,
+                merge_union,
                 total: total_start.elapsed(),
             },
             job,
@@ -335,6 +428,7 @@ impl SparkDbscan {
             merge_ops: outcome.merge_ops,
             executor_stats,
             predicted_cost,
+            build: build_report,
         }
     }
 }
@@ -348,6 +442,21 @@ struct SharedInfo {
     ranges: PartitionRanges,
     seed_policy: SeedPolicy,
     prune: PruneConfig,
+}
+
+/// Driver-side state grown by the streaming fold as each task finishes.
+#[derive(Default)]
+struct Collected {
+    partials: Vec<PartialCluster>,
+    core: Vec<bool>,
+    stats: Vec<(u32, ExecutorStats)>,
+}
+
+/// One streamed fragment of an executor's result.
+enum Feed {
+    Partial(PartialCluster),
+    Cores(Vec<u32>),
+    Stats(u32, ExecutorStats),
 }
 
 #[cfg(test)]

@@ -56,53 +56,138 @@ pub struct LocalClustering {
     pub stats: ExecutorStats,
 }
 
-/// Run Algorithms 2+3 for one partition.
+/// Reusable executor working state, epoch-stamped so nothing is
+/// cleared (or reallocated) between tasks.
+///
+/// The per-partition `visited`/`assigned` arrays are validated by an
+/// epoch stamp: an entry belongs to the current task iff its stamp
+/// equals the task's epoch, so "clearing" them is a single counter
+/// bump. The expansion queue, neighbor buffer and Algorithm-3 seed
+/// tables likewise persist at their high-water capacity across every
+/// partial cluster and every task the executor runs.
+#[derive(Debug, Default)]
+pub struct ExecutorScratch {
+    /// Current task epoch; array entries are live iff stamped with it.
+    epoch: u32,
+    /// visited\[i\] iff `visited_epoch[i] == epoch`.
+    visited_epoch: Vec<u32>,
+    /// Point `i` already belongs to a cluster of this task iff
+    /// `assigned_epoch[i] == epoch` (first assignment wins; *which*
+    /// cluster claimed it lives in the cluster's member list).
+    assigned_epoch: Vec<u32>,
+    /// FIFO expansion queue (Algorithm 2), reused across clusters.
+    queue: VecDeque<u32>,
+    /// Neighborhood query buffer, reused across all queries.
+    nbuf: Vec<PointId>,
+    /// Algorithm 3's `place_flg`, stamped by `seed_stamp` — an entry
+    /// belongs to the current cluster iff it holds the cluster's stamp.
+    seeded_partition_stamp: Vec<u64>,
+    /// Monotonic per-cluster stamp; never reused across tasks, so the
+    /// partition table survives task boundaries without clearing.
+    seed_stamp: u64,
+    /// `(slot, point)` pairs already seeded under `PerBoundaryEdge`.
+    seeded_points: HashSet<u64>,
+}
+
+impl ExecutorScratch {
+    /// Fresh scratch (first task pays the allocations).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a task over `local_n` points and `partitions` partitions:
+    /// bump the epoch and grow (never shrink) the arrays.
+    fn begin_task(&mut self, local_n: usize, partitions: usize) {
+        if self.epoch == u32::MAX {
+            // epoch wrap: hard-reset the stamps once every 2^32 tasks
+            self.visited_epoch.iter_mut().for_each(|s| *s = 0);
+            self.assigned_epoch.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        if self.visited_epoch.len() < local_n {
+            self.visited_epoch.resize(local_n, 0);
+            self.assigned_epoch.resize(local_n, 0);
+        }
+        if self.seeded_partition_stamp.len() < partitions {
+            self.seeded_partition_stamp.resize(partitions, 0);
+        }
+        // slots restart at 0 each task, so the (slot, point) key set
+        // must not leak across tasks; clearing keeps its capacity
+        self.seeded_points.clear();
+        self.queue.clear();
+    }
+
+    /// High-water capacity of the visited array (test hook).
+    pub fn capacity(&self) -> usize {
+        self.visited_epoch.len()
+    }
+}
+
+/// Run Algorithms 2+3 for one partition with throwaway scratch.
 ///
 /// `neighbors_of(idx, out)` must append the eps-neighborhood of point
 /// `idx` over the **whole** dataset (the broadcast kd-tree query); `out`
 /// arrives cleared.
 pub fn local_partial_clusters(
-    mut neighbors_of: impl FnMut(u32, &mut Vec<PointId>),
+    neighbors_of: impl FnMut(u32, &mut Vec<PointId>),
     params: DbscanParams,
     ranges: &PartitionRanges,
     partition: usize,
     seed_policy: SeedPolicy,
 ) -> LocalClustering {
+    let mut scratch = ExecutorScratch::new();
+    local_partial_clusters_scratch(
+        neighbors_of,
+        params,
+        ranges,
+        partition,
+        seed_policy,
+        &mut scratch,
+    )
+}
+
+/// [`local_partial_clusters`] against caller-owned scratch, the hot
+/// path for executors that process many partitions: steady-state tasks
+/// allocate nothing but the output itself.
+pub fn local_partial_clusters_scratch(
+    mut neighbors_of: impl FnMut(u32, &mut Vec<PointId>),
+    params: DbscanParams,
+    ranges: &PartitionRanges,
+    partition: usize,
+    seed_policy: SeedPolicy,
+    scratch: &mut ExecutorScratch,
+) -> LocalClustering {
     let (start, end) = ranges.range(partition);
     let owner = partition as u32;
     let local_n = (end - start) as usize;
-    const UNASSIGNED: u32 = u32::MAX;
 
-    // dense per-partition state, indexed by `idx - start`
-    let mut visited = vec![false; local_n];
-    // which local cluster slot a point belongs to (first assignment wins)
-    let mut assigned = vec![UNASSIGNED; local_n];
+    scratch.begin_task(local_n, ranges.num_partitions());
+    let epoch = scratch.epoch;
+    let ExecutorScratch {
+        visited_epoch,
+        assigned_epoch,
+        queue,
+        nbuf,
+        seeded_partition_stamp,
+        seed_stamp,
+        seeded_points,
+        ..
+    } = scratch;
+
     let mut clusters: Vec<PartialCluster> = Vec::new();
     let mut core_points: Vec<u32> = Vec::new();
     let mut stats = ExecutorStats::default();
 
-    // workhorse buffers reused across the whole partition
-    let mut nbuf: Vec<PointId> = Vec::new();
-    let mut queue: VecDeque<u32> = VecDeque::new();
-
-    // per-cluster seed bookkeeping (Algorithm 3's place_flg array),
-    // hoisted out of the cluster loop so no allocation happens per
-    // partial cluster: the partition table is slot-stamped (an entry
-    // belongs to the current cluster iff it holds `slot + 1`), and the
-    // boundary-edge set keys by `(slot, point)` so it never needs
-    // clearing either
-    let mut seeded_partition_stamp: Vec<u32> = vec![0; ranges.num_partitions()];
-    let mut seeded_points: HashSet<u64> = HashSet::new();
-
     for p in start..end {
         let pl = (p - start) as usize;
         stats.points_processed += 1;
-        if visited[pl] {
+        if visited_epoch[pl] == epoch {
             continue;
         }
-        visited[pl] = true;
+        visited_epoch[pl] = epoch;
         nbuf.clear();
-        neighbors_of(p, &mut nbuf);
+        neighbors_of(p, nbuf);
         stats.neighbor_queries += 1;
         stats.neighbors_found += nbuf.len();
         if nbuf.len() < params.min_pts {
@@ -114,9 +199,11 @@ pub fn local_partial_clusters(
 
         // Algorithm 2 line 8: create a new cluster C and add p to it
         let slot = clusters.len() as u32;
+        *seed_stamp += 1;
+        let stamp = *seed_stamp;
         let mut cluster = PartialCluster::new(owner, (start, end));
         cluster.members.push(p);
-        assigned[pl] = slot;
+        assigned_epoch[pl] = epoch;
         core_points.push(p);
 
         queue.clear();
@@ -125,7 +212,7 @@ pub fn local_partial_clusters(
             // nothing left to do at dequeue — don't enqueue them at all
             !(r >= start && r < end && {
                 let rl = (r - start) as usize;
-                visited[rl] && assigned[rl] != UNASSIGNED
+                visited_epoch[rl] == epoch && assigned_epoch[rl] == epoch
             })
         }));
         while let Some(q) = queue.pop_front() {
@@ -136,8 +223,8 @@ pub fn local_partial_clusters(
                 let place = match seed_policy {
                     SeedPolicy::OnePerPartition => {
                         let pt = ranges.partition_of(q);
-                        let fresh = seeded_partition_stamp[pt] != slot + 1;
-                        seeded_partition_stamp[pt] = slot + 1;
+                        let fresh = seeded_partition_stamp[pt] != stamp;
+                        seeded_partition_stamp[pt] = stamp;
                         fresh
                     }
                     SeedPolicy::PerBoundaryEdge => {
@@ -151,23 +238,23 @@ pub fn local_partial_clusters(
                 continue;
             }
             let ql = (q - start) as usize;
-            if visited[ql] {
+            if visited_epoch[ql] == epoch {
                 // Algorithm 2 lines 20-22: add to C if not yet a member
                 // of any cluster (border-point claim)
-                if assigned[ql] == UNASSIGNED {
-                    assigned[ql] = slot;
+                if assigned_epoch[ql] != epoch {
+                    assigned_epoch[ql] = epoch;
                     cluster.members.push(q);
                 }
                 continue;
             }
             // Algorithm 2 lines 13-19: visit q, claim it, test core status
-            visited[ql] = true;
-            if assigned[ql] == UNASSIGNED {
-                assigned[ql] = slot;
+            visited_epoch[ql] = epoch;
+            if assigned_epoch[ql] != epoch {
+                assigned_epoch[ql] = epoch;
                 cluster.members.push(q);
             }
             nbuf.clear();
-            neighbors_of(q, &mut nbuf);
+            neighbors_of(q, nbuf);
             stats.neighbor_queries += 1;
             stats.neighbors_found += nbuf.len();
             if nbuf.len() >= params.min_pts {
@@ -175,7 +262,7 @@ pub fn local_partial_clusters(
                 queue.extend(nbuf.iter().map(|id| id.0).filter(|&r| {
                     !(r >= start && r < end && {
                         let rl = (r - start) as usize;
-                        visited[rl] && assigned[rl] != UNASSIGNED
+                        visited_epoch[rl] == epoch && assigned_epoch[rl] == epoch
                     })
                 }));
             }
@@ -327,5 +414,57 @@ mod tests {
                 assert_eq!(m.len(), before, "duplicate members in partition {part}");
             }
         }
+    }
+
+    #[test]
+    fn reused_scratch_is_identical_to_fresh_scratch() {
+        // one scratch driven through every partition of both policies,
+        // repeatedly — outputs must match throwaway-scratch runs exactly
+        let tree = chain_tree(60);
+        let data = tree.dataset().clone();
+        let params = DbscanParams::new(2.1, 2).unwrap();
+        let ranges = PartitionRanges::new(60, 4);
+        let mut scratch = ExecutorScratch::new();
+        for _round in 0..3 {
+            for policy in [SeedPolicy::OnePerPartition, SeedPolicy::PerBoundaryEdge] {
+                for part in 0..4 {
+                    let fresh = run(&tree, params, &ranges, part, policy);
+                    let reused = local_partial_clusters_scratch(
+                        |q, out| tree.range_into(data.point(PointId(q)), params.eps, out),
+                        params,
+                        &ranges,
+                        part,
+                        policy,
+                        &mut scratch,
+                    );
+                    assert_eq!(fresh, reused, "partition {part} {policy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_grows_to_high_water_and_stays() {
+        let tree = chain_tree(40);
+        let data = tree.dataset().clone();
+        let params = DbscanParams::new(1.1, 2).unwrap();
+        let mut scratch = ExecutorScratch::new();
+        let go = |parts: usize, part: usize, scratch: &mut ExecutorScratch| {
+            let ranges = PartitionRanges::new(40, parts);
+            local_partial_clusters_scratch(
+                |q, out| tree.range_into(data.point(PointId(q)), params.eps, out),
+                params,
+                &ranges,
+                part,
+                SeedPolicy::OnePerPartition,
+                scratch,
+            )
+        };
+        go(4, 0, &mut scratch); // local_n = 10
+        assert_eq!(scratch.capacity(), 10);
+        go(2, 1, &mut scratch); // local_n = 20: grows
+        assert_eq!(scratch.capacity(), 20);
+        go(8, 3, &mut scratch); // local_n = 5: keeps high-water capacity
+        assert_eq!(scratch.capacity(), 20);
     }
 }

@@ -75,6 +75,12 @@ pub struct RunTimings {
     pub executor: Duration,
     /// Driver-side merge of partial results.
     pub merge: Duration,
+    /// Merge sub-phase: SEED-edge extraction (zero when the runner does
+    /// not decompose its merge).
+    pub merge_extract: Duration,
+    /// Merge sub-phase: union + label assembly (zero when the runner
+    /// does not decompose its merge).
+    pub merge_union: Duration,
 }
 
 /// What every [`DbscanRunner`] returns.
@@ -183,6 +189,8 @@ impl DbscanRunner for SparkDbscan {
                 setup: r.timings.reorder + r.timings.plan + r.timings.kdtree_build,
                 executor: r.timings.executor_wall,
                 merge: r.timings.merge,
+                merge_extract: r.timings.merge_extract,
+                merge_union: r.timings.merge_union,
             },
             trace: Some(ctx.trace()),
         })
@@ -221,6 +229,7 @@ impl DbscanRunner for MrDbscan {
                 ),
                 executor: r.phases.map + r.phases.shuffle_sort + r.phases.reduce,
                 merge: r.merge,
+                ..RunTimings::default()
             },
             trace: None,
         })

@@ -76,6 +76,12 @@ impl AccumulatorRegistry {
         let v = self.values.lock();
         v.get(&id).and_then(|b| b.downcast_ref::<T>()).expect("accumulator type matches").clone()
     }
+
+    fn take_value<T: Default + 'static>(&self, id: usize) -> T {
+        let mut v = self.values.lock();
+        let slot = v.get_mut(&id).and_then(|b| b.downcast_mut::<T>());
+        std::mem::take(slot.expect("accumulator type matches"))
+    }
 }
 
 /// A write-only shared variable: executors `add`, only the driver reads.
@@ -151,6 +157,22 @@ where
     /// Read the driver-side value (Spark's `acc.value`).
     pub fn value(&self) -> T {
         self.registry.read(self.id)
+    }
+}
+
+impl<T, U> Accumulator<T, U>
+where
+    T: Default + Send + 'static,
+{
+    /// Drain the driver-side value, leaving `T::default()` behind.
+    ///
+    /// The overlapped-collection primitive: install a fold that does
+    /// the driver's prep work as each task's updates are merged (the
+    /// scheduler applies them on the driver thread the moment a task
+    /// succeeds, while late tasks still run), then `take` the finished
+    /// value after the job — no clone, no post-barrier scan.
+    pub fn take(&self) -> T {
+        self.registry.take_value(self.id)
     }
 }
 

@@ -195,6 +195,17 @@ pub enum EventKind {
         /// Work units performed (e.g. neighbor queries issued).
         units: u64,
     },
+    /// One sequential shard of a parallel driver-side bulk build
+    /// (driver-side, emitted in shard order after the build so the
+    /// trace stays byte-identical at every thread count — the payload
+    /// carries only the thread-invariant decomposition, never wall
+    /// times).
+    BuildShard {
+        /// Shard index in tree order.
+        shard: usize,
+        /// Points the shard covers.
+        points: u64,
+    },
 }
 
 impl EventKind {
@@ -214,6 +225,7 @@ impl EventKind {
             | EventKind::StageRetry { .. } => "recovery",
             EventKind::PartitionPlan { .. } => "plan",
             EventKind::TaskWork { .. } => "task",
+            EventKind::BuildShard { .. } => "phase",
         }
     }
 
@@ -494,6 +506,12 @@ impl TraceHandle {
     /// exported timelines.
     pub fn task_work(&self, units: u64) {
         self.collector.record_auto(EventKind::TaskWork { units });
+    }
+
+    /// Record one shard of a parallel driver-side bulk build (e.g. a
+    /// sequential kd-subtree). Call in shard order after the build.
+    pub fn build_shard(&self, shard: usize, points: u64) {
+        self.collector.record_driver(EventKind::BuildShard { shard, points });
     }
 
     /// Drain a canonically ordered, virtually timestamped snapshot.
@@ -796,6 +814,13 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                 e.vt,
                 instant("task work", "task", e.vt, pid, tid,
                     &format!("\"units\":{units}")),
+            ),
+            EventKind::BuildShard { shard, points } => push(
+                &mut entries,
+                &mut order,
+                e.vt,
+                instant("build shard", "phase", e.vt, pid, tid,
+                    &format!("\"shard\":{shard},\"points\":{points}")),
             ),
         }
     }

@@ -34,6 +34,7 @@ use crate::metric::Metric;
 use crate::point::PointId;
 use std::cell::RefCell;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Leaf capacity used by [`BkdTree::build`].
 pub const DEFAULT_BUCKET_SIZE: usize = 16;
@@ -41,8 +42,156 @@ pub const DEFAULT_BUCKET_SIZE: usize = 16;
 /// Subtrees at least this large are built on their own scoped thread.
 pub const PAR_CUTOFF: usize = 8 * 1024;
 
-/// Parallel fan-out bound: at most `2^PAR_DEPTH` concurrent builders.
-const PAR_DEPTH: usize = 4;
+/// How the bulk build is run. The resulting tree is **structurally
+/// identical** for every setting: median selection processes the same
+/// sub-slices in the same way no matter which thread handles them, so
+/// only wall-clock time changes. That invariant is what lets the driver
+/// scale the build without perturbing a single downstream byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildConfig {
+    /// Worker threads the recursion may fan out to. `0` means "auto"
+    /// (the host's available parallelism); `1` disables forking.
+    pub threads: usize,
+    /// Leaf capacity (see [`DEFAULT_BUCKET_SIZE`]).
+    pub bucket_size: usize,
+    /// Subtrees smaller than this build sequentially; this is also the
+    /// shard boundary of [`BuildReport`], so the shard decomposition
+    /// depends only on the data, never on `threads`.
+    pub par_cutoff: usize,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig { threads: 0, bucket_size: DEFAULT_BUCKET_SIZE, par_cutoff: PAR_CUTOFF }
+    }
+}
+
+impl BuildConfig {
+    /// Default configuration with the thread count taken from the
+    /// `DBSCAN_BUILD_THREADS` environment variable when set (the CI
+    /// thread matrix runs the whole suite under 1 and 8).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(t) =
+            std::env::var("DBSCAN_BUILD_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            cfg.threads = t;
+        }
+        cfg
+    }
+
+    /// Set the worker thread count (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the leaf capacity.
+    pub fn with_bucket_size(mut self, bucket_size: usize) -> Self {
+        self.bucket_size = bucket_size;
+        self
+    }
+
+    /// Set the sequential cutoff / shard boundary.
+    pub fn with_par_cutoff(mut self, par_cutoff: usize) -> Self {
+        self.par_cutoff = par_cutoff;
+        self
+    }
+
+    /// The resolved worker count (`threads`, or the host parallelism
+    /// when `threads == 0`).
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            t => t,
+        }
+    }
+
+    /// Fork-depth budget: the recursion forks while `depth < budget`,
+    /// giving at most `2^budget >= threads` concurrent builders.
+    fn fork_budget(&self) -> usize {
+        let t = self.effective_threads().max(1);
+        (usize::BITS - (t - 1).leading_zeros()) as usize
+    }
+}
+
+/// One sequentially-built subtree of the bulk build — the unit of work
+/// the fork-join recursion dispatches. The decomposition is a pure
+/// function of the data and [`BuildConfig::par_cutoff`]: a shard is a
+/// maximal subtree with fewer than `par_cutoff` points (or the whole
+/// tree when it is already that small).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildShard {
+    /// First tree-order position of the shard's point range.
+    pub offset: usize,
+    /// Points in the shard.
+    pub len: usize,
+    /// Measured wall time of the shard's sequential build.
+    pub nanos: u64,
+}
+
+/// Instrumentation of one bulk build: the thread-count-independent
+/// shard decomposition plus measured per-phase times, enough to model
+/// the fork-join makespan at any worker count from a 1-thread run.
+#[derive(Debug, Clone, Default)]
+pub struct BuildReport {
+    /// Worker threads the build actually used.
+    pub threads: usize,
+    /// Sequentially-built shards, in tree order (left to right).
+    pub shards: Vec<BuildShard>,
+    /// Split work (axis selection + median partition) of internal nodes
+    /// above the cutoff, summed per recursion depth; depth `d` has at
+    /// most `2^d` such nodes running concurrently.
+    pub internal_nanos_by_depth: Vec<u64>,
+    /// Tree-order coordinate materialization (embarrassingly parallel).
+    pub coords_nanos: u64,
+    /// Whole build.
+    pub total_nanos: u64,
+}
+
+impl BuildReport {
+    /// Total measured shard time.
+    pub fn shard_total_nanos(&self) -> u64 {
+        self.shards.iter().map(|s| s.nanos).sum()
+    }
+
+    /// Total measured internal (above-cutoff split) time.
+    pub fn internal_total_nanos(&self) -> u64 {
+        self.internal_nanos_by_depth.iter().sum()
+    }
+
+    /// Critical-path makespan of this build on `k` workers, modeled
+    /// from per-phase measurements: internal levels run at the lesser
+    /// of their fan-out and `k`, shards are LPT-scheduled onto `k`
+    /// workers, and the coordinate gather divides evenly. With `k = 1`
+    /// this reproduces the measured total; the level-barrier assumption
+    /// makes larger `k` conservative (real fork-join overlaps levels).
+    pub fn modeled_makespan_nanos(&self, k: usize) -> u64 {
+        let k = k.max(1);
+        let internal: u64 = self
+            .internal_nanos_by_depth
+            .iter()
+            .enumerate()
+            .map(|(d, &ns)| ns / (1u64 << d.min(62)).min(k as u64))
+            .sum();
+        internal
+            + lpt_makespan_nanos(self.shards.iter().map(|s| s.nanos), k)
+            + self.coords_nanos / k as u64
+    }
+}
+
+/// Longest-processing-time-first schedule length of `durs` on `k`
+/// workers (the same model the engine's stage metrics use).
+pub fn lpt_makespan_nanos(durs: impl Iterator<Item = u64>, k: usize) -> u64 {
+    let mut durs: Vec<u64> = durs.collect();
+    durs.sort_unstable_by(|a, b| b.cmp(a));
+    let mut loads = vec![0u64; k.max(1)];
+    for d in durs {
+        let min = loads.iter_mut().min().expect("at least one worker");
+        *min += d;
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
 
 const LEAF: u32 = u32::MAX;
 
@@ -128,21 +277,71 @@ impl BkdTree {
 
     /// Build with full control over metric and leaf capacity.
     pub fn build_with(dataset: Arc<Dataset>, metric: Metric, bucket_size: usize) -> Self {
-        let bucket_size = bucket_size.max(1);
+        let cfg = BuildConfig::default().with_bucket_size(bucket_size);
+        Self::build_with_config(dataset, metric, cfg)
+    }
+
+    /// Build under an explicit [`BuildConfig`].
+    pub fn build_with_config(dataset: Arc<Dataset>, metric: Metric, cfg: BuildConfig) -> Self {
+        Self::build_with_report(dataset, metric, cfg).0
+    }
+
+    /// Build under an explicit [`BuildConfig`] and return the
+    /// [`BuildReport`] instrumentation alongside the tree.
+    pub fn build_with_report(
+        dataset: Arc<Dataset>,
+        metric: Metric,
+        cfg: BuildConfig,
+    ) -> (Self, BuildReport) {
+        let total = Instant::now();
+        let bucket_size = cfg.bucket_size.max(1);
+        let cutoff = cfg.par_cutoff.max(1);
+        let threads = cfg.effective_threads().max(1);
         let n = dataset.len();
         let d = dataset.dim();
         let mut ids: Vec<u32> = (0..n as u32).collect();
-        let nodes = if n == 0 {
-            Vec::new()
+        let (nodes, mut report) = if n == 0 {
+            (Vec::new(), BuildReport::default())
         } else {
-            build_rec(&dataset, &mut ids, 0, bucket_size, PAR_DEPTH)
+            build_rec(&dataset, &mut ids, 0, 0, bucket_size, cutoff, cfg.fork_budget())
         };
-        // materialize the permuted coordinate blocks the leaves scan
-        let mut coords = Vec::with_capacity(n * d);
-        for &id in &ids {
-            coords.extend_from_slice(dataset.row(id as usize));
+        report.threads = threads;
+        // materialize the permuted coordinate blocks the leaves scan;
+        // each worker gathers a disjoint contiguous chunk
+        let t = Instant::now();
+        let mut coords = vec![0.0f64; n * d];
+        if n > 0 && d > 0 {
+            let chunk = n.div_ceil(threads);
+            if threads <= 1 {
+                gather_coords(&dataset, &ids, &mut coords, d);
+            } else {
+                std::thread::scope(|s| {
+                    for (cc, ic) in coords.chunks_mut(chunk * d).zip(ids.chunks(chunk)) {
+                        s.spawn(|| gather_coords(&dataset, ic, cc, d));
+                    }
+                });
+            }
         }
-        BkdTree { dataset, nodes, coords, ids, metric, bucket_size }
+        report.coords_nanos = t.elapsed().as_nanos() as u64;
+        report.total_nanos = total.elapsed().as_nanos() as u64;
+        (BkdTree { dataset, nodes, coords, ids, metric, bucket_size }, report)
+    }
+
+    /// Whether two trees are structurally identical: same flat node
+    /// array (splits compared bitwise), same tree-order permutation,
+    /// same permuted coordinates. The parallel build must satisfy this
+    /// against the sequential build for every thread count.
+    pub fn same_structure(&self, other: &Self) -> bool {
+        self.ids == other.ids
+            && self.coords.len() == other.coords.len()
+            && self.coords.iter().zip(&other.coords).all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.nodes.len() == other.nodes.len()
+            && self.nodes.iter().zip(&other.nodes).all(|(a, b)| {
+                a.axis == b.axis
+                    && a.a == b.a
+                    && a.b == b.b
+                    && a.split.to_bits() == b.split.to_bits()
+            })
     }
 
     /// Number of indexed points.
@@ -432,10 +631,113 @@ impl SpatialIndex for BkdTree {
     }
 }
 
+/// Gather the tree-order coordinate rows for one contiguous id chunk.
+fn gather_coords(ds: &Dataset, ids: &[u32], out: &mut [f64], d: usize) {
+    for (slot, &id) in out.chunks_exact_mut(d).zip(ids) {
+        slot.copy_from_slice(ds.row(id as usize));
+    }
+}
+
 /// Build the subtree over `ids` (a sub-slice of the global permutation,
 /// starting at tree-order position `off`). Returns nodes with indices
-/// relative to the returned vec; leaf point ranges are absolute.
-fn build_rec(ds: &Dataset, ids: &mut [u32], off: usize, bucket: usize, par: usize) -> Vec<BNode> {
+/// relative to the returned vec (leaf point ranges are absolute) plus
+/// the shard/internal instrumentation of this subtree.
+///
+/// Subtrees below `cutoff` are **shards**: built sequentially in one
+/// timed unit. Nodes at or above `cutoff` are **internal**: their split
+/// work is timed per recursion depth, and the recursion forks onto a
+/// scoped thread while `par > 0`. The node layout is identical either
+/// way — `select_nth_unstable_by` is deterministic for a given input
+/// slice, and both children see the exact slices the sequential
+/// recursion would, so the thread count can never change the tree.
+fn build_rec(
+    ds: &Dataset,
+    ids: &mut [u32],
+    off: usize,
+    depth: usize,
+    bucket: usize,
+    cutoff: usize,
+    par: usize,
+) -> (Vec<BNode>, BuildReport) {
+    let len = ids.len();
+    if len < cutoff || len <= bucket {
+        let t = Instant::now();
+        let nodes = build_seq(ds, ids, off, bucket);
+        let shard = BuildShard { offset: off, len, nanos: t.elapsed().as_nanos() as u64 };
+        return (nodes, BuildReport { shards: vec![shard], ..BuildReport::default() });
+    }
+    let t = Instant::now();
+    let axis = widest_axis(ds, ids);
+    let mid = len / 2;
+    ids.select_nth_unstable_by(mid, |&p, &q| {
+        let vp = ds.row(p as usize)[axis];
+        let vq = ds.row(q as usize)[axis];
+        vp.partial_cmp(&vq).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let split = ds.row(ids[mid] as usize)[axis];
+    let split_nanos = t.elapsed().as_nanos() as u64;
+    // left gets [0, mid) with values <= split, right gets [mid, len)
+    // with values >= split; both strictly shrink, so the build
+    // terminates even when every coordinate is identical
+    let (lo, hi) = ids.split_at_mut(mid);
+    let ((left, lrep), (mut right, rrep)) = if par > 0 {
+        std::thread::scope(|s| {
+            let lh = s.spawn(|| build_rec(ds, lo, off, depth + 1, bucket, cutoff, par - 1));
+            let r = build_rec(ds, hi, off + mid, depth + 1, bucket, cutoff, par - 1);
+            (lh.join().expect("subtree builder"), r)
+        })
+    } else {
+        (
+            build_rec(ds, lo, off, depth + 1, bucket, cutoff, par),
+            build_rec(ds, hi, off + mid, depth + 1, bucket, cutoff, par),
+        )
+    };
+    let report = merge_reports(depth, split_nanos, lrep, rrep);
+
+    let mut nodes = Vec::with_capacity(1 + left.len() + right.len());
+    let right_at = 1 + left.len() as u32;
+    nodes.push(BNode { axis: axis as u32, a: right_at, b: 0, split });
+    // splice the children, shifting their internal child links (leaf
+    // ranges are already absolute)
+    nodes.extend(left.into_iter().map(|mut n| {
+        if !n.is_leaf() {
+            n.a += 1;
+        }
+        n
+    }));
+    for n in &mut right {
+        if !n.is_leaf() {
+            n.a += right_at;
+        }
+    }
+    nodes.extend(right);
+    (nodes, report)
+}
+
+/// Combine child reports under an internal node: shards stay in tree
+/// order (left before right), per-depth internal times add up.
+fn merge_reports(
+    depth: usize,
+    split_nanos: u64,
+    mut l: BuildReport,
+    r: BuildReport,
+) -> BuildReport {
+    if l.internal_nanos_by_depth.len() < r.internal_nanos_by_depth.len() {
+        l.internal_nanos_by_depth.resize(r.internal_nanos_by_depth.len(), 0);
+    }
+    for (a, b) in l.internal_nanos_by_depth.iter_mut().zip(&r.internal_nanos_by_depth) {
+        *a += b;
+    }
+    if l.internal_nanos_by_depth.len() <= depth {
+        l.internal_nanos_by_depth.resize(depth + 1, 0);
+    }
+    l.internal_nanos_by_depth[depth] += split_nanos;
+    l.shards.extend(r.shards);
+    l
+}
+
+/// The plain sequential recursion (subtrees below the cutoff).
+fn build_seq(ds: &Dataset, ids: &mut [u32], off: usize, bucket: usize) -> Vec<BNode> {
     let len = ids.len();
     if len <= bucket {
         return vec![BNode { axis: LEAF, a: off as u32, b: (off + len) as u32, split: 0.0 }];
@@ -448,25 +750,13 @@ fn build_rec(ds: &Dataset, ids: &mut [u32], off: usize, bucket: usize, par: usiz
         vp.partial_cmp(&vq).unwrap_or(std::cmp::Ordering::Equal)
     });
     let split = ds.row(ids[mid] as usize)[axis];
-    // left gets [0, mid) with values <= split, right gets [mid, len)
-    // with values >= split; both strictly shrink, so the build
-    // terminates even when every coordinate is identical
     let (lo, hi) = ids.split_at_mut(mid);
-    let (left, mut right) = if par > 0 && len >= PAR_CUTOFF {
-        std::thread::scope(|s| {
-            let lh = s.spawn(|| build_rec(ds, lo, off, bucket, par - 1));
-            let r = build_rec(ds, hi, off + mid, bucket, par - 1);
-            (lh.join().expect("subtree builder"), r)
-        })
-    } else {
-        (build_rec(ds, lo, off, bucket, par), build_rec(ds, hi, off + mid, bucket, par))
-    };
+    let left = build_seq(ds, lo, off, bucket);
+    let mut right = build_seq(ds, hi, off + mid, bucket);
 
     let mut nodes = Vec::with_capacity(1 + left.len() + right.len());
     let right_at = 1 + left.len() as u32;
     nodes.push(BNode { axis: axis as u32, a: right_at, b: 0, split });
-    // splice the children, shifting their internal child links (leaf
-    // ranges are already absolute)
     nodes.extend(left.into_iter().map(|mut n| {
         if !n.is_leaf() {
             n.a += 1;
@@ -742,5 +1032,65 @@ mod tests {
     fn size_bytes_accounts_for_coords() {
         let t = BkdTree::build(grid_dataset());
         assert!(t.size_bytes() >= 25 * 2 * std::mem::size_of::<f64>());
+    }
+
+    fn scatter_dataset(n: usize) -> Arc<Dataset> {
+        let rows =
+            (0..n).map(|i| vec![(i as f64 * 37.0) % 211.0, (i as f64 * 53.0) % 197.0]).collect();
+        Arc::new(Dataset::from_rows(rows))
+    }
+
+    #[test]
+    fn parallel_build_is_structurally_identical() {
+        let ds = scatter_dataset(3000);
+        let base = BuildConfig::default().with_bucket_size(8).with_par_cutoff(64);
+        let (seq, _) =
+            BkdTree::build_with_report(ds.clone(), Metric::Euclidean, base.with_threads(1));
+        for threads in [2, 3, 8] {
+            let (par, _) = BkdTree::build_with_report(
+                ds.clone(),
+                Metric::Euclidean,
+                base.with_threads(threads),
+            );
+            assert!(seq.same_structure(&par), "threads={threads}: tree structure diverged");
+            assert_eq!(
+                sorted(seq.range(&[100.0, 100.0], 30.0)),
+                sorted(par.range(&[100.0, 100.0], 30.0)),
+            );
+        }
+    }
+
+    #[test]
+    fn build_report_accounts_for_the_whole_tree() {
+        let ds = scatter_dataset(2000);
+        let cfg = BuildConfig::default().with_bucket_size(8).with_par_cutoff(128).with_threads(1);
+        let (t, rep) = BkdTree::build_with_report(ds.clone(), Metric::Euclidean, cfg);
+        // shards tile [0, n) exactly, in tree order
+        let mut at = 0usize;
+        for s in &rep.shards {
+            assert_eq!(s.offset, at, "shards must tile the permutation contiguously");
+            assert!(s.len < 128, "shard at {} has len {} >= cutoff", s.offset, s.len);
+            at += s.len;
+        }
+        assert_eq!(at, ds.len());
+        assert!(rep.shards.len() > 1, "n=2000 cutoff=128 must split into many shards");
+        assert!(!rep.internal_nanos_by_depth.is_empty(), "internal depths must be timed");
+        // the modeled makespan at k=1 is the full serial critical path,
+        // monotonically non-increasing in k
+        let m1 = rep.modeled_makespan_nanos(1);
+        assert_eq!(m1, rep.internal_total_nanos() + rep.shard_total_nanos() + rep.coords_nanos);
+        assert!(rep.modeled_makespan_nanos(8) <= m1);
+        assert!(t.len() == ds.len());
+    }
+
+    #[test]
+    fn build_config_from_env_parses_threads() {
+        // no env set in tests: default is auto
+        assert_eq!(BuildConfig::default().threads, 0);
+        assert!(BuildConfig::default().effective_threads() >= 1);
+        assert_eq!(BuildConfig::default().with_threads(1).fork_budget(), 0);
+        assert_eq!(BuildConfig::default().with_threads(2).fork_budget(), 1);
+        assert_eq!(BuildConfig::default().with_threads(8).fork_budget(), 3);
+        assert_eq!(BuildConfig::default().with_threads(5).fork_budget(), 3);
     }
 }

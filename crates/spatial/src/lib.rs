@@ -39,7 +39,9 @@ pub mod point;
 pub mod rtree;
 
 pub use aabb::Aabb;
-pub use bkdtree::{BkdTree, QueryScratch};
+pub use bkdtree::{
+    lpt_makespan_nanos, BkdTree, BuildConfig, BuildReport, BuildShard, QueryScratch,
+};
 pub use bruteforce::BruteForceIndex;
 pub use dataset::Dataset;
 pub use grid::GridIndex;

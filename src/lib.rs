@@ -56,6 +56,6 @@ pub mod prelude {
         SparkDbscan,
     };
     pub use dbscan_datagen::{DatasetSpec, StandardDataset};
-    pub use dbscan_spatial::{Dataset, KdTree, PointId, SpatialIndex};
+    pub use dbscan_spatial::{BuildConfig, Dataset, KdTree, PointId, SpatialIndex};
     pub use sparklet::{ClusterConfig, Context, TraceConfig, TraceHandle};
 }

@@ -249,6 +249,56 @@ fn chaos_cost_balanced_matches_clean_equal_count() {
 }
 
 #[test]
+fn chaos_overlapped_collection_matches_clean_at_every_thread_count() {
+    // the overlapped collector folds each task's partial clusters into
+    // the driver accumulator *as the task finishes* — under retries,
+    // stragglers and executor kills the fold must still apply exactly
+    // once per task, and the parallel build/merge must not let thread
+    // scheduling leak into the labels. Clean 1-thread run is the
+    // reference; every plan × thread combination must reproduce it.
+    for seed in SEEDS {
+        let (data, params) = dataset(seed);
+        let build = |threads| {
+            BuildConfig::default().with_threads(threads).with_bucket_size(8).with_par_cutoff(64)
+        };
+
+        let clean_ctx = Context::new(ClusterConfig::local(PARTITIONS).with_seed(seed));
+        let reference = SparkDbscan::new(params)
+            .exact()
+            .build_config(build(1))
+            .merge_threads(1)
+            .run(&clean_ctx, Arc::clone(&data));
+        let ref_labels = reference.clustering.canonicalize().labels;
+
+        for (plan_name, plan) in plans() {
+            for threads in [1usize, 8] {
+                let tag =
+                    format!("seed={seed} plan={plan_name} runner=spark-overlapped-t{threads}");
+                let ctx = Context::new(chaos_config(seed, &plan));
+                let out = SparkDbscan::new(params)
+                    .exact()
+                    .build_config(build(threads))
+                    .merge_threads(threads)
+                    .run(&ctx, Arc::clone(&data));
+                let trace = ctx.trace().snapshot();
+                if out.clustering.canonicalize().labels != ref_labels {
+                    fail(&tag, Some(&trace), "overlapped labels differ from clean reference");
+                }
+                if out.num_partial_clusters != reference.num_partial_clusters
+                    || out.merge_ops != reference.merge_ops
+                {
+                    fail(&tag, Some(&trace), "partial-cluster accounting differs from clean run");
+                }
+                let (lost, recomputed) = lost_and_recomputed(&trace);
+                if !recomputed.is_subset(&lost) {
+                    fail(&tag, Some(&trace), "recomputed a map output that was never lost");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn chaos_runs_are_reproducible_from_the_seed_alone() {
     // the printed tag is the whole reproduction recipe: same seed +
     // plan + runner must give the same clustering AND the same

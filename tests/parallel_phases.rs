@@ -1,0 +1,136 @@
+//! Thread-count invariance of the parallelized driver phases (PR 6).
+//!
+//! The parallel kd-tree bulk-build and the parallel Algorithm-4 merge
+//! both promise **byte identity** with their sequential counterparts:
+//! threads may only change wall-clock time, never a node, an edge, or a
+//! label. These tests pin that contract at three levels — the raw tree,
+//! the raw merge, and the full `SparkDbscan` pipeline.
+
+use scalable_dbscan::datagen::StandardDataset;
+use scalable_dbscan::dbscan::{
+    local_partial_clusters, merge_partial_clusters_threaded, DbscanParams, MergeStrategy,
+    PartitionRanges, SeedPolicy, SparkDbscan,
+};
+use scalable_dbscan::prelude::*;
+use scalable_dbscan::spatial::{BkdTree, Metric, SpatialIndex};
+use std::sync::Arc;
+
+/// Small cutoff/bucket so even these debug-sized datasets decompose
+/// into many shards and several fork levels.
+fn small_cfg(threads: usize) -> BuildConfig {
+    BuildConfig::default().with_threads(threads).with_bucket_size(8).with_par_cutoff(64)
+}
+
+fn dataset(seed_scale: u32) -> (Arc<Dataset>, DbscanParams) {
+    let mut spec = StandardDataset::C10k.scaled_spec(8); // 1250 points
+    spec.params.seed = 7000 + seed_scale as u64;
+    let (data, _) = spec.generate();
+    (Arc::new(data), DbscanParams::new(spec.eps, spec.min_pts).unwrap())
+}
+
+#[test]
+fn parallel_build_is_byte_identical_across_thread_counts() {
+    for trial in 0..4 {
+        let (data, params) = dataset(trial);
+        let serial = BkdTree::build_with_config(Arc::clone(&data), Metric::Euclidean, small_cfg(1));
+        for threads in [2, 3, 8] {
+            let par = BkdTree::build_with_config(
+                Arc::clone(&data),
+                Metric::Euclidean,
+                small_cfg(threads),
+            );
+            assert!(
+                serial.same_structure(&par),
+                "trial {trial}: {threads}-thread build diverged from sequential"
+            );
+            // and the trees answer queries identically (sorted: query
+            // order within a leaf is an implementation detail)
+            for q in (0..data.len()).step_by(97) {
+                let mut a = serial.range(data.row(q), params.eps);
+                let mut b = par.range(data.row(q), params.eps);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "trial {trial}: query {q} diverged at {threads} threads");
+            }
+        }
+    }
+}
+
+/// Build real partial clusters (Algorithms 2+3 over a broadcast-style
+/// kd-tree) and check the parallel union-find merge replays the serial
+/// one exactly — labels, cluster count, and merge-op count.
+#[test]
+fn parallel_merge_is_byte_identical_on_real_partials() {
+    for (trial, policy) in
+        [SeedPolicy::OnePerPartition, SeedPolicy::PerBoundaryEdge].into_iter().enumerate()
+    {
+        let (data, params) = dataset(trial as u32);
+        let n = data.len();
+        let tree = BkdTree::build(Arc::clone(&data));
+        let ranges = PartitionRanges::new(n, 6);
+
+        let mut partials = Vec::new();
+        let mut core = vec![false; n];
+        for p in 0..ranges.num_partitions() {
+            let local = local_partial_clusters(
+                |i, out| tree.range_into(data.row(i as usize), params.eps, out),
+                params,
+                &ranges,
+                p,
+                policy,
+            );
+            partials.extend(local.clusters);
+            for c in local.core_points {
+                core[c as usize] = true;
+            }
+        }
+
+        let serial =
+            merge_partial_clusters_threaded(n, &partials, MergeStrategy::UnionFind, &core, 1);
+        for threads in [2, 8] {
+            let par = merge_partial_clusters_threaded(
+                n,
+                &partials,
+                MergeStrategy::UnionFind,
+                &core,
+                threads,
+            );
+            assert_eq!(
+                serial.clustering.labels, par.clustering.labels,
+                "{policy:?}: labels diverged at {threads} threads"
+            );
+            assert_eq!(serial.merged_clusters, par.merged_clusters);
+            assert_eq!(serial.merge_ops, par.merge_ops);
+        }
+    }
+}
+
+/// The whole pipeline — parallel build, overlapped collection, parallel
+/// merge — returns the same bytes at every thread combination.
+#[test]
+fn spark_dbscan_output_is_thread_count_invariant() {
+    let (data, params) = dataset(99);
+    let run = |build_threads: usize, merge_threads: usize| {
+        let ctx = Context::new(ClusterConfig::local(4));
+        SparkDbscan::new(params)
+            .partitions(5)
+            .build_config(small_cfg(build_threads))
+            .merge_threads(merge_threads)
+            .run(&ctx, Arc::clone(&data))
+    };
+    let base = run(1, 1);
+    for (bt, mt) in [(1, 8), (8, 1), (2, 2), (8, 8)] {
+        let r = run(bt, mt);
+        assert_eq!(
+            base.clustering.labels, r.clustering.labels,
+            "labels diverged at build={bt} merge={mt}"
+        );
+        assert_eq!(base.num_partial_clusters, r.num_partial_clusters);
+        assert_eq!(base.merge_ops, r.merge_ops);
+        assert_eq!(
+            base.build.shards.iter().map(|s| (s.offset, s.len)).collect::<Vec<_>>(),
+            r.build.shards.iter().map(|s| (s.offset, s.len)).collect::<Vec<_>>(),
+            "shard decomposition must not depend on thread count"
+        );
+    }
+}

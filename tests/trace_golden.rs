@@ -68,6 +68,51 @@ fn golden_trace_structure() {
     }
 }
 
+/// One fresh traced exact-mode run at the given build/merge thread
+/// count, with a cutoff small enough that the build really decomposes
+/// into several shards (and so emits several `BuildShard` events).
+fn traced_threaded_run(threads: usize) -> Trace {
+    let spec = StandardDataset::C10k.scaled_spec(64);
+    let (data, _) = spec.generate();
+    let data = Arc::new(data);
+    let params = DbscanParams::new(spec.eps, spec.min_pts).unwrap();
+    let ctx = Context::new(ClusterConfig::local(2).with_tracing());
+    let r = SparkDbscan::new(params)
+        .partitions(2)
+        .exact()
+        .build_config(BuildConfig::default().with_threads(threads).with_par_cutoff(64))
+        .merge_threads(threads)
+        .run(&ctx, Arc::clone(&data));
+    assert!(r.build.shards.len() > 1, "cutoff must force a multi-shard build");
+    ctx.trace().snapshot()
+}
+
+#[test]
+fn trace_is_byte_identical_across_thread_counts() {
+    // worker count is a pure performance knob: the shard decomposition,
+    // the merge sub-phases and every virtual timestamp must come out
+    // the same whether the driver phases fork or not
+    let serial = traced_threaded_run(1);
+    for threads in [2, 8] {
+        let par = traced_threaded_run(threads);
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{par:?}"),
+            "{threads}-thread snapshot differs from sequential"
+        );
+        assert_eq!(
+            chrome_trace_json(&serial),
+            chrome_trace_json(&par),
+            "{threads}-thread export differs from sequential"
+        );
+    }
+    // the parallelized phases actually show up in the export
+    let json = chrome_trace_json(&serial);
+    for needle in ["merge_extract", "merge_union", "build shard"] {
+        assert!(json.contains(needle), "trace export must contain {needle:?} events");
+    }
+}
+
 /// One fresh context + traced shuffle-baseline run where the first
 /// fetch of every reduce task fails (injected), marking a map output
 /// lost and forcing lineage recomputation of exactly that output.
