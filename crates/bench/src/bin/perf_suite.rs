@@ -31,6 +31,14 @@
 //!    measured chunk times.) Results land in `<out_dir>/BENCH_PR6.json`
 //!    and the suite exits non-zero on any identity violation.
 //!
+//! 4. **Memory budget (PR 7)** — the n=100k partitioned run, unbounded
+//!    and then again with a per-executor budget of 25% of the unbounded
+//!    accounted peak. The budgeted run must *spill, not fail*: labels
+//!    byte-identical, event trace byte-identical modulo the zero-tick
+//!    `MemoryAction` events, accounted peak within the budget, and
+//!    spilled bytes nonzero. Results land in `<out_dir>/BENCH_PR7.json`
+//!    and the suite exits non-zero on any violation.
+//!
 //! Usage:
 //!   cargo run --release -p dbscan-bench --bin perf_suite -- [out_dir] [n]
 
@@ -44,7 +52,7 @@ use dbscan_spatial::{
     scan_block, scan_block_generic, BkdTree, BuildConfig, Dataset, Metric, SpatialIndex,
 };
 use serde::Serialize;
-use sparklet::{ClusterConfig, Context};
+use sparklet::{ClusterConfig, Context, Trace, TraceConfig};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
@@ -164,6 +172,39 @@ struct ReportPr6 {
     min_pts: usize,
     model_threads: Vec<usize>,
     cases: Vec<DriverPhaseCase>,
+}
+
+/// One arm of the memory-budget experiment (budget 0 = unbounded).
+#[derive(Serialize)]
+struct BudgetArm {
+    budget_bytes: u64,
+    wall_ms: f64,
+    /// Peak accounted bytes across all lanes combined (RSS proxy).
+    peak_bytes: u64,
+    /// Largest single-lane peak — what the budget actually bounds.
+    max_lane_peak: u64,
+    spilled_bytes: u64,
+    spill_reads: u64,
+    evicted_bytes: u64,
+    backpressure_waits: u64,
+    clusters: usize,
+    noise: usize,
+}
+
+#[derive(Serialize)]
+struct ReportPr7 {
+    bench: &'static str,
+    n: usize,
+    dim: usize,
+    partitions: usize,
+    executors: usize,
+    seed: u64,
+    budget_fraction_of_peak: f64,
+    unbounded: BudgetArm,
+    budgeted: BudgetArm,
+    labels_identical: bool,
+    trace_identical_modulo_memory: bool,
+    peak_within_budget: bool,
 }
 
 /// One arm of the partitioning experiment.
@@ -404,6 +445,111 @@ fn driver_phase_case(n: usize) -> DriverPhaseCase {
     case
 }
 
+/// One arm of the memory-budget experiment: the partitioned runner on
+/// `PARTITIONS` executors with `partitions` tasks, traced, optionally
+/// under a per-executor byte budget.
+fn budget_arm_run(
+    budget: Option<u64>,
+    data: &Arc<Dataset>,
+    partitions: usize,
+) -> (SparkDbscanResult, Trace, f64) {
+    let params = DbscanParams::new(EPS, MIN_PTS).expect("valid params");
+    let mut cfg =
+        ClusterConfig::local(PARTITIONS).with_seed(SEED).with_trace(TraceConfig::enabled());
+    if let Some(b) = budget {
+        cfg = cfg.with_memory_budget(b);
+    }
+    let ctx = Context::new(cfg);
+    let t = Instant::now();
+    let result =
+        SparkDbscan::new(params).partitions(partitions).exact().run(&ctx, Arc::clone(data));
+    (result, ctx.trace().snapshot(), t.elapsed().as_secs_f64() * 1e3)
+}
+
+fn budget_arm(budget: u64, result: &SparkDbscanResult, wall_ms: f64) -> BudgetArm {
+    let m = result.memory;
+    BudgetArm {
+        budget_bytes: budget,
+        wall_ms,
+        peak_bytes: m.peak_bytes,
+        max_lane_peak: m.max_lane_peak,
+        spilled_bytes: m.spilled_bytes,
+        spill_reads: m.spill_reads,
+        evicted_bytes: m.evicted_bytes,
+        backpressure_waits: m.backpressure_waits,
+        clusters: result.clustering.num_clusters(),
+        noise: result.clustering.noise_count(),
+    }
+}
+
+/// Experiment 4: the memory-budget identity run at n=100k. Unbounded
+/// first (accounting is always on, so its peak derives the budget),
+/// then at 25% of that peak. Exits the process on any label or trace
+/// identity violation — graceful degradation must stay *graceful*.
+fn memory_budget_experiment(out_dir: &str) {
+    let n = 100_000;
+    let partitions = 32; // 4 queued tasks per executor lane: crowding is real
+    let gen = GeneratorParams::new(n, 10, (n / 1600).max(4), SEED);
+    let (data, _) = ClusterGenerator::new(gen).generate();
+    let data = Arc::new(data);
+
+    let (unb, unb_trace, unb_ms) = budget_arm_run(None, &data, partitions);
+    let budget = unb.memory.max_lane_peak / 4;
+    let (bud, bud_trace, bud_ms) = budget_arm_run(Some(budget), &data, partitions);
+
+    let labels_identical =
+        unb.clustering.canonicalize().labels == bud.clustering.canonicalize().labels;
+    let trace_identical = bud_trace.without_memory().events == unb_trace.events;
+    let peak_within_budget = bud.memory.max_lane_peak <= budget;
+
+    println!(
+        "memory budget n={n}: unbounded lane peak {} B in {unb_ms:.1} ms; \
+         budget {budget} B -> spilled {} B ({} reads), {} backpressure waits, \
+         lane peak {} B in {bud_ms:.1} ms",
+        unb.memory.max_lane_peak,
+        bud.memory.spilled_bytes,
+        bud.memory.spill_reads,
+        bud.memory.backpressure_waits,
+        bud.memory.max_lane_peak,
+    );
+
+    let report_value = ReportPr7 {
+        bench: "BENCH_PR7",
+        n,
+        dim: 10,
+        partitions,
+        executors: PARTITIONS,
+        seed: SEED,
+        budget_fraction_of_peak: 0.25,
+        unbounded: budget_arm(0, &unb, unb_ms),
+        budgeted: budget_arm(budget, &bud, bud_ms),
+        labels_identical,
+        trace_identical_modulo_memory: trace_identical,
+        peak_within_budget,
+    };
+    report::write_json(Path::new(out_dir), "BENCH_PR7", &report_value).expect("write BENCH_PR7");
+
+    if !labels_identical {
+        eprintln!("FAIL: budgeted labels differ from the unbounded run");
+        std::process::exit(1);
+    }
+    if !trace_identical {
+        eprintln!("FAIL: budgeted trace (modulo MemoryAction) differs from the unbounded run");
+        std::process::exit(1);
+    }
+    if !peak_within_budget {
+        eprintln!(
+            "FAIL: budgeted lane peak {} exceeds the budget {budget}",
+            bud.memory.max_lane_peak
+        );
+        std::process::exit(1);
+    }
+    if bud.memory.spilled_bytes == 0 {
+        eprintln!("FAIL: a 25% budget run never spilled — the ladder was not exercised");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_dir = args.get(1).map(String::as_str).unwrap_or("results");
@@ -473,4 +619,7 @@ fn main() {
         cases: vec![driver_phase_case(20_000), driver_phase_case(100_000)],
     };
     report::write_json(Path::new(out_dir), "BENCH_PR6", &pr6).expect("write BENCH_PR6");
+
+    // ---- experiment 4: memory budget (spill, don't fail) at 100k -----
+    memory_budget_experiment(out_dir);
 }

@@ -44,6 +44,7 @@ pub mod mr_iterative;
 pub mod params;
 pub mod partitioned;
 pub mod reorder;
+pub mod resources;
 pub mod runner;
 pub mod sequential;
 pub mod shuffle_baseline;
@@ -70,6 +71,7 @@ pub use partitioned::merge::{
 pub use partitioned::planner::{plan_partitions, Balance, CostPlan};
 pub use partitioned::SeedPolicy;
 pub use reorder::{apply_permutation, zorder_permutation};
+pub use resources::Resources;
 pub use runner::{DbscanRunner, RunEnv, RunOutcome, RunTimings, RunnerError};
 pub use sequential::SequentialDbscan;
 pub use shuffle_baseline::{ShuffleDbscan, ShuffleDbscanResult};

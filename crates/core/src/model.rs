@@ -191,7 +191,7 @@ mod tests {
         assert_eq!(r.range(1), (4, 4)); // empty partition allowed
         assert_eq!(r.range(2), (4, 9));
         assert_eq!(r.range(3), (9, 10));
-        let mut covered = vec![0u8; 10];
+        let mut covered = [0u8; 10];
         for i in 0..4 {
             let (a, b) = r.range(i);
             for x in a..b {

@@ -21,14 +21,26 @@ use crate::partitioned::merge::{
 use crate::partitioned::planner::{plan_partitions, Balance};
 use crate::partitioned::SeedPolicy;
 use crate::reorder::{apply_permutation, zorder_permutation};
+use crate::resources::Resources;
 use dbscan_spatial::{
     BkdTree, BuildConfig, BuildReport, Dataset, Metric, PointId, PruneConfig, QueryScratch,
     SpatialIndex,
 };
-use sparklet::{Context, JobMetrics};
+use sparklet::{Context, JobMetrics, MemoryStats, SpillHandle, DRIVER_LANE};
 use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Estimated executor working-set bytes per owned point (expansion
+/// queue slot, membership entry, core flag, accumulator staging) —
+/// declared to the scheduler as each task's memory reservation.
+const POINT_WORKING_BYTES: u64 = 48;
+
+/// Ledger bytes attributed to one collected partial cluster on the
+/// driver lane (struct header + one `u32` per member).
+fn partial_bytes(c: &PartialCluster) -> u64 {
+    (std::mem::size_of::<PartialCluster>() + c.members.len() * std::mem::size_of::<u32>()) as u64
+}
 
 thread_local! {
     /// Per-worker reusable scratch: the kd-query traversal stack plus
@@ -96,6 +108,9 @@ pub struct SparkDbscanResult {
     /// Shard/critical-path decomposition of the kd-tree build (feeds
     /// the driver-phase Amdahl model in the perf suite).
     pub build: BuildReport,
+    /// Engine memory-ledger counters as of run end (cumulative for the
+    /// context: peaks, spilled/evicted bytes, backpressure waits).
+    pub memory: MemoryStats,
 }
 
 /// The paper's parallel DBSCAN, configured via builder methods.
@@ -108,16 +123,15 @@ pub struct SparkDbscan {
     prune: PruneConfig,
     min_partial_size: Option<usize>,
     spatial_partitioning: bool,
-    balance: Balance,
-    build_config: BuildConfig,
-    merge_threads: usize,
+    res: Resources,
 }
 
 impl SparkDbscan {
     /// Default configuration: paper-literal SEED policy and merge, one
     /// partition per executor, exact kd-tree queries, no filtering.
-    /// Driver phases parallelize per `DBSCAN_BUILD_THREADS` (auto when
-    /// unset) — the result is byte-identical at any thread count.
+    /// Resource knobs come from [`Resources::from_env`]
+    /// (`DBSCAN_BUILD_THREADS`, `DBSCAN_MEM_BUDGET`; auto/unbounded when
+    /// unset) — the result is byte-identical for any `Resources` value.
     pub fn new(params: DbscanParams) -> Self {
         SparkDbscan {
             params,
@@ -127,10 +141,17 @@ impl SparkDbscan {
             prune: PruneConfig::EXACT,
             min_partial_size: None,
             spatial_partitioning: false,
-            balance: Balance::Count,
-            build_config: BuildConfig::from_env(),
-            merge_threads: 0,
+            res: Resources::from_env(),
         }
+    }
+
+    /// Replace the whole execution-resource bundle (balance, build
+    /// threads, merge threads, memory budget) in one call — the typed
+    /// alternative to chaining [`SparkDbscan::balance`],
+    /// [`SparkDbscan::build_config`] and [`SparkDbscan::merge_threads`].
+    pub fn resources(mut self, res: Resources) -> Self {
+        self.res = res;
+        self
     }
 
     /// Override the partition count (defaults to the context's executor
@@ -184,7 +205,7 @@ impl SparkDbscan {
     /// contiguous either way, so the clustering result is identical —
     /// only task load balance changes.
     pub fn balance(mut self, b: Balance) -> Self {
-        self.balance = b;
+        self.res.balance = b;
         self
     }
 
@@ -199,7 +220,7 @@ impl SparkDbscan {
     /// bucket size, parallel cutoff). The tree is structurally
     /// identical for every configuration with the same bucket size.
     pub fn build_config(mut self, cfg: BuildConfig) -> Self {
-        self.build_config = cfg;
+        self.res.build = cfg;
         self
     }
 
@@ -207,7 +228,7 @@ impl SparkDbscan {
     /// build config). Labels are byte-identical at any count; the
     /// paper-literal merge strategies always run serial.
     pub fn merge_threads(mut self, threads: usize) -> Self {
-        self.merge_threads = threads;
+        self.res.merge_threads = threads;
         self
     }
 
@@ -223,6 +244,9 @@ impl SparkDbscan {
     pub fn run(&self, ctx: &Context, data: Arc<Dataset>) -> SparkDbscanResult {
         let total_start = Instant::now();
         let trace = ctx.trace();
+        if self.res.memory.is_bounded() {
+            ctx.set_memory_budget(self.res.memory);
+        }
 
         // optional future-work feature: spatially coherent partitions
         let (data, inverse, reorder) = if self.spatial_partitioning {
@@ -238,7 +262,7 @@ impl SparkDbscan {
 
         // ---- driver: partition planning ----
         let t = Instant::now();
-        let (ranges, predicted_cost) = match self.balance {
+        let (ranges, predicted_cost) = match self.res.balance {
             Balance::Count => (PartitionRanges::new(n, p), None),
             Balance::Cost => {
                 trace.phase_start("partition_plan");
@@ -259,7 +283,7 @@ impl SparkDbscan {
         let t = Instant::now();
         trace.phase_start("kdtree_build");
         let (tree, build_report) =
-            BkdTree::build_with_report(Arc::clone(&data), Metric::Euclidean, self.build_config);
+            BkdTree::build_with_report(Arc::clone(&data), Metric::Euclidean, self.res.build);
         // the shard decomposition is a pure function of (n, bucket,
         // cutoff) — never of the thread count — and the payloads carry
         // no wall times, so these events keep the trace byte-identical
@@ -289,10 +313,39 @@ impl SparkDbscan {
         // extraction reads — prep work overlapped with the tasks still
         // running, instead of deferred behind a full-stage barrier.
         // Exactly-once holds because folds only apply on task success.
+        // Collected partials charge the driver's ledger lane; when a
+        // bounded budget cannot hold the next one, the buffered batch is
+        // parked in the spill tier and read back just before the merge.
+        let memory = ctx.memory_manager();
+        let spill = ctx.spill_store();
+        let fold_memory = Arc::clone(&memory);
+        let fold_spill = Arc::clone(&spill);
         let collected_acc =
             ctx.accumulator_with(Collected::default(), move |state: &mut Collected, feed: Feed| {
                 match feed {
-                    Feed::Partial(c) => state.partials.push(c),
+                    Feed::Partial(c) => {
+                        let bytes = partial_bytes(&c);
+                        if !fold_memory.try_charge(DRIVER_LANE, bytes) {
+                            if !state.partials.is_empty() {
+                                let batch: Vec<(u32, (u32, u32), Vec<u32>)> = state
+                                    .partials
+                                    .drain(..)
+                                    .map(|p| (p.owner, p.range, p.members))
+                                    .collect();
+                                let blob = sparklet::spill::encode(&batch);
+                                let h =
+                                    fold_spill.spill(&blob).expect("driver spill tier writable");
+                                state.spilled.push(h);
+                                fold_memory.note_spill(DRIVER_LANE, state.charged);
+                                state.charged = 0;
+                            }
+                            // the newcomer itself may exceed the lane
+                            // budget alone; it must be buffered anyway
+                            fold_memory.force_charge(DRIVER_LANE, bytes);
+                        }
+                        state.charged += bytes;
+                        state.partials.push(c);
+                    }
                     Feed::Cores(cs) => {
                         if state.core.len() < n {
                             state.core.resize(n, false);
@@ -308,8 +361,18 @@ impl SparkDbscan {
         let th = trace.clone();
         let bcast = shared.clone();
 
+        // each task declares its working set up front so a bounded
+        // budget can defer submissions instead of overcommitting lanes
+        let hints: Vec<u64> = (0..p)
+            .map(|i| {
+                let (a, b) = ranges.range(i);
+                (b - a) as u64 * POINT_WORKING_BYTES
+            })
+            .collect();
+
         let t = Instant::now();
         ctx.range(0, n as u64, p)
+            .mem_hints(hints)
             .foreach_partition(move |part, _indices| {
                 let info = bcast.value();
                 let dataset = info.tree.dataset();
@@ -351,7 +414,23 @@ impl SparkDbscan {
         let job = ctx.last_job().expect("job metrics recorded");
 
         // ---- driver: merge (Algorithm 4) ----
-        let Collected { mut partials, mut core, stats: mut executor_stats } = collected_acc.take();
+        let Collected { mut partials, spilled, charged, mut core, stats: mut executor_stats } =
+            collected_acc.take();
+        // re-admit spilled batches (checksum-verified) and settle the
+        // driver lane: the merge working set is outside the budget domain
+        for h in spilled {
+            let blob = spill.read(h).expect("driver spill read-back");
+            memory.note_spill_read(DRIVER_LANE, blob.len() as u64);
+            spill.remove(h);
+            let batch: Vec<(u32, (u32, u32), Vec<u32>)> =
+                sparklet::spill::decode(&blob).expect("driver spill decode");
+            partials.extend(batch.into_iter().map(|(owner, range, members)| PartialCluster {
+                owner,
+                range,
+                members,
+            }));
+        }
+        memory.uncharge(DRIVER_LANE, charged);
         // core flags gate the merge (only core SEEDs may weld clusters
         // together — see merge docs); empty partitions may leave the
         // lazily-sized array short
@@ -367,8 +446,8 @@ impl SparkDbscan {
         let filtered = before_filter - partials.len();
         let num_partial_clusters = partials.len();
 
-        let merge_threads = match self.merge_threads {
-            0 => self.build_config.effective_threads(),
+        let merge_threads = match self.res.merge_threads {
+            0 => self.res.build.effective_threads(),
             t => t,
         };
         let t = Instant::now();
@@ -429,6 +508,7 @@ impl SparkDbscan {
             executor_stats,
             predicted_cost,
             build: build_report,
+            memory: ctx.memory_stats(),
         }
     }
 }
@@ -448,6 +528,11 @@ struct SharedInfo {
 #[derive(Default)]
 struct Collected {
     partials: Vec<PartialCluster>,
+    /// Batches of partials parked in the spill tier by the fold when the
+    /// driver lane ran out of budget, in spill order.
+    spilled: Vec<SpillHandle>,
+    /// Ledger bytes currently charged for `partials`.
+    charged: u64,
     core: Vec<bool>,
     stats: Vec<(u32, ExecutorStats)>,
 }

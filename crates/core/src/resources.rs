@@ -1,0 +1,168 @@
+//! One typed bundle for every resource knob.
+//!
+//! The driver grew its tuning surface piecemeal: partition balance on
+//! [`SparkDbscan::balance`], kd-tree build threads on
+//! [`SparkDbscan::build_config`] (seeded from the `DBSCAN_BUILD_THREADS`
+//! environment variable), merge workers on
+//! [`SparkDbscan::merge_threads`], and — new with the memory-budgeted
+//! storage engine — a per-executor byte budget on the engine context.
+//! [`Resources`] consolidates them into one `#[non_exhaustive]` value
+//! that [`SparkDbscan::resources`] and
+//! [`crate::runner::RunEnv::with_resources`] both accept, with
+//! [`Resources::from_env`] as the single documented place environment
+//! variables are read:
+//!
+//! | variable | field | meaning |
+//! |---|---|---|
+//! | `DBSCAN_BUILD_THREADS` | `build.threads` | driver-phase worker count (`0` = auto) |
+//! | `DBSCAN_MEM_BUDGET` | `memory` | per-executor byte budget (unset = unbounded) |
+//!
+//! Every field is benign to vary: clustering labels are identical for
+//! any `Resources` value (budgets spill, never drop data; thread counts
+//! are byte-deterministic by construction), only speed and memory
+//! footprint change.
+//!
+//! [`SparkDbscan::balance`]: crate::partitioned::driver::SparkDbscan::balance
+//! [`SparkDbscan::build_config`]: crate::partitioned::driver::SparkDbscan::build_config
+//! [`SparkDbscan::merge_threads`]: crate::partitioned::driver::SparkDbscan::merge_threads
+//! [`SparkDbscan::resources`]: crate::partitioned::driver::SparkDbscan::resources
+
+use crate::partitioned::planner::Balance;
+use dbscan_spatial::BuildConfig;
+use sparklet::MemoryBudget;
+
+/// Execution-resource configuration shared by the driver builders and
+/// the [`crate::runner::RunEnv`] facade. Construct with
+/// [`Resources::new`] (library defaults) or [`Resources::from_env`]
+/// (defaults overlaid with the documented environment variables), then
+/// chain `with_*` setters. `#[non_exhaustive]` so new knobs can ride
+/// along without breaking callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Resources {
+    /// How index ranges are balanced across partitions.
+    pub balance: Balance,
+    /// Driver-side kd-tree bulk-build configuration (also the default
+    /// worker count for the parallel merge).
+    pub build: BuildConfig,
+    /// Worker count for the parallel union-find merge (0 = follow
+    /// `build`).
+    pub merge_threads: usize,
+    /// Per-executor engine memory budget (unbounded by default). Applied
+    /// to the engine context at run start when bounded.
+    pub memory: MemoryBudget,
+}
+
+impl Resources {
+    /// Library defaults: equal-count balance, auto build threads, merge
+    /// following the build config, unbounded memory.
+    pub fn new() -> Self {
+        Resources {
+            balance: Balance::Count,
+            build: BuildConfig::default(),
+            merge_threads: 0,
+            memory: MemoryBudget::UNBOUNDED,
+        }
+    }
+
+    /// Defaults overlaid with the environment: `DBSCAN_BUILD_THREADS`
+    /// sets the build worker count, `DBSCAN_MEM_BUDGET` (bytes) sets a
+    /// bounded per-executor memory budget. Unset or unparsable variables
+    /// leave the default in place.
+    pub fn from_env() -> Self {
+        let mut r = Resources::new();
+        r.build = BuildConfig::from_env();
+        r.memory = parse_mem_budget(std::env::var("DBSCAN_MEM_BUDGET").ok().as_deref());
+        r
+    }
+
+    /// Set the partition balance policy.
+    pub fn with_balance(mut self, balance: Balance) -> Self {
+        self.balance = balance;
+        self
+    }
+
+    /// Set the kd-tree build configuration.
+    pub fn with_build(mut self, build: BuildConfig) -> Self {
+        self.build = build;
+        self
+    }
+
+    /// Set the merge worker count (0 = follow the build config).
+    pub fn with_merge_threads(mut self, threads: usize) -> Self {
+        self.merge_threads = threads;
+        self
+    }
+
+    /// Set the engine memory budget.
+    pub fn with_memory(mut self, memory: MemoryBudget) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Set a bounded per-executor memory budget in bytes.
+    pub fn with_memory_budget(self, bytes: u64) -> Self {
+        self.with_memory(MemoryBudget::per_executor(bytes))
+    }
+
+    /// Whether this is exactly the library default ([`Resources::new`]).
+    /// The runner facade uses this to leave a hand-configured
+    /// [`crate::partitioned::driver::SparkDbscan`] untouched.
+    pub fn is_default(&self) -> bool {
+        *self == Resources::new()
+    }
+}
+
+impl Default for Resources {
+    fn default() -> Self {
+        Resources::new()
+    }
+}
+
+/// `DBSCAN_MEM_BUDGET` parser: a byte count bounds the budget; unset or
+/// unparsable leaves it unbounded.
+fn parse_mem_budget(var: Option<&str>) -> MemoryBudget {
+    match var.and_then(|v| v.trim().parse::<u64>().ok()) {
+        Some(bytes) => MemoryBudget::per_executor(bytes),
+        None => MemoryBudget::UNBOUNDED,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unbounded_auto() {
+        let r = Resources::new();
+        assert!(r.is_default());
+        assert_eq!(r.balance, Balance::Count);
+        assert_eq!(r.merge_threads, 0);
+        assert!(!r.memory.is_bounded());
+        assert_eq!(r, Resources::default());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let r = Resources::new()
+            .with_balance(Balance::Cost)
+            .with_merge_threads(4)
+            .with_memory_budget(1 << 20)
+            .with_build(BuildConfig::default().with_threads(2));
+        assert!(!r.is_default());
+        assert_eq!(r.balance, Balance::Cost);
+        assert_eq!(r.merge_threads, 4);
+        assert_eq!(r.memory.bytes(), 1 << 20);
+        assert_eq!(r.build.threads, 2);
+    }
+
+    #[test]
+    fn mem_budget_variable_parses_bytes_or_stays_unbounded() {
+        assert_eq!(parse_mem_budget(Some("65536")), MemoryBudget::per_executor(65536));
+        assert_eq!(parse_mem_budget(Some(" 1024 ")), MemoryBudget::per_executor(1024));
+        assert_eq!(parse_mem_budget(Some("lots")), MemoryBudget::UNBOUNDED);
+        assert_eq!(parse_mem_budget(None), MemoryBudget::UNBOUNDED);
+        // no env set under test: from_env mirrors the defaults
+        assert!(!Resources::from_env().memory.is_bounded());
+    }
+}

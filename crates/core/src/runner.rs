@@ -21,6 +21,7 @@ use crate::label::Clustering;
 use crate::mr::MrDbscan;
 use crate::mr_iterative::MrDbscanIterative;
 use crate::partitioned::driver::SparkDbscan;
+use crate::resources::Resources;
 use crate::sequential::SequentialDbscan;
 use crate::shuffle_baseline::ShuffleDbscan;
 use dbscan_spatial::Dataset;
@@ -42,19 +43,30 @@ pub struct RunEnv<'a> {
     pub ctx: Option<&'a Context>,
     /// Concurrent map/reduce slots for the MapReduce baselines.
     pub slots: usize,
+    /// Execution-resource bundle (threads, balance, memory budget).
+    /// Runners that understand it apply a non-default value over their
+    /// own configuration; [`Resources::default`] leaves a
+    /// hand-configured runner untouched.
+    pub resources: Resources,
 }
 
 impl<'a> RunEnv<'a> {
     /// An environment backed by a sparklet context; MapReduce slots
     /// default to the context's executor count.
     pub fn engine(ctx: &'a Context) -> Self {
-        RunEnv { ctx: Some(ctx), slots: ctx.num_executors() }
+        RunEnv { ctx: Some(ctx), slots: ctx.num_executors(), resources: Resources::default() }
     }
 
     /// An engine-less environment (sequential and MapReduce runners
     /// only).
     pub fn standalone(slots: usize) -> Self {
-        RunEnv { ctx: None, slots: slots.max(1) }
+        RunEnv { ctx: None, slots: slots.max(1), resources: Resources::default() }
+    }
+
+    /// Override the environment's resource bundle.
+    pub fn with_resources(mut self, resources: Resources) -> Self {
+        self.resources = resources;
+        self
     }
 }
 
@@ -81,6 +93,14 @@ pub struct RunTimings {
     /// Merge sub-phase: union + label assembly (zero when the runner
     /// does not decompose its merge).
     pub merge_union: Duration,
+    /// Peak accounted engine-memory bytes (zero for engine-less runners).
+    pub peak_memory_bytes: u64,
+    /// Bytes moved to the spill tier under memory pressure (zero for
+    /// engine-less runners or unbounded budgets).
+    pub spilled_bytes: u64,
+    /// Bytes freed by evicting cache entries (zero for engine-less
+    /// runners or unbounded budgets).
+    pub evicted_bytes: u64,
 }
 
 /// What every [`DbscanRunner`] returns.
@@ -181,7 +201,13 @@ impl DbscanRunner for SparkDbscan {
 
     fn run_dbscan(&self, env: &RunEnv<'_>, data: Arc<Dataset>) -> Result<RunOutcome, RunnerError> {
         let ctx = env.ctx.ok_or(RunnerError::MissingContext("SparkDbscan"))?;
-        let r = self.run(ctx, data);
+        // a non-default environment bundle overrides this runner's own
+        // resource knobs; the default leaves hand-tuned builders alone
+        let r = if env.resources.is_default() {
+            self.run(ctx, data)
+        } else {
+            self.clone().resources(env.resources).run(ctx, data)
+        };
         Ok(RunOutcome {
             clustering: r.clustering,
             timings: RunTimings {
@@ -191,6 +217,9 @@ impl DbscanRunner for SparkDbscan {
                 merge: r.timings.merge,
                 merge_extract: r.timings.merge_extract,
                 merge_union: r.timings.merge_union,
+                peak_memory_bytes: r.memory.peak_bytes,
+                spilled_bytes: r.memory.spilled_bytes,
+                evicted_bytes: r.memory.evicted_bytes,
             },
             trace: Some(ctx.trace()),
         })

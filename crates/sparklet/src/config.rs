@@ -1,6 +1,7 @@
 //! Cluster configuration.
 
 use crate::fault::FaultPlan;
+use crate::memory::MemoryBudget;
 
 /// Straggler model for the virtual-cluster time simulation.
 ///
@@ -86,6 +87,10 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Structured event tracing (off by default).
     pub trace: TraceConfig,
+    /// Per-executor memory budget (unbounded by default; see
+    /// [`crate::memory::MemoryManager`] for the eviction / spill /
+    /// backpressure ladder a bounded budget engages).
+    pub memory: MemoryBudget,
 }
 
 impl ClusterConfig {
@@ -102,6 +107,7 @@ impl ClusterConfig {
             straggler: StragglerConfig::NONE,
             seed: 0x5eed,
             trace: TraceConfig::default(),
+            memory: MemoryBudget::UNBOUNDED,
         }
     }
 
@@ -155,6 +161,18 @@ impl ClusterConfig {
     /// Builder-style: set the full trace configuration.
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Builder-style: set the memory budget.
+    pub fn with_memory(mut self, memory: MemoryBudget) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Builder-style: set a per-executor memory budget in bytes.
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory = MemoryBudget::per_executor(bytes);
         self
     }
 }

@@ -5,10 +5,12 @@ use crate::broadcast::Broadcast;
 use crate::config::ClusterConfig;
 use crate::error::SparkResult;
 use crate::executor::ExecutorPool;
+use crate::memory::{MemoryBudget, MemoryManager, MemoryStats};
 use crate::metrics::JobMetrics;
 use crate::rdd::{ops, text::TextFileRdd, Rdd};
 use crate::shuffle::ShuffleManager;
-use crate::storage::CacheManager;
+use crate::spill::SpillStore;
+use crate::storage::{CacheConfig, CacheManager};
 use crate::trace::{DfsTraceSink, EventKind, TraceCollector, TraceHandle};
 use crate::Data;
 use minidfs::DfsCluster;
@@ -23,6 +25,8 @@ pub(crate) struct ContextInner {
     pub(crate) accums: Arc<AccumulatorRegistry>,
     pub(crate) pool: ExecutorPool,
     pub(crate) tracer: Arc<TraceCollector>,
+    pub(crate) memory: Arc<MemoryManager>,
+    pub(crate) spill: Arc<SpillStore>,
     next_rdd: AtomicUsize,
     next_shuffle: AtomicUsize,
     next_stage: AtomicUsize,
@@ -65,22 +69,33 @@ impl Context {
     /// Start a context per `config` (spawns the worker threads).
     pub fn new(config: ClusterConfig) -> Self {
         let tracer = Arc::new(TraceCollector::new(config.trace));
+        let memory = Arc::new(MemoryManager::new(config.memory, Arc::clone(&tracer)));
+        let spill = Arc::new(SpillStore::new().expect("create spill dir"));
         let pool = ExecutorPool::start(
             config.worker_threads,
             config.fault.clone(),
             config.seed,
             Arc::clone(&tracer),
+            Arc::clone(&memory),
         );
         let shuffles = Arc::new(ShuffleManager::with_tracer_and_faults(
             Arc::clone(&tracer),
             config.fault.fetch_failure,
             config.seed,
+            Arc::clone(&memory),
+            Arc::clone(&spill),
         ));
+        let cache = Arc::new(CacheManager::new(CacheConfig {
+            memory: Arc::clone(&memory),
+            spill: Arc::clone(&spill),
+        }));
         Context {
             inner: Arc::new(ContextInner {
                 config,
                 shuffles,
-                cache: Arc::new(CacheManager::new()),
+                cache,
+                memory,
+                spill,
                 accums: Arc::new(AccumulatorRegistry::new()),
                 pool,
                 tracer,
@@ -167,6 +182,9 @@ impl Context {
         let id = self.inner.next_broadcast.fetch_add(1, Ordering::Relaxed);
         let shipped = (size_hint * self.num_executors()) as u64;
         self.inner.broadcast_bytes.fetch_add(shipped, Ordering::Relaxed);
+        // broadcasts are metered but budget-exempt (shared read-only
+        // state, not per-task working memory)
+        self.inner.memory.meter_broadcast(shipped);
         self.inner.tracer.record_driver(EventKind::BroadcastCreate { id, bytes: shipped });
         Broadcast::new(id, value, size_hint)
     }
@@ -251,6 +269,29 @@ impl Context {
     /// [`crate::config::TraceConfig::enabled`] was set.
     pub fn trace(&self) -> TraceHandle {
         TraceHandle::new(Arc::clone(&self.inner.tracer))
+    }
+
+    // ---- memory ------------------------------------------------------
+
+    /// This context's memory ledger (always live; unbounded by default).
+    pub fn memory_manager(&self) -> Arc<MemoryManager> {
+        Arc::clone(&self.inner.memory)
+    }
+
+    /// This context's disk spill tier.
+    pub fn spill_store(&self) -> Arc<SpillStore> {
+        Arc::clone(&self.inner.spill)
+    }
+
+    /// Snapshot of the memory counters (peaks, spilled/evicted bytes,
+    /// backpressure waits, broadcast metering).
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.inner.memory.stats()
+    }
+
+    /// Replace the per-executor memory budget for subsequent work.
+    pub fn set_memory_budget(&self, budget: MemoryBudget) {
+        self.inner.memory.set_budget(budget);
     }
 }
 

@@ -7,8 +7,9 @@
 
 use crate::accumulator::{begin_task_buffer, take_task_buffer};
 use crate::fault::{FaultPlan, STRAGGLER_SALT, TASK_SALT};
+use crate::memory::MemoryManager;
 use crate::task::{set_current_executor, AttemptResult, TaskError, TaskSpec};
-use crate::trace::{self, EventKind, TaskScope, TraceCollector};
+use crate::trace::{self, EventKind, MemOp, TaskScope, TraceCollector};
 use crossbeam::channel::{unbounded, Sender};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -37,6 +38,7 @@ impl ExecutorPool {
         plan: FaultPlan,
         seed: u64,
         tracer: Arc<TraceCollector>,
+        memory: Arc<MemoryManager>,
     ) -> Self {
         let threads = threads.max(1);
         let plan = Arc::new(plan);
@@ -46,11 +48,12 @@ impl ExecutorPool {
                 let rx = rx.clone();
                 let plan = Arc::clone(&plan);
                 let tracer = Arc::clone(&tracer);
+                let memory = Arc::clone(&memory);
                 std::thread::Builder::new()
                     .name(format!("sparklet-worker-{w}"))
                     .spawn(move || {
                         while let Ok(env) = rx.recv() {
-                            let result = run_attempt(&env, &plan, seed, &tracer);
+                            let result = run_attempt(&env, &plan, seed, &tracer, &memory);
                             // the driver may have aborted the job; a closed
                             // reply channel is not an error for the worker
                             let _ = env.reply.send(result);
@@ -92,6 +95,7 @@ fn run_attempt(
     plan: &FaultPlan,
     seed: u64,
     tracer: &TraceCollector,
+    memory: &MemoryManager,
 ) -> AttemptResult {
     let spec = &env.spec;
     set_current_executor(spec.executor);
@@ -103,6 +107,17 @@ fn run_attempt(
     };
     trace::set_task_scope(Some(scope));
     tracer.record(Some(scope), EventKind::TaskStart);
+    // the scheduler charged the reservation before submitting; the
+    // task-scoped Reserve/Release events bracket the attempt in the
+    // trace (bounded budgets only, so unbudgeted traces are unchanged)
+    let hint = spec.mem_hint;
+    let bounded_budget = hint > 0 && memory.budget().is_bounded();
+    if bounded_budget {
+        tracer.record(
+            Some(scope),
+            EventKind::MemoryAction { op: MemOp::Reserve, lane: spec.executor, bytes: hint },
+        );
+    }
     begin_task_buffer();
 
     // straggler injection: a real (small) delay perturbing the actual
@@ -134,6 +149,15 @@ fn run_attempt(
 
     let busy = start.elapsed();
     let accum_updates = take_task_buffer();
+    if bounded_budget {
+        tracer.record(
+            Some(scope),
+            EventKind::MemoryAction { op: MemOp::Release, lane: spec.executor, bytes: hint },
+        );
+    }
+    if hint > 0 {
+        memory.release_task(spec.executor, hint);
+    }
     match &outcome {
         Ok(_) => tracer.record(Some(scope), EventKind::TaskSuccess),
         Err(e) => tracer.record(Some(scope), EventKind::TaskFailure { injected: e.injected }),
@@ -167,7 +191,7 @@ mod tests {
     use std::sync::Arc;
 
     fn spec(work: TaskWork) -> TaskSpec {
-        TaskSpec { stage_id: 0, partition: 0, executor: 0, work }
+        TaskSpec { stage_id: 0, partition: 0, executor: 0, mem_hint: 0, work }
     }
 
     fn run_one(pool: &ExecutorPool, s: TaskSpec, attempt: usize) -> AttemptResult {
@@ -178,7 +202,13 @@ mod tests {
 
     #[test]
     fn runs_tasks_and_returns_output() {
-        let pool = ExecutorPool::start(2, FaultPlan::none(), 0, TraceCollector::disabled());
+        let pool = ExecutorPool::start(
+            2,
+            FaultPlan::none(),
+            0,
+            TraceCollector::disabled(),
+            MemoryManager::unbounded(),
+        );
         let r = run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Boxed(Box::new(41i32))))), 0);
         match r.outcome.unwrap() {
             TaskOutput::Boxed(b) => assert_eq!(*b.downcast::<i32>().unwrap(), 41),
@@ -188,7 +218,13 @@ mod tests {
 
     #[test]
     fn catches_panics() {
-        let pool = ExecutorPool::start(1, FaultPlan::none(), 0, TraceCollector::disabled());
+        let pool = ExecutorPool::start(
+            1,
+            FaultPlan::none(),
+            0,
+            TraceCollector::disabled(),
+            MemoryManager::unbounded(),
+        );
         let r = run_one(&pool, spec(Arc::new(|| panic!("kaboom"))), 0);
         let err = r.outcome.err().unwrap();
         assert!(err.message.contains("kaboom"), "{err}");
@@ -202,6 +238,7 @@ mod tests {
             FaultConfig::always_first(1).into(),
             7,
             TraceCollector::disabled(),
+            MemoryManager::unbounded(),
         );
         let r0 = run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 0);
         assert!(r0.outcome.as_ref().err().is_some_and(|e| e.injected));
@@ -212,7 +249,8 @@ mod tests {
     #[test]
     fn straggler_rule_delays_the_attempt() {
         let plan = FaultPlan::none().with_stragglers(FaultRule::always_first(1), 20);
-        let pool = ExecutorPool::start(1, plan, 0, TraceCollector::disabled());
+        let pool =
+            ExecutorPool::start(1, plan, 0, TraceCollector::disabled(), MemoryManager::unbounded());
         let t0 = Instant::now();
         let r = run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 0);
         assert!(r.outcome.is_ok());
@@ -223,7 +261,13 @@ mod tests {
 
     #[test]
     fn busy_time_is_measured() {
-        let pool = ExecutorPool::start(1, FaultPlan::none(), 0, TraceCollector::disabled());
+        let pool = ExecutorPool::start(
+            1,
+            FaultPlan::none(),
+            0,
+            TraceCollector::disabled(),
+            MemoryManager::unbounded(),
+        );
         let r = run_one(
             &pool,
             spec(Arc::new(|| {
@@ -237,7 +281,13 @@ mod tests {
 
     #[test]
     fn pool_shuts_down_cleanly() {
-        let pool = ExecutorPool::start(4, FaultPlan::none(), 0, TraceCollector::disabled());
+        let pool = ExecutorPool::start(
+            4,
+            FaultPlan::none(),
+            0,
+            TraceCollector::disabled(),
+            MemoryManager::unbounded(),
+        );
         assert_eq!(pool.size(), 4);
         drop(pool); // must not hang
     }
@@ -245,8 +295,13 @@ mod tests {
     #[test]
     fn task_lifecycle_is_traced_with_injected_flag() {
         let tracer = Arc::new(TraceCollector::new(crate::config::TraceConfig::enabled()));
-        let pool =
-            ExecutorPool::start(1, FaultConfig::always_first(1).into(), 0, Arc::clone(&tracer));
+        let pool = ExecutorPool::start(
+            1,
+            FaultConfig::always_first(1).into(),
+            0,
+            Arc::clone(&tracer),
+            MemoryManager::unbounded(),
+        );
         assert!(run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 0).outcome.is_err());
         assert!(run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 1).outcome.is_ok());
         let kinds: Vec<EventKind> = tracer.snapshot().events.iter().map(|e| e.kind).collect();
@@ -257,7 +312,13 @@ mod tests {
 
     #[test]
     fn zero_threads_clamped_to_one() {
-        let pool = ExecutorPool::start(0, FaultPlan::none(), 0, TraceCollector::disabled());
+        let pool = ExecutorPool::start(
+            0,
+            FaultPlan::none(),
+            0,
+            TraceCollector::disabled(),
+            MemoryManager::unbounded(),
+        );
         assert_eq!(pool.size(), 1);
     }
 }

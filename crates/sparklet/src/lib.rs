@@ -37,11 +37,13 @@ pub mod context;
 pub mod error;
 pub mod executor;
 pub mod fault;
+pub mod memory;
 pub mod metrics;
 pub mod rdd;
 pub mod scheduler;
 pub mod shuffle;
 pub mod sim;
+pub mod spill;
 pub mod storage;
 pub mod task;
 pub mod trace;
@@ -52,12 +54,15 @@ pub use config::{ClusterConfig, StragglerConfig, TraceConfig};
 pub use context::{Context, KillReport};
 pub use error::{SparkError, SparkResult};
 pub use fault::{ExecutorKillAt, FaultConfig, FaultPlan, FaultRule};
+pub use memory::{MemoryBudget, MemoryManager, MemoryStats, DRIVER_LANE};
 pub use metrics::{JobMetrics, StageKind, StageMetrics, TaskMetrics};
 pub use rdd::{CoGrouped, Rdd};
 pub use sim::{lpt_makespan, VirtualScheduler};
+pub use spill::{SpillError, SpillHandle, SpillStore, Spillable};
+pub use storage::{CacheConfig, CacheManager};
 pub use task::{TaskError, TaskErrorKind};
 pub use trace::{
-    ascii_timeline, chrome_trace_json, validate_chrome_trace, EventKind, TaskScope, Trace,
+    ascii_timeline, chrome_trace_json, validate_chrome_trace, EventKind, MemOp, TaskScope, Trace,
     TraceEvent, TraceHandle, TraceSummary,
 };
 

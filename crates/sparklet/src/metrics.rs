@@ -7,6 +7,7 @@
 //! [`JobMetrics`] aggregates them and feeds the makespan simulator.
 
 use crate::config::StragglerConfig;
+use crate::memory::MemoryStats;
 use crate::sim::lpt_makespan;
 use std::time::Duration;
 
@@ -107,6 +108,9 @@ pub struct JobMetrics {
     pub shuffle_records: u64,
     /// Estimated bytes moved through shuffles during this job.
     pub shuffle_bytes: u64,
+    /// Memory-ledger counters as of job end (cumulative for the
+    /// context: peaks, spilled/evicted bytes, backpressure waits).
+    pub memory: MemoryStats,
 }
 
 impl JobMetrics {
@@ -224,6 +228,7 @@ mod tests {
             wall: Duration::from_millis(120),
             shuffle_records: 0,
             shuffle_bytes: 0,
+            memory: MemoryStats::default(),
         };
         assert_eq!(j.executor_busy(), Duration::from_millis(20));
         assert_eq!(j.simulated_executor_time(1), Duration::from_millis(20));

@@ -53,6 +53,14 @@ pub(crate) trait AnyRdd: Send + Sync {
     fn op_name(&self) -> &'static str {
         "rdd"
     }
+    /// Declared working-set bytes of one partition's task, reserved on
+    /// the executor's memory lane before the task is submitted. Zero
+    /// (the default) means "no reservation". Set via [`Rdd::mem_hints`];
+    /// the hint lives on the hinted node only, so attach it as the last
+    /// transformation before the action.
+    fn mem_hint(&self, _part: usize) -> u64 {
+        0
+    }
 }
 
 /// A typed RDD node: the scheduler computes partitions through this.
@@ -186,12 +194,48 @@ impl<T: Data> Rdd<T> {
     }
 
     /// Mark this RDD's partitions for in-memory caching: the first
-    /// action materializes them, later actions reuse them.
+    /// action materializes them, later actions reuse them. Without a
+    /// byte codec the cache can only *evict* these partitions under
+    /// memory pressure (recomputing them from lineage on the next use);
+    /// see [`Rdd::cache_spillable`] for the disk-backed variant.
     pub fn cache(&self) -> Rdd<T> {
         let node = Arc::new(ops::CachedRdd {
             id: self.ctx.inner.next_rdd_id(),
             prev: Arc::clone(&self.node),
             cache: Arc::clone(&self.ctx.inner.cache),
+            codec: None,
+        });
+        Rdd::new(node, self.ctx.clone())
+    }
+
+    /// [`Rdd::cache`] with a disk tier: under memory pressure the cached
+    /// partition is spilled to the local checksummed spill store and
+    /// read back on the next use, instead of being recomputed from
+    /// lineage.
+    pub fn cache_spillable(&self) -> Rdd<T>
+    where
+        T: crate::spill::Spillable,
+    {
+        let node = Arc::new(ops::CachedRdd {
+            id: self.ctx.inner.next_rdd_id(),
+            prev: Arc::clone(&self.node),
+            cache: Arc::clone(&self.ctx.inner.cache),
+            codec: Some(Arc::new(ops::VecSpillCodec::<T>::new())),
+        });
+        Rdd::new(node, self.ctx.clone())
+    }
+
+    /// Attach per-partition working-set hints (bytes): before a task for
+    /// partition `p` is submitted, the scheduler reserves `hints[p]` on
+    /// its executor's memory lane, deferring the submission while a
+    /// bounded budget cannot grant it. The hint lives on the returned
+    /// node only — attach it as the last transformation before the
+    /// action. Missing entries mean zero (no reservation).
+    pub fn mem_hints(&self, hints: Vec<u64>) -> Rdd<T> {
+        let node = Arc::new(ops::MemHintRdd {
+            id: self.ctx.inner.next_rdd_id(),
+            prev: Arc::clone(&self.node),
+            hints: Arc::new(hints),
         });
         Rdd::new(node, self.ctx.clone())
     }
@@ -377,6 +421,32 @@ where
         Rdd::new(node, self.ctx.clone())
     }
 
+    /// [`Rdd::combine_by_key`] with a spillable map-output buffer: when
+    /// a bounded memory budget cannot keep a map task's shuffle buckets
+    /// resident, they are encoded with the [`crate::spill::Spillable`]
+    /// codec and parked on disk until the reduce side fetches them.
+    pub fn combine_by_key_spillable<C>(
+        &self,
+        num_partitions: usize,
+        create: impl Fn(V) -> C + Send + Sync + 'static,
+        merge_value: impl Fn(&mut C, V) + Send + Sync + 'static,
+        merge_combiners: impl Fn(&mut C, C) + Send + Sync + 'static,
+    ) -> Rdd<(K, C)>
+    where
+        K: crate::spill::Spillable,
+        C: Data + crate::spill::Spillable,
+    {
+        let node = shuffled::ShuffledRdd::create_spillable(
+            &self.ctx,
+            Arc::clone(&self.node),
+            num_partitions,
+            create,
+            merge_value,
+            merge_combiners,
+        );
+        Rdd::new(node, self.ctx.clone())
+    }
+
     /// Merge values per key with an associative function (wide — incurs
     /// a shuffle, which the engine accounts).
     pub fn reduce_by_key(
@@ -387,6 +457,33 @@ where
         let f = Arc::new(f);
         let f2 = Arc::clone(&f);
         self.combine_by_key(
+            num_partitions,
+            |v| v,
+            move |c, v| {
+                let old = c.clone();
+                *c = f(old, v);
+            },
+            move |c, v| {
+                let old = c.clone();
+                *c = f2(old, v);
+            },
+        )
+    }
+
+    /// [`Rdd::reduce_by_key`] with a spillable map-output buffer; see
+    /// [`Rdd::combine_by_key_spillable`].
+    pub fn reduce_by_key_spillable(
+        &self,
+        num_partitions: usize,
+        f: impl Fn(V, V) -> V + Send + Sync + 'static,
+    ) -> Rdd<(K, V)>
+    where
+        K: crate::spill::Spillable,
+        V: crate::spill::Spillable,
+    {
+        let f = Arc::new(f);
+        let f2 = Arc::clone(&f);
+        self.combine_by_key_spillable(
             num_partitions,
             |v| v,
             move |c, v| {

@@ -1,9 +1,11 @@
 //! Narrow operator nodes.
 
 use super::{AnyRdd, Parent, RddNode};
-use crate::storage::CacheManager;
+use crate::spill::Spillable;
+use crate::storage::{CacheManager, CachedPartition, SpillCodec};
 use crate::task::current_executor;
 use crate::Data;
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 /// Source RDD over driver-provided data, sliced into partitions.
@@ -301,12 +303,75 @@ impl<T: Data> RddNode for ZipWithIndexRdd<T> {
     }
 }
 
+/// Pass-through node carrying per-partition working-set hints for the
+/// scheduler's memory reservations (see [`super::Rdd::mem_hints`]).
+pub(crate) struct MemHintRdd<T> {
+    pub id: usize,
+    pub prev: Arc<dyn RddNode<Item = T>>,
+    pub hints: Arc<Vec<u64>>,
+}
+
+impl<T: Data> AnyRdd for MemHintRdd<T> {
+    fn rdd_id(&self) -> usize {
+        self.id
+    }
+
+    fn op_name(&self) -> &'static str {
+        "mem_hint"
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.prev.num_partitions()
+    }
+
+    fn parents(&self) -> Vec<Parent> {
+        vec![Parent::Narrow(self.prev.clone())]
+    }
+
+    fn mem_hint(&self, part: usize) -> u64 {
+        self.hints.get(part).copied().unwrap_or(0)
+    }
+}
+
+impl<T: Data> RddNode for MemHintRdd<T> {
+    type Item = T;
+
+    fn compute(&self, part: usize) -> Result<Vec<T>, crate::task::TaskError> {
+        self.prev.compute(part)
+    }
+}
+
+/// Byte codec for a cached `Vec<T>` partition, built from the element
+/// type's [`Spillable`] impl.
+pub(crate) struct VecSpillCodec<T> {
+    _pd: PhantomData<fn() -> T>,
+}
+
+impl<T> VecSpillCodec<T> {
+    pub(crate) fn new() -> Self {
+        VecSpillCodec { _pd: PhantomData }
+    }
+}
+
+impl<T: Data + Spillable> SpillCodec for VecSpillCodec<T> {
+    fn encode(&self, data: &CachedPartition) -> Option<Vec<u8>> {
+        data.downcast_ref::<Vec<T>>().map(crate::spill::encode)
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Option<CachedPartition> {
+        crate::spill::decode::<Vec<T>>(bytes).map(|v| Arc::new(v) as CachedPartition)
+    }
+}
+
 /// Caching node: first computation stores the partition in the memory
 /// store tagged with the computing executor; later computations reuse it.
+/// With a codec the entry can spill to disk under memory pressure;
+/// without one it is evicted and recomputed from lineage.
 pub(crate) struct CachedRdd<T> {
     pub id: usize,
     pub prev: Arc<dyn RddNode<Item = T>>,
     pub cache: Arc<CacheManager>,
+    pub codec: Option<Arc<dyn SpillCodec>>,
 }
 
 impl<T: Data> AnyRdd for CachedRdd<T> {
@@ -331,12 +396,22 @@ impl<T: Data> RddNode for CachedRdd<T> {
     type Item = T;
 
     fn compute(&self, part: usize) -> Result<Vec<T>, crate::task::TaskError> {
-        if let Some(hit) = self.cache.get(self.id, part) {
+        if let Some(hit) = self.cache.get(self.id, part)? {
             let data = hit.downcast_ref::<Vec<T>>().expect("cached partition type");
             return Ok(data.clone());
         }
         let data = self.prev.compute(part)?;
-        self.cache.put(self.id, part, current_executor(), Arc::new(data.clone()));
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        // a refused put (budget full, nothing evictable) just means the
+        // partition stays uncached; later uses recompute from lineage
+        let _ = self.cache.put(
+            self.id,
+            part,
+            current_executor(),
+            Arc::new(data.clone()),
+            bytes,
+            self.codec.clone(),
+        );
         Ok(data)
     }
 }
@@ -402,13 +477,24 @@ mod tests {
 
     #[test]
     fn cached_rdd_computes_once() {
-        let cache = Arc::new(CacheManager::new());
+        let cache = Arc::new(CacheManager::new(crate::storage::CacheConfig::unbounded()));
         let base = parallel(vec![5, 6, 7], 1);
-        let c = CachedRdd { id: 9, prev: base, cache: Arc::clone(&cache) };
+        let c = CachedRdd { id: 9, prev: base, cache: Arc::clone(&cache), codec: None };
         assert_eq!(c.compute(0).unwrap(), vec![5, 6, 7]);
         assert_eq!(cache.len(), 1);
         assert_eq!(c.compute(0).unwrap(), vec![5, 6, 7]);
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn mem_hint_rdd_is_pass_through_with_hints() {
+        let base = parallel((0..6).collect(), 3);
+        let h = MemHintRdd { id: 1, prev: base, hints: Arc::new(vec![64, 128]) };
+        assert_eq!(h.compute(0).unwrap(), vec![0, 1]);
+        assert_eq!(h.mem_hint(0), 64);
+        assert_eq!(h.mem_hint(1), 128);
+        // partitions past the hint vector reserve nothing
+        assert_eq!(h.mem_hint(2), 0);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use super::{AnyRdd, Parent, RddNode, ShuffleDepObj};
 use crate::context::Context;
-use crate::shuffle::{Bucket, ShuffleManager};
+use crate::shuffle::{Bucket, BucketCodec, ShuffleManager};
+use crate::spill::Spillable;
 use crate::task::{TaskOutput, TaskWork};
 use crate::Data;
 use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash};
@@ -47,6 +48,23 @@ pub(crate) struct ShuffledRdd<K, V, C> {
     agg: Arc<Aggregator<K, V, C>>,
     partitioner: Partitioner<K>,
     shuffles: Arc<ShuffleManager>,
+    /// Byte codec letting over-budget map outputs spill to disk (set by
+    /// the `*_spillable` transformations; `None` keeps buckets resident).
+    codec: Option<BucketCodec>,
+}
+
+/// Type-erased codec over a `Vec<(K, C)>` bucket.
+fn bucket_codec<K, C>() -> BucketCodec
+where
+    K: Data + Spillable,
+    C: Data + Spillable,
+{
+    BucketCodec {
+        encode: Arc::new(|b: &Bucket| b.downcast_ref::<Vec<(K, C)>>().map(crate::spill::encode)),
+        decode: Arc::new(|bytes: &[u8]| {
+            crate::spill::decode::<Vec<(K, C)>>(bytes).map(|v| Arc::new(v) as Bucket)
+        }),
+    }
 }
 
 impl<K, V, C> ShuffledRdd<K, V, C>
@@ -76,6 +94,26 @@ where
         )
     }
 
+    /// [`ShuffledRdd::create`] with a [`Spillable`]-derived bucket codec
+    /// so over-budget map outputs can park on disk.
+    pub(crate) fn create_spillable(
+        ctx: &Context,
+        parent: Arc<dyn RddNode<Item = (K, V)>>,
+        num_reduces: usize,
+        create: impl Fn(V) -> C + Send + Sync + 'static,
+        merge_value: impl Fn(&mut C, V) + Send + Sync + 'static,
+        merge_combiners: impl Fn(&mut C, C) + Send + Sync + 'static,
+    ) -> Arc<Self>
+    where
+        K: Spillable,
+        C: Spillable,
+    {
+        let node = Self::create(ctx, parent, num_reduces, create, merge_value, merge_combiners);
+        let mut node = Arc::into_inner(node).expect("fresh node has no other handles");
+        node.codec = Some(bucket_codec::<K, C>());
+        Arc::new(node)
+    }
+
     /// Build with an explicit key -> partition routing function
     /// (Spark's custom `Partitioner`).
     pub(crate) fn create_with_partitioner(
@@ -101,6 +139,7 @@ where
             }),
             partitioner,
             shuffles: Arc::clone(&ctx.inner.shuffles),
+            codec: None,
         })
     }
 }
@@ -131,6 +170,7 @@ where
             agg: Arc::clone(&self.agg),
             partitioner: Arc::clone(&self.partitioner),
             shuffles: Arc::clone(&self.shuffles),
+            codec: self.codec.clone(),
         }))]
     }
 }
@@ -194,6 +234,7 @@ struct ShuffleDepImpl<K, V, C> {
     agg: Arc<Aggregator<K, V, C>>,
     partitioner: Partitioner<K>,
     shuffles: Arc<ShuffleManager>,
+    codec: Option<BucketCodec>,
 }
 
 impl<K, V, C> ShuffleDepObj for ShuffleDepImpl<K, V, C>
@@ -225,6 +266,7 @@ where
         let partitioner = Arc::clone(&self.partitioner);
         let shuffle_id = self.shuffle_id;
         let num_reduces = self.num_reduces;
+        let codec = self.codec.clone();
         Arc::new(move || {
             let data = parent.compute(part)?;
             // map-side combine: one combiner per key in this partition
@@ -247,7 +289,15 @@ where
                 buckets[b].push((k, c));
             }
             let buckets: Vec<Bucket> = buckets.into_iter().map(|b| Arc::new(b) as Bucket).collect();
-            shuffles.put_map_output(shuffle_id, part, executor, buckets, records, bytes);
+            shuffles.put_map_output_spillable(
+                shuffle_id,
+                part,
+                executor,
+                buckets,
+                records,
+                bytes,
+                codec.clone(),
+            );
             Ok(TaskOutput::Unit)
         })
     }

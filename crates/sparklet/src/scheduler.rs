@@ -39,13 +39,14 @@
 use crate::context::Context;
 use crate::error::{SparkError, SparkResult};
 use crate::executor::Envelope;
+use crate::memory::Grant;
 use crate::metrics::{straggler_extra, JobMetrics, StageKind, StageMetrics, TaskMetrics};
 use crate::rdd::{AnyRdd, Parent, RddNode, ShuffleDepObj};
-use crate::task::{TaskErrorKind, TaskOutput, TaskSpec};
+use crate::task::{AttemptResult, TaskErrorKind, TaskOutput, TaskSpec};
 use crate::trace::EventKind;
 use crate::Data;
-use crossbeam::channel::unbounded;
-use std::collections::{HashMap, HashSet};
+use crossbeam::channel::{unbounded, Sender};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -88,6 +89,7 @@ pub(crate) fn run_job<T: Data, R: Send + 'static>(
                 stage_id,
                 partition: p,
                 executor: p % executors,
+                mem_hint: node.mem_hint(p),
                 work: Arc::new(move || {
                     node.compute(p).map(|data| TaskOutput::Boxed(Box::new(func(p, data))))
                 }),
@@ -113,6 +115,7 @@ pub(crate) fn run_job<T: Data, R: Send + 'static>(
         wall: job_start.elapsed(),
         shuffle_records: ctx.inner.shuffles.total_records() - records_before,
         shuffle_bytes: ctx.inner.shuffles.total_bytes() - bytes_before,
+        memory: ctx.inner.memory.stats(),
     };
     ctx.inner.tracer.record_driver(EventKind::JobEnd { job: job_id, stages: job.stages.len() });
     ctx.inner.record_job(job);
@@ -169,6 +172,9 @@ fn run_map_stage(
             stage_id,
             partition: p,
             executor: p % executors,
+            // map-task working memory is the shuffle buffer it writes,
+            // which is storage-charged on registration instead
+            mem_hint: 0,
             work: dep.make_map_task(p, p % executors),
         })
         .collect();
@@ -204,6 +210,61 @@ struct ParkedFetch {
     shuffle: usize,
 }
 
+/// Submit a task attempt, reserving its declared working-set bytes on
+/// the executor's memory lane first. A reservation the budget cannot
+/// grant *right now* queues the attempt (backpressure); a reservation
+/// larger than the whole budget is a typed error. `force` is the
+/// scheduler's progress guarantee — an idle lane always runs one task —
+/// and overrides crowding but never the too-large rule.
+fn submit_reserved(
+    ctx: &Context,
+    spec: TaskSpec,
+    attempt: usize,
+    force: bool,
+    tx: &Sender<AttemptResult>,
+    pending: &mut VecDeque<(TaskSpec, usize)>,
+    in_flight: &mut usize,
+) -> SparkResult<()> {
+    match ctx.inner.memory.reserve_task(spec.executor, spec.mem_hint, force) {
+        Grant::TooLarge => Err(SparkError::OutOfMemory {
+            executor: spec.executor,
+            requested: spec.mem_hint,
+            budget: ctx.inner.memory.budget().bytes(),
+        }),
+        Grant::Deferred => {
+            pending.push_back((spec, attempt));
+            Ok(())
+        }
+        Grant::Granted => {
+            ctx.inner.pool.submit(Envelope { spec, attempt, reply: tx.clone() });
+            *in_flight += 1;
+            Ok(())
+        }
+    }
+}
+
+/// Re-try queued submissions after a release may have made room,
+/// preserving queue order for the ones that still do not fit. Uses the
+/// quiet charge path so repeated polling does not inflate backpressure
+/// counters or the trace.
+fn drain_pending(
+    ctx: &Context,
+    tx: &Sender<AttemptResult>,
+    pending: &mut VecDeque<(TaskSpec, usize)>,
+    in_flight: &mut usize,
+) {
+    let mut still_blocked = VecDeque::with_capacity(pending.len());
+    while let Some((spec, attempt)) = pending.pop_front() {
+        if ctx.inner.memory.try_charge(spec.executor, spec.mem_hint) {
+            ctx.inner.pool.submit(Envelope { spec, attempt, reply: tx.clone() });
+            *in_flight += 1;
+        } else {
+            still_blocked.push_back((spec, attempt));
+        }
+    }
+    *pending = still_blocked;
+}
+
 /// Run a set of tasks as one stage, with retries and fault recovery,
 /// returning the outputs keyed by partition. Pushes this stage's
 /// metrics — after any nested recomputation stages' — onto
@@ -221,14 +282,22 @@ fn run_stage(
     ctx.inner.tracer.record_driver(EventKind::StageStart { stage: stage_id, kind, tasks: total });
     let specs: HashMap<usize, TaskSpec> = tasks.iter().map(|t| (t.partition, t.clone())).collect();
     let (tx, rx) = unbounded();
+
+    let finish_err = |failed_attempts: usize, err: SparkError| -> SparkError {
+        ctx.inner.tracer.record_driver(EventKind::StageEnd { stage: stage_id, failed_attempts });
+        err
+    };
+
     // the attempt number currently accepted per partition; replies with
     // any other attempt are stale (superseded by a requeue) and dropped
     let mut expected: HashMap<usize, usize> = HashMap::with_capacity(total);
     let mut in_flight = 0usize;
+    // submissions deferred by memory backpressure, in submission order
+    let mut pending: VecDeque<(TaskSpec, usize)> = VecDeque::new();
     for spec in tasks {
         expected.insert(spec.partition, 0);
-        ctx.inner.pool.submit(Envelope { spec, attempt: 0, reply: tx.clone() });
-        in_flight += 1;
+        submit_reserved(ctx, spec, 0, false, &tx, &mut pending, &mut in_flight)
+            .map_err(|e| finish_err(0, e))?;
     }
 
     let cfg = &ctx.inner.config;
@@ -244,17 +313,23 @@ fn run_stage(
     let mut completions = 0usize;
     let mut done = 0usize;
 
-    let finish_err = |failed_attempts: usize, err: SparkError| -> SparkError {
-        ctx.inner.tracer.record_driver(EventKind::StageEnd { stage: stage_id, failed_attempts });
-        err
-    };
-
     while done < total {
         // recovery barrier: only recompute once every in-flight reply
         // has drained, so the recomputation round's shape does not
         // depend on which replies happened to arrive first
+        if in_flight == 0 && parked.is_empty() {
+            // every remaining task is blocked on memory: force the head
+            // of the queue through (the progress guarantee — an idle
+            // lane always runs one task, even over budget)
+            debug_assert!(!pending.is_empty(), "stage stalled with nothing in flight");
+            let (spec, attempt) =
+                pending.pop_front().expect("pending non-empty when stage is stalled");
+            submit_reserved(ctx, spec, attempt, true, &tx, &mut pending, &mut in_flight)
+                .map_err(|e| finish_err(failed_attempts, e))?;
+            drain_pending(ctx, &tx, &mut pending, &mut in_flight);
+            continue;
+        }
         if in_flight == 0 {
-            debug_assert!(!parked.is_empty(), "stage stalled with nothing in flight");
             stage_retries += 1;
             if stage_retries > cfg.max_stage_retries {
                 let shuffle = parked.first().map(|p| p.shuffle).unwrap_or(0);
@@ -300,14 +375,17 @@ fn run_stage(
                 let next = p.attempt + 1;
                 expected.insert(p.partition, next);
                 let spec = specs.get(&p.partition).expect("parked partition was submitted").clone();
-                ctx.inner.pool.submit(Envelope { spec, attempt: next, reply: tx.clone() });
-                in_flight += 1;
+                submit_reserved(ctx, spec, next, false, &tx, &mut pending, &mut in_flight)
+                    .map_err(|e| finish_err(failed_attempts, e))?;
             }
             continue;
         }
 
         let r = rx.recv().expect("executor pool alive while context exists");
         in_flight -= 1;
+        // the finished attempt released its reservation before replying;
+        // queued submissions may fit now
+        drain_pending(ctx, &tx, &mut pending, &mut in_flight);
         if expected.get(&r.partition) != Some(&r.attempt) {
             // superseded by a requeue after an executor kill: drop the
             // reply *and* its accumulator updates (merge-once)
@@ -343,6 +421,7 @@ fn run_stage(
                         .filter(|p| {
                             !outputs.contains_key(p)
                                 && !parked.iter().any(|f| f.partition == *p)
+                                && !pending.iter().any(|(s, _)| s.partition == *p)
                                 && specs.get(p).is_some_and(|s| s.executor == k.executor)
                         })
                         .collect();
@@ -351,8 +430,8 @@ fn run_stage(
                         let next = expected[&p] + 1;
                         expected.insert(p, next);
                         let spec = specs.get(&p).expect("victim partition was submitted").clone();
-                        ctx.inner.pool.submit(Envelope { spec, attempt: next, reply: tx.clone() });
-                        in_flight += 1;
+                        submit_reserved(ctx, spec, next, false, &tx, &mut pending, &mut in_flight)
+                            .map_err(|e| finish_err(failed_attempts, e))?;
                     }
                 }
             }
@@ -390,8 +469,8 @@ fn run_stage(
                             .get(&r.partition)
                             .expect("result for a submitted partition")
                             .clone();
-                        ctx.inner.pool.submit(Envelope { spec, attempt: next, reply: tx.clone() });
-                        in_flight += 1;
+                        submit_reserved(ctx, spec, next, false, &tx, &mut pending, &mut in_flight)
+                            .map_err(|e| finish_err(failed_attempts, e))?;
                     }
                 }
             }

@@ -18,6 +18,8 @@
 //! trace events.
 
 use crate::fault::{decision_hash, FaultRule, FETCH_SALT, VICTIM_SALT};
+use crate::memory::MemoryManager;
+use crate::spill::{SpillHandle, SpillStore};
 use crate::task::TaskError;
 use crate::trace::{self, EventKind, TraceCollector};
 use parking_lot::Mutex;
@@ -29,12 +31,39 @@ use std::sync::Arc;
 /// A type-erased map-output bucket (`Vec<(K, V)>` behind `Any`).
 pub(crate) type Bucket = Arc<dyn Any + Send + Sync>;
 
+/// Type-erased bucket encoder (`None` on downcast mismatch).
+pub(crate) type BucketEncodeFn = Arc<dyn Fn(&Bucket) -> Option<Vec<u8>> + Send + Sync>;
+
+/// Type-erased bucket decoder (`None` on malformed bytes).
+pub(crate) type BucketDecodeFn = Arc<dyn Fn(&[u8]) -> Option<Bucket> + Send + Sync>;
+
+/// Byte codec for spillable shuffle buckets, attached by the spillable
+/// pair transformations (`reduce_by_key_spillable` etc.). Type-erased so
+/// the manager stays untyped.
+#[derive(Clone)]
+pub(crate) struct BucketCodec {
+    /// Encode one bucket to bytes (`None` on type mismatch).
+    pub encode: BucketEncodeFn,
+    /// Decode bytes back to a bucket.
+    pub decode: BucketDecodeFn,
+}
+
+#[derive(Clone)]
+enum MapData {
+    /// One bucket per reduce partition, resident in memory.
+    Resident(Vec<Bucket>),
+    /// Buckets parked in the spill tier, one blob per reduce partition,
+    /// read back (checksum-verified) on fetch.
+    Spilled { handles: Vec<SpillHandle>, decode: BucketDecodeFn },
+}
+
 #[derive(Clone)]
 struct MapOutput {
     /// Virtual executor that produced this output (lost with it).
     executor: usize,
-    /// One bucket per reduce partition.
-    buckets: Vec<Bucket>,
+    /// Accounted bytes (released when the output is dropped or spilled).
+    bytes: u64,
+    data: MapData,
 }
 
 struct ShuffleState {
@@ -56,6 +85,11 @@ pub struct ShuffleManager {
     /// Fetch-failure injection rule (from the context's fault plan).
     fetch_fault: FaultRule,
     seed: u64,
+    /// Ledger buffers are accounted against (map outputs charge their
+    /// producing executor's lane).
+    memory: Arc<MemoryManager>,
+    /// Disk tier for over-budget spillable map outputs.
+    spill: Arc<SpillStore>,
 }
 
 impl Default for ShuffleManager {
@@ -70,16 +104,25 @@ impl ShuffleManager {
         Self::default()
     }
 
-    /// Fresh manager reporting shuffle traffic to `tracer`.
+    /// Fresh manager reporting shuffle traffic to `tracer`, unbounded.
     pub(crate) fn with_tracer(tracer: Arc<TraceCollector>) -> Self {
-        Self::with_tracer_and_faults(tracer, FaultRule::NONE, 0)
+        Self::with_tracer_and_faults(
+            tracer,
+            FaultRule::NONE,
+            0,
+            MemoryManager::unbounded(),
+            Arc::new(SpillStore::new().expect("create spill dir")),
+        )
     }
 
-    /// Fresh manager with fetch-failure injection under `fetch_fault`.
+    /// Fresh manager with fetch-failure injection under `fetch_fault`,
+    /// accounting buffers against `memory` and spilling into `spill`.
     pub(crate) fn with_tracer_and_faults(
         tracer: Arc<TraceCollector>,
         fetch_fault: FaultRule,
         seed: u64,
+        memory: Arc<MemoryManager>,
+        spill: Arc<SpillStore>,
     ) -> Self {
         ShuffleManager {
             shuffles: Mutex::new(HashMap::new()),
@@ -88,6 +131,8 @@ impl ShuffleManager {
             tracer,
             fetch_fault,
             seed,
+            memory,
+            spill,
         }
     }
 
@@ -105,7 +150,10 @@ impl ShuffleManager {
     /// Store the output of map task `map_part`, overwriting any previous
     /// attempt's output (task retries are idempotent). If the partition
     /// had been marked lost, this is its recomputation and the matching
-    /// `MapOutputRecomputed` event is recorded.
+    /// `MapOutputRecomputed` event is recorded. Without a codec the
+    /// buffer is force-charged even over budget (it must stay resident
+    /// for correctness); see [`ShuffleManager::put_map_output_spillable`].
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn put_map_output(
         &self,
         shuffle_id: usize,
@@ -115,13 +163,76 @@ impl ShuffleManager {
         records: u64,
         bytes: u64,
     ) {
+        self.put_map_output_spillable(shuffle_id, map_part, executor, buckets, records, bytes, None)
+    }
+
+    /// Release a dropped output's accounting: ledger bytes for resident
+    /// data, spill files for spilled data.
+    fn release_output(&self, out: MapOutput) {
+        match out.data {
+            MapData::Resident(_) => self.memory.uncharge(out.executor, out.bytes),
+            MapData::Spilled { handles, .. } => {
+                for h in handles {
+                    self.spill.remove(h);
+                }
+            }
+        }
+    }
+
+    /// [`ShuffleManager::put_map_output`] with an optional bucket codec.
+    /// The buffer charges the producing executor's lane; when the charge
+    /// does not fit a bounded budget and a codec is available, the
+    /// buckets are spilled to disk instead of staying resident.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn put_map_output_spillable(
+        &self,
+        shuffle_id: usize,
+        map_part: usize,
+        executor: usize,
+        buckets: Vec<Bucket>,
+        records: u64,
+        bytes: u64,
+        codec: Option<BucketCodec>,
+    ) {
+        // the buckets existed in memory while the map task built them,
+        // so the transient charge is real either way; a spill then moves
+        // them out of the ledger
+        let fits = self.memory.try_charge(executor, bytes);
+        if !fits {
+            self.memory.force_charge(executor, bytes);
+        }
+        let data = if fits {
+            MapData::Resident(buckets)
+        } else if let Some(c) = &codec {
+            match buckets.iter().map(|b| (c.encode)(b)).collect::<Option<Vec<_>>>() {
+                Some(blobs) => {
+                    let handles: Vec<SpillHandle> = blobs
+                        .iter()
+                        .map(|blob| self.spill.spill(blob).expect("spill tier writable"))
+                        .collect();
+                    self.memory.note_spill(executor, bytes);
+                    MapData::Spilled { handles, decode: Arc::clone(&c.decode) }
+                }
+                // encode refused (type mismatch) — stay resident
+                None => MapData::Resident(buckets),
+            }
+        } else {
+            MapData::Resident(buckets)
+        };
         let mut s = self.shuffles.lock();
         let st = s.get_mut(&shuffle_id).expect("shuffle registered before map output");
         assert!(map_part < st.num_maps, "map partition out of range");
-        assert_eq!(buckets.len(), st.num_reduces, "bucket count mismatch");
-        st.outputs[map_part] = Some(MapOutput { executor, buckets });
+        let n = match &data {
+            MapData::Resident(b) => b.len(),
+            MapData::Spilled { handles, .. } => handles.len(),
+        };
+        assert_eq!(n, st.num_reduces, "bucket count mismatch");
+        let old = st.outputs[map_part].replace(MapOutput { executor, bytes, data });
         let recomputed = st.lost.remove(&map_part);
         drop(s);
+        if let Some(old) = old {
+            self.release_output(old);
+        }
         self.records.fetch_add(records, Ordering::Relaxed);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
         if recomputed {
@@ -157,19 +268,70 @@ impl ShuffleManager {
     /// Fetch the bucket column for `reduce_part`: one bucket per map
     /// partition. `None` if any map output is missing.
     ///
-    /// Buckets are stored behind [`Arc`], so a fetch is a refcount bump
-    /// per map output — no record data is copied (regression-tested by
-    /// `fetch_is_refcount_bump_not_deep_clone`). Logical shuffle
-    /// records/bytes are accounted at write and read time regardless,
-    /// since they model what a real cluster would move.
+    /// Resident buckets are stored behind [`Arc`], so fetching one is a
+    /// refcount bump per map output — no record data is copied
+    /// (regression-tested by `fetch_is_refcount_bump_not_deep_clone`).
+    /// Spilled buckets are read back from disk and checksum-verified.
+    /// Logical shuffle records/bytes are accounted at write and read
+    /// time regardless, since they model what a real cluster would move.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn fetch(&self, shuffle_id: usize, reduce_part: usize) -> Option<Vec<Bucket>> {
-        let s = self.shuffles.lock();
-        let st = s.get(&shuffle_id)?;
-        let mut col = Vec::with_capacity(st.num_maps);
-        for o in &st.outputs {
-            col.push(o.as_ref()?.buckets.get(reduce_part)?.clone());
+        self.fetch_impl(shuffle_id, reduce_part).ok().flatten()
+    }
+
+    /// `Ok(None)` = some map output missing (lineage recomputes);
+    /// `Err` = a spilled bucket failed verification or decode.
+    fn fetch_impl(
+        &self,
+        shuffle_id: usize,
+        reduce_part: usize,
+    ) -> Result<Option<Vec<Bucket>>, TaskError> {
+        // collect what each fetch needs under the lock, read spilled
+        // blobs outside it
+        enum Slot {
+            Ready(Bucket),
+            OnDisk(SpillHandle, BucketDecodeFn, usize),
         }
-        Some(col)
+        let slots: Vec<Slot> = {
+            let s = self.shuffles.lock();
+            let Some(st) = s.get(&shuffle_id) else { return Ok(None) };
+            let mut slots = Vec::with_capacity(st.num_maps);
+            for o in &st.outputs {
+                let Some(o) = o.as_ref() else { return Ok(None) };
+                match &o.data {
+                    MapData::Resident(buckets) => {
+                        let Some(b) = buckets.get(reduce_part) else { return Ok(None) };
+                        slots.push(Slot::Ready(b.clone()));
+                    }
+                    MapData::Spilled { handles, decode } => {
+                        let Some(h) = handles.get(reduce_part) else { return Ok(None) };
+                        slots.push(Slot::OnDisk(*h, Arc::clone(decode), o.executor));
+                    }
+                }
+            }
+            slots
+        };
+        let mut col = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot {
+                Slot::Ready(b) => col.push(b),
+                Slot::OnDisk(h, decode, executor) => {
+                    let blob = self.spill.read(h).map_err(|e| {
+                        TaskError::storage(format!(
+                            "shuffle {shuffle_id} reduce {reduce_part}: spilled bucket lost: {e}"
+                        ))
+                    })?;
+                    self.memory.note_spill_read(executor, blob.len() as u64);
+                    let b = decode(&blob).ok_or_else(|| {
+                        TaskError::storage(format!(
+                            "shuffle {shuffle_id} reduce {reduce_part}: spilled bucket failed to decode"
+                        ))
+                    })?;
+                    col.push(b);
+                }
+            }
+        }
+        Ok(Some(col))
     }
 
     /// Fetch with fault injection and typed errors: under an active
@@ -206,7 +368,7 @@ impl ShuffleManager {
                 }
             }
         }
-        self.fetch(shuffle_id, reduce_part).ok_or_else(|| {
+        self.fetch_impl(shuffle_id, reduce_part)?.ok_or_else(|| {
             TaskError::fetch_failed(
                 shuffle_id,
                 format!("outputs missing for reduce partition {reduce_part}"),
@@ -246,17 +408,24 @@ impl ShuffleManager {
     /// outputs were lost.
     pub fn kill_executor(&self, executor: usize) -> usize {
         let mut lost: Vec<(usize, usize)> = Vec::new();
+        let mut dropped: Vec<MapOutput> = Vec::new();
         let mut s = self.shuffles.lock();
         for (&sid, st) in s.iter_mut() {
             for (i, o) in st.outputs.iter_mut().enumerate() {
                 if o.as_ref().is_some_and(|m| m.executor == executor) {
-                    *o = None;
+                    if let Some(out) = o.take() {
+                        dropped.push(out);
+                    }
                     st.lost.insert(i);
                     lost.push((sid, i));
                 }
             }
         }
         drop(s);
+        // reconcile accounting for everything the executor held
+        for out in dropped {
+            self.release_output(out);
+        }
         lost.sort_unstable();
         for &(sid, i) in &lost {
             self.tracer.record_auto(EventKind::MapOutputLost { shuffle: sid, partition: i });
@@ -376,6 +545,8 @@ mod tests {
             Arc::new(TraceCollector::new(crate::config::TraceConfig::enabled())),
             FaultRule::always_first(1),
             42,
+            MemoryManager::unbounded(),
+            Arc::new(SpillStore::new().unwrap()),
         );
         m.register(3, 2, 1);
         m.put_map_output(3, 0, 0, vec![bucket(vec![(1, 1)])], 1, 8);

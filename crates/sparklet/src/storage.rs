@@ -6,70 +6,334 @@
 //! `(rdd, partition)`, tagged with the executor that produced them so a
 //! simulated executor loss evicts exactly its partitions, which are then
 //! rebuilt from lineage on next access.
+//!
+//! Entries are **size-accounted** against the owning executor's lane in
+//! the [`MemoryManager`]. When a put (or a spill read-back) would exceed
+//! a bounded budget, the cache walks the eviction ladder on that lane,
+//! least-recently-used first:
+//!
+//! 1. **Spill** — entries put through [`crate::rdd::Rdd::cache_spillable`]
+//!    carry a byte codec; their data moves to the [`SpillStore`] and is
+//!    read back (checksum-verified) on the next `get`.
+//! 2. **Evict** — codec-less entries are dropped outright; lineage
+//!    recomputes them on next access (Spark's `MEMORY_ONLY`).
+//! 3. **Skip** — if no unpinned victim can make room, the new entry is
+//!    simply not cached (correct, just slower).
+//!
+//! **Determinism.** The LRU stamp is a logical access counter, so the
+//! eviction decision is a pure function of the cache's *operation
+//! sequence*, never of wall-clock time or worker-thread identity.
+//! Victims are chosen per-executor with `(stamp, rdd, partition)`
+//! ordering; since tasks are bound to executors by `partition %
+//! num_executors` and the driver serializes stages, any workload that
+//! keeps at most one task in flight per executor (the DBSCAN pipeline's
+//! layout) produces the same eviction order at every worker-thread
+//! count. Pinned entries (`pin`/`unpin`) are never victims.
 
+use crate::memory::MemoryManager;
+use crate::spill::{SpillHandle, SpillStore};
+use crate::task::TaskError;
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-type CachedPartition = Arc<dyn Any + Send + Sync>;
+pub(crate) type CachedPartition = Arc<dyn Any + Send + Sync>;
 
-/// In-memory store of cached RDD partitions.
+/// Byte codec attached to spillable cache entries (type-erased; built
+/// by [`crate::rdd::Rdd::cache_spillable`] from [`crate::spill::Spillable`]).
+pub(crate) trait SpillCodec: Send + Sync {
+    /// Encode the partition to bytes (`None` on type mismatch).
+    fn encode(&self, data: &CachedPartition) -> Option<Vec<u8>>;
+    /// Decode bytes back to a partition (`None` on malformed input).
+    fn decode(&self, bytes: &[u8]) -> Option<CachedPartition>;
+}
+
+/// What a [`CacheManager`] needs: the ledger it accounts against and
+/// the spill tier it overflows into. No hidden defaults — the context
+/// passes its own manager/store, tests make their intent explicit.
+pub struct CacheConfig {
+    /// Ledger to account entry bytes against.
+    pub memory: Arc<MemoryManager>,
+    /// Disk tier for spilled entries.
+    pub spill: Arc<SpillStore>,
+}
+
+impl CacheConfig {
+    /// An unbounded, untraced configuration (tests, standalone use).
+    pub fn unbounded() -> Self {
+        CacheConfig {
+            memory: MemoryManager::unbounded(),
+            spill: Arc::new(SpillStore::new().expect("create spill dir")),
+        }
+    }
+}
+
+enum EntryState {
+    Resident(CachedPartition),
+    Spilled(SpillHandle),
+}
+
+struct Entry {
+    executor: usize,
+    bytes: u64,
+    /// Logical access stamp (see module docs for the determinism
+    /// argument).
+    stamp: u64,
+    pins: u32,
+    state: EntryState,
+    codec: Option<Arc<dyn SpillCodec>>,
+}
+
+#[derive(Default, Clone, Copy)]
+struct Counters {
+    hits: u64,
+    misses: u64,
+}
+
 #[derive(Default)]
+struct Inner {
+    entries: HashMap<(usize, usize), Entry>,
+    per_executor: HashMap<usize, Counters>,
+    /// Counters of killed executors, folded in so totals stay exact
+    /// across executor deaths.
+    retired: Counters,
+    clock: u64,
+}
+
+/// In-memory store of cached RDD partitions, size-accounted with
+/// LRU-with-pinning eviction and a disk spill tier.
 pub struct CacheManager {
-    entries: Mutex<HashMap<(usize, usize), (usize, CachedPartition)>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: Mutex<Inner>,
+    memory: Arc<MemoryManager>,
+    spill: Arc<SpillStore>,
 }
 
 impl CacheManager {
-    /// Fresh, empty cache.
-    pub fn new() -> Self {
-        Self::default()
+    /// Fresh, empty cache accounting against `config`'s ledger.
+    pub fn new(config: CacheConfig) -> Self {
+        CacheManager {
+            inner: Mutex::new(Inner::default()),
+            memory: config.memory,
+            spill: config.spill,
+        }
     }
 
-    /// Look up a cached partition, counting hit/miss.
-    pub(crate) fn get(&self, rdd: usize, part: usize) -> Option<CachedPartition> {
-        let e = self.entries.lock();
-        match e.get(&(rdd, part)) {
-            Some((_, data)) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(data.clone())
+    /// Walk the eviction ladder on `lane` until `bytes` fit (or no
+    /// unpinned victim remains). Returns whether the charge was made.
+    fn make_room(
+        &self,
+        inner: &mut Inner,
+        lane: usize,
+        bytes: u64,
+        except: (usize, usize),
+    ) -> bool {
+        loop {
+            if self.memory.try_charge(lane, bytes) {
+                return true;
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+            // LRU victim on this lane: oldest stamp, then (rdd, part)
+            // for a canonical tiebreak
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, e)| {
+                    **k != except
+                        && e.executor == lane
+                        && e.pins == 0
+                        && matches!(e.state, EntryState::Resident(_))
+                })
+                .min_by_key(|(k, e)| (e.stamp, k.0, k.1))
+                .map(|(k, _)| *k);
+            let Some(key) = victim else {
+                return false;
+            };
+            let e = inner.entries.get_mut(&key).expect("victim exists");
+            let spilled = match (&e.state, &e.codec) {
+                (EntryState::Resident(data), Some(codec)) => {
+                    codec.encode(data).and_then(|blob| self.spill.spill(&blob).ok())
+                }
+                _ => None,
+            };
+            match spilled {
+                Some(handle) => {
+                    let freed = e.bytes;
+                    e.state = EntryState::Spilled(handle);
+                    self.memory.note_spill(lane, freed);
+                }
+                None => {
+                    let freed = e.bytes;
+                    inner.entries.remove(&key);
+                    self.memory.note_evict(lane, freed);
+                }
             }
         }
     }
 
-    /// Store a partition produced on `executor`.
-    pub(crate) fn put(&self, rdd: usize, part: usize, executor: usize, data: CachedPartition) {
-        self.entries.lock().insert((rdd, part), (executor, data));
+    /// Look up a cached partition, counting hit/miss per executor.
+    /// Spilled entries are read back (checksum-verified) and re-admitted
+    /// if room allows; corruption surfaces as a typed storage error and
+    /// the broken entry is dropped so lineage can recompute it.
+    pub(crate) fn get(
+        &self,
+        rdd: usize,
+        part: usize,
+    ) -> Result<Option<CachedPartition>, TaskError> {
+        let accessor = crate::task::current_executor();
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let Some(e) = inner.entries.get_mut(&(rdd, part)) else {
+            inner.per_executor.entry(accessor).or_default().misses += 1;
+            return Ok(None);
+        };
+        e.stamp = stamp;
+        match &e.state {
+            EntryState::Resident(data) => {
+                let data = data.clone();
+                inner.per_executor.entry(accessor).or_default().hits += 1;
+                Ok(Some(data))
+            }
+            EntryState::Spilled(handle) => {
+                let handle = *handle;
+                let lane = e.executor;
+                let bytes = e.bytes;
+                let codec = e.codec.clone().expect("spilled entries always carry a codec");
+                let blob = match self.spill.read(handle) {
+                    Ok(b) => b,
+                    Err(err) => {
+                        // drop the broken entry; the caller's retry
+                        // recomputes it from lineage
+                        inner.entries.remove(&(rdd, part));
+                        self.spill.remove(handle);
+                        self.memory.note_evict(lane, 0);
+                        return Err(TaskError::storage(format!(
+                            "cached partition (rdd {rdd}, part {part}) lost in spill tier: {err}"
+                        )));
+                    }
+                };
+                let Some(data) = codec.decode(&blob) else {
+                    inner.entries.remove(&(rdd, part));
+                    self.spill.remove(handle);
+                    self.memory.note_evict(lane, 0);
+                    return Err(TaskError::storage(format!(
+                        "cached partition (rdd {rdd}, part {part}) failed to decode after spill read-back"
+                    )));
+                };
+                self.memory.note_spill_read(lane, blob.len() as u64);
+                // re-admit if the lane has (or can make) room; otherwise
+                // serve the data but leave the entry on disk
+                let e = inner.entries.get_mut(&(rdd, part)).expect("entry still present");
+                e.pins += 1;
+                let admitted = self.make_room(&mut inner, lane, bytes, (rdd, part));
+                let e = inner.entries.get_mut(&(rdd, part)).expect("pinned entry survives");
+                e.pins -= 1;
+                if admitted {
+                    e.state = EntryState::Resident(data.clone());
+                    self.spill.remove(handle);
+                }
+                inner.per_executor.entry(accessor).or_default().hits += 1;
+                Ok(Some(data))
+            }
+        }
     }
 
-    /// Evict all partitions of an RDD (Spark's `unpersist`). Returns the
-    /// number evicted.
+    /// Store a partition produced on `executor`, accounting `bytes`
+    /// against its lane. Entries with a `codec` spill under pressure;
+    /// codec-less entries are evicted to lineage. Returns whether the
+    /// entry was admitted (a full lane with no evictable victim skips
+    /// caching rather than failing).
+    pub(crate) fn put(
+        &self,
+        rdd: usize,
+        part: usize,
+        executor: usize,
+        data: CachedPartition,
+        bytes: u64,
+        codec: Option<Arc<dyn SpillCodec>>,
+    ) -> bool {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        // overwrite (task retry recomputed the partition): release the
+        // old entry's accounting first
+        if let Some(old) = inner.entries.remove(&(rdd, part)) {
+            match old.state {
+                EntryState::Resident(_) => self.memory.uncharge(old.executor, old.bytes),
+                EntryState::Spilled(h) => self.spill.remove(h),
+            }
+        }
+        if !self.make_room(&mut inner, executor, bytes, (rdd, part)) {
+            return false;
+        }
+        inner.entries.insert(
+            (rdd, part),
+            Entry { executor, bytes, stamp, pins: 0, state: EntryState::Resident(data), codec },
+        );
+        true
+    }
+
+    /// Pin an entry: pinned entries are never eviction victims. Returns
+    /// whether the entry exists.
+    pub fn pin(&self, rdd: usize, part: usize) -> bool {
+        match self.inner.lock().entries.get_mut(&(rdd, part)) {
+            Some(e) => {
+                e.pins += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Release one pin.
+    pub fn unpin(&self, rdd: usize, part: usize) {
+        if let Some(e) = self.inner.lock().entries.get_mut(&(rdd, part)) {
+            e.pins = e.pins.saturating_sub(1);
+        }
+    }
+
+    /// Evict all partitions of an RDD (Spark's `unpersist`), returning
+    /// their accounting. Returns the number evicted.
     pub fn unpersist(&self, rdd: usize) -> usize {
-        let mut e = self.entries.lock();
-        let before = e.len();
-        e.retain(|(r, _), _| *r != rdd);
-        before - e.len()
+        let mut inner = self.inner.lock();
+        let keys: Vec<_> = inner.entries.keys().filter(|(r, _)| *r == rdd).copied().collect();
+        for key in &keys {
+            let e = inner.entries.remove(key).expect("key listed");
+            match e.state {
+                EntryState::Resident(_) => self.memory.uncharge(e.executor, e.bytes),
+                EntryState::Spilled(h) => self.spill.remove(h),
+            }
+        }
+        keys.len()
     }
 
-    /// Evict everything cached by `executor` (executor loss). Returns the
-    /// number evicted.
+    /// Evict everything cached by `executor` (executor loss), releasing
+    /// its ledger bytes, deleting its spill files, and folding its
+    /// hit/miss counters into the retired totals so global counts stay
+    /// exact. Returns the number evicted.
     pub fn kill_executor(&self, executor: usize) -> usize {
-        let mut e = self.entries.lock();
-        let before = e.len();
-        e.retain(|_, (ex, _)| *ex != executor);
-        before - e.len()
+        let mut inner = self.inner.lock();
+        let keys: Vec<_> =
+            inner.entries.iter().filter(|(_, e)| e.executor == executor).map(|(k, _)| *k).collect();
+        for key in &keys {
+            let e = inner.entries.remove(key).expect("key listed");
+            match e.state {
+                EntryState::Resident(_) => self.memory.uncharge(executor, e.bytes),
+                EntryState::Spilled(h) => self.spill.remove(h),
+            }
+        }
+        // reconcile counters: a dead executor's hits/misses move to the
+        // retired bucket (totals unchanged, per-executor view reset)
+        if let Some(c) = inner.per_executor.remove(&executor) {
+            inner.retired.hits += c.hits;
+            inner.retired.misses += c.misses;
+        }
+        keys.len()
     }
 
-    /// Number of cached partitions.
+    /// Number of cached partitions (resident + spilled).
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.inner.lock().entries.len()
     }
 
     /// Whether the cache is empty.
@@ -77,31 +341,85 @@ impl CacheManager {
         self.len() == 0
     }
 
-    /// Cache hits since creation.
-    pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+    /// Bytes currently resident (excludes spilled entries).
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .entries
+            .values()
+            .filter(|e| matches!(e.state, EntryState::Resident(_)))
+            .map(|e| e.bytes)
+            .sum()
     }
 
-    /// Cache misses since creation.
+    /// Entries currently parked in the spill tier.
+    pub fn spilled_entries(&self) -> usize {
+        self.inner
+            .lock()
+            .entries
+            .values()
+            .filter(|e| matches!(e.state, EntryState::Spilled(_)))
+            .count()
+    }
+
+    /// Cache hits since creation (all executors, dead ones included).
+    pub fn hits(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.retired.hits + inner.per_executor.values().map(|c| c.hits).sum::<u64>()
+    }
+
+    /// Cache misses since creation (all executors, dead ones included).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        let inner = self.inner.lock();
+        inner.retired.misses + inner.per_executor.values().map(|c| c.misses).sum::<u64>()
+    }
+
+    /// Hits attributed to a live executor (0 after it is killed).
+    pub fn executor_hits(&self, executor: usize) -> u64 {
+        self.inner.lock().per_executor.get(&executor).map_or(0, |c| c.hits)
+    }
+
+    /// Misses attributed to a live executor (0 after it is killed).
+    pub fn executor_misses(&self, executor: usize) -> u64 {
+        self.inner.lock().per_executor.get(&executor).map_or(0, |c| c.misses)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::memory::{MemoryBudget, MemoryManager};
+    use crate::trace::TraceCollector;
 
     fn data(v: Vec<i32>) -> CachedPartition {
         Arc::new(v)
     }
 
+    fn bounded(bytes: u64) -> (CacheManager, Arc<MemoryManager>) {
+        let memory = Arc::new(MemoryManager::new(
+            MemoryBudget::per_executor(bytes),
+            TraceCollector::disabled(),
+        ));
+        let spill = Arc::new(SpillStore::new().unwrap());
+        (CacheManager::new(CacheConfig { memory: Arc::clone(&memory), spill }), memory)
+    }
+
+    struct VecI32Codec;
+    impl SpillCodec for VecI32Codec {
+        fn encode(&self, data: &CachedPartition) -> Option<Vec<u8>> {
+            data.downcast_ref::<Vec<i32>>().map(crate::spill::encode)
+        }
+        fn decode(&self, bytes: &[u8]) -> Option<CachedPartition> {
+            crate::spill::decode::<Vec<i32>>(bytes).map(|v| Arc::new(v) as CachedPartition)
+        }
+    }
+
     #[test]
     fn put_get_counts_hits_and_misses() {
-        let c = CacheManager::new();
-        assert!(c.get(1, 0).is_none());
-        c.put(1, 0, 3, data(vec![1, 2]));
-        let got = c.get(1, 0).unwrap();
+        let c = CacheManager::new(CacheConfig::unbounded());
+        assert!(c.get(1, 0).unwrap().is_none());
+        assert!(c.put(1, 0, 3, data(vec![1, 2]), 8, None));
+        let got = c.get(1, 0).unwrap().unwrap();
         assert_eq!(got.downcast_ref::<Vec<i32>>().unwrap(), &vec![1, 2]);
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
@@ -109,30 +427,127 @@ mod tests {
 
     #[test]
     fn unpersist_removes_only_that_rdd() {
-        let c = CacheManager::new();
-        c.put(1, 0, 0, data(vec![]));
-        c.put(1, 1, 0, data(vec![]));
-        c.put(2, 0, 0, data(vec![]));
+        let c = CacheManager::new(CacheConfig::unbounded());
+        c.put(1, 0, 0, data(vec![]), 0, None);
+        c.put(1, 1, 0, data(vec![]), 0, None);
+        c.put(2, 0, 0, data(vec![]), 0, None);
         assert_eq!(c.unpersist(1), 2);
         assert_eq!(c.len(), 1);
-        assert!(c.get(2, 0).is_some());
+        assert!(c.get(2, 0).unwrap().is_some());
     }
 
     #[test]
     fn kill_executor_evicts_its_partitions() {
-        let c = CacheManager::new();
-        c.put(1, 0, 0, data(vec![]));
-        c.put(1, 1, 1, data(vec![]));
+        let c = CacheManager::new(CacheConfig::unbounded());
+        c.put(1, 0, 0, data(vec![]), 0, None);
+        c.put(1, 1, 1, data(vec![]), 0, None);
         assert_eq!(c.kill_executor(0), 1);
-        assert!(c.get(1, 0).is_none());
-        assert!(c.get(1, 1).is_some());
+        assert!(c.get(1, 0).unwrap().is_none());
+        assert!(c.get(1, 1).unwrap().is_some());
     }
 
     #[test]
     fn empty_cache_reports_empty() {
-        let c = CacheManager::new();
+        let c = CacheManager::new(CacheConfig::unbounded());
         assert!(c.is_empty());
-        c.put(0, 0, 0, data(vec![]));
+        c.put(0, 0, 0, data(vec![]), 0, None);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn kill_executor_reconciles_bytes_and_counters() {
+        let (c, memory) = bounded(1000);
+        c.put(1, 0, 0, data(vec![1]), 400, None);
+        c.put(1, 2, 0, data(vec![2]), 400, None);
+        c.put(1, 1, 1, data(vec![3]), 300, None);
+        // attribute some traffic to executor 0 (driver thread counts as
+        // executor 0 without a task scope)
+        assert!(c.get(1, 0).unwrap().is_some());
+        assert!(c.get(9, 9).unwrap().is_none());
+        assert_eq!(memory.lane_used(0), 800);
+        let (hits, misses) = (c.hits(), c.misses());
+        assert_eq!(c.kill_executor(0), 2);
+        // byte accounting reconciled: lane 0 drained, lane 1 untouched
+        assert_eq!(memory.lane_used(0), 0);
+        assert_eq!(memory.lane_used(1), 300);
+        // counter totals survive the death; per-executor view resets
+        assert_eq!(c.hits(), hits);
+        assert_eq!(c.misses(), misses);
+        assert_eq!(c.executor_hits(0), 0);
+        assert_eq!(c.executor_misses(0), 0);
+        assert_eq!(c.resident_bytes(), 300);
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic_and_respects_pins() {
+        // budget fits two 100-byte entries per lane; all on executor 0
+        let (c, _m) = bounded(200);
+        assert!(c.put(1, 0, 0, data(vec![0]), 100, None));
+        assert!(c.put(1, 1, 0, data(vec![1]), 100, None));
+        // touch (1,0) so (1,1) becomes the LRU victim
+        assert!(c.get(1, 0).unwrap().is_some());
+        assert!(c.put(1, 2, 0, data(vec![2]), 100, None));
+        assert!(c.get(1, 1).unwrap().is_none(), "LRU entry evicted");
+        assert!(c.get(1, 0).unwrap().is_some(), "recently-used entry kept");
+        // pinning protects the LRU entry: the next-oldest goes instead
+        c.pin(1, 0);
+        assert!(c.put(1, 3, 0, data(vec![3]), 100, None));
+        assert!(c.get(1, 0).unwrap().is_some(), "pinned entry survives");
+        assert!(c.get(1, 2).unwrap().is_none(), "unpinned next-LRU evicted");
+        c.unpin(1, 0);
+    }
+
+    #[test]
+    fn spillable_entries_spill_and_read_back_byte_identical() {
+        let (c, m) = bounded(200);
+        let codec: Arc<dyn SpillCodec> = Arc::new(VecI32Codec);
+        let v0: Vec<i32> = (0..10).collect();
+        let v1: Vec<i32> = (100..120).collect();
+        assert!(c.put(1, 0, 0, Arc::new(v0.clone()), 150, Some(Arc::clone(&codec))));
+        // second put forces the first to spill, not drop
+        assert!(c.put(1, 1, 0, Arc::new(v1.clone()), 150, Some(codec)));
+        assert_eq!(c.spilled_entries(), 1);
+        assert!(m.stats().spilled_bytes > 0);
+        assert_eq!(m.stats().evictions, 0);
+        // read-back is byte-identical and re-admits (spilling the other)
+        let got = c.get(1, 0).unwrap().unwrap();
+        assert_eq!(got.downcast_ref::<Vec<i32>>().unwrap(), &v0);
+        assert_eq!(m.stats().spill_reads, 1);
+        let got = c.get(1, 1).unwrap().unwrap();
+        assert_eq!(got.downcast_ref::<Vec<i32>>().unwrap(), &v1);
+    }
+
+    #[test]
+    fn oversized_entry_is_skipped_not_fatal() {
+        let (c, m) = bounded(100);
+        assert!(!c.put(1, 0, 0, data(vec![1; 64]), 500, None), "over-budget put skips caching");
+        assert!(c.get(1, 0).unwrap().is_none());
+        assert_eq!(m.lane_used(0), 0);
+    }
+
+    #[test]
+    fn corrupted_spill_surfaces_typed_error_and_heals() {
+        let memory = Arc::new(MemoryManager::new(
+            MemoryBudget::per_executor(200),
+            TraceCollector::disabled(),
+        ));
+        let spill = Arc::new(SpillStore::new().unwrap());
+        let c = CacheManager::new(CacheConfig { memory, spill: Arc::clone(&spill) });
+        let codec: Arc<dyn SpillCodec> = Arc::new(VecI32Codec);
+        assert!(c.put(1, 0, 0, data(vec![1, 2, 3]), 150, Some(Arc::clone(&codec))));
+        assert!(c.put(1, 1, 0, data(vec![4]), 150, Some(codec)));
+        assert_eq!(c.spilled_entries(), 1);
+        // corrupt the spilled blob on disk
+        let handle = spill.handles()[0];
+        let path = spill.path_of(handle);
+        let bytes = std::fs::read(&path).unwrap();
+        let mut broken = bytes.clone();
+        let last = broken.len() - 1;
+        broken[last] ^= 0xff;
+        std::fs::write(&path, broken).unwrap();
+        let err = c.get(1, 0).unwrap_err();
+        assert!(err.to_string().contains("spill"), "typed storage error: {err}");
+        // the broken entry is gone; a recompute can re-cache it
+        assert!(c.get(1, 0).unwrap().is_none());
     }
 }

@@ -109,6 +109,9 @@ pub(crate) struct TaskSpec {
     pub partition: usize,
     /// Virtual executor it is bound to (`partition % num_executors`).
     pub executor: usize,
+    /// Declared working-set bytes, reserved on the executor's memory
+    /// lane before submission (0 = no reservation).
+    pub mem_hint: u64,
     /// The work itself.
     pub work: TaskWork,
 }
@@ -154,7 +157,7 @@ mod tests {
     #[test]
     fn task_spec_is_cloneable_and_rerunnable() {
         let work: TaskWork = Arc::new(|| Ok(TaskOutput::Unit));
-        let spec = TaskSpec { stage_id: 0, partition: 1, executor: 1, work };
+        let spec = TaskSpec { stage_id: 0, partition: 1, executor: 1, mem_hint: 0, work };
         let spec2 = spec.clone();
         assert!(matches!((spec.work)(), Ok(TaskOutput::Unit)));
         assert!(matches!((spec2.work)(), Ok(TaskOutput::Unit)));

@@ -206,6 +206,35 @@ pub enum EventKind {
         /// Points the shard covers.
         points: u64,
     },
+    /// The memory manager acted on a lane's ledger (bounded budgets
+    /// only — unbudgeted runs record none of these, and on the virtual
+    /// timeline they consume zero ticks, so a budgeted trace with its
+    /// memory events stripped is byte-identical to the unbudgeted one).
+    MemoryAction {
+        /// What happened.
+        op: MemOp,
+        /// Ledger lane (executor id, or [`crate::memory::DRIVER_LANE`]).
+        lane: usize,
+        /// Bytes involved.
+        bytes: u64,
+    },
+}
+
+/// What a [`EventKind::MemoryAction`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// A task's working-set reservation was granted.
+    Reserve,
+    /// A task reservation was released at attempt end.
+    Release,
+    /// A cache entry was dropped (no spill codec — lineage recomputes).
+    Evict,
+    /// Bytes moved from the ledger to the spill tier.
+    Spill,
+    /// A spilled blob was read back.
+    SpillRead,
+    /// A task submission was deferred until reservations free up.
+    Backpressure,
 }
 
 impl EventKind {
@@ -226,11 +255,14 @@ impl EventKind {
             EventKind::PartitionPlan { .. } => "plan",
             EventKind::TaskWork { .. } => "task",
             EventKind::BuildShard { .. } => "phase",
+            EventKind::MemoryAction { .. } => "memory",
         }
     }
 
     /// Virtual ticks an *in-task* event advances its task's cursor by.
     /// Sized so that data-heavy events stretch the timeline visibly.
+    /// Memory actions advance nothing: they depend on the budget
+    /// setting, and the rest of the timeline must not.
     fn in_task_ticks(&self) -> u64 {
         match self {
             EventKind::ShuffleWrite { bytes, .. } | EventKind::ShuffleRead { bytes, .. } => {
@@ -238,6 +270,7 @@ impl EventKind {
             }
             EventKind::DfsBlockRead { bytes, .. } => 1 + bytes / 1024,
             EventKind::TaskWork { units } => 1 + units / 16,
+            EventKind::MemoryAction { .. } => 0,
             _ => 1,
         }
     }
@@ -274,6 +307,24 @@ pub struct Trace {
     pub events: Vec<TraceEvent>,
     /// Events lost to ring-buffer overflow.
     pub dropped: u64,
+}
+
+impl Trace {
+    /// The trace with all `MemoryAction` events removed. Memory events
+    /// consume zero virtual ticks, so this is exactly the trace an
+    /// unbudgeted run of the same workload produces — the invariant the
+    /// budget-identity tests and `perf_suite` experiment 4 assert.
+    pub fn without_memory(&self) -> Trace {
+        Trace {
+            events: self
+                .events
+                .iter()
+                .filter(|e| !matches!(e.kind, EventKind::MemoryAction { .. }))
+                .copied()
+                .collect(),
+            dropped: self.dropped,
+        }
+    }
 }
 
 const SHARDS: usize = 8;
@@ -400,6 +451,11 @@ impl TraceCollector {
                     // the virtual driver clock
                     vs.driver_backoff(backoff_ticks)
                 }
+                // memory actions never advance the driver clock: they
+                // only exist under a bounded budget, and all other
+                // events must keep identical timestamps across budget
+                // settings
+                (None, EventKind::MemoryAction { .. }) => vs.now(),
                 (None, kind) => {
                     let t = vs.driver_tick();
                     if let EventKind::StageStart { stage, .. } = kind {
@@ -821,6 +877,13 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                 e.vt,
                 instant("build shard", "phase", e.vt, pid, tid,
                     &format!("\"shard\":{shard},\"points\":{points}")),
+            ),
+            EventKind::MemoryAction { op, lane, bytes } => push(
+                &mut entries,
+                &mut order,
+                e.vt,
+                instant(&format!("mem {op:?}"), "memory", e.vt, pid, tid,
+                    &format!("\"lane\":{lane},\"bytes\":{bytes}")),
             ),
         }
     }

@@ -52,10 +52,13 @@ pub use sparklet as engine;
 pub mod prelude {
     pub use dbscan_core::{
         Balance, Clustering, DbscanParams, DbscanRunner, Label, MergeStrategy, MrDbscan,
-        ParamError, RunEnv, RunOutcome, RunTimings, RunnerError, SeedPolicy, SequentialDbscan,
-        SparkDbscan,
+        ParamError, Resources, RunEnv, RunOutcome, RunTimings, RunnerError, SeedPolicy,
+        SequentialDbscan, SparkDbscan,
     };
     pub use dbscan_datagen::{DatasetSpec, StandardDataset};
     pub use dbscan_spatial::{BuildConfig, Dataset, KdTree, PointId, SpatialIndex};
-    pub use sparklet::{ClusterConfig, Context, TraceConfig, TraceHandle};
+    pub use sparklet::{
+        ClusterConfig, Context, MemoryBudget, MemoryStats, SparkError, SpillError, TraceConfig,
+        TraceHandle,
+    };
 }

@@ -299,6 +299,61 @@ fn chaos_overlapped_collection_matches_clean_at_every_thread_count() {
 }
 
 #[test]
+fn chaos_tight_budget_matches_unbudgeted() {
+    // a per-executor memory budget changes where bytes live — spill,
+    // eviction, scheduler backpressure — never what gets computed:
+    // every runner under every fault plan with a tight budget must
+    // reproduce the clean unbudgeted labels byte for byte
+    for seed in SEEDS {
+        let (data, params) = dataset(seed);
+        // just above the largest single task reservation (points per
+        // partition × the driver's 48-byte working-set estimate): small
+        // enough to crowd the lanes and spill the driver fold, big
+        // enough that no single reservation exceeds the whole budget
+        let budget = (data.len().div_ceil(PARTITIONS) * 48 * 5 / 4) as u64;
+
+        let clean_ctx = Context::new(ClusterConfig::local(PARTITIONS).with_seed(seed));
+        let clean_env = RunEnv::engine(&clean_ctx);
+        let clean_labels: Vec<Vec<Label>> = runners(params)
+            .iter()
+            .map(|r| {
+                let out = r
+                    .run_dbscan(&clean_env, Arc::clone(&data))
+                    .unwrap_or_else(|e| panic!("chaos[seed={seed} clean {}]: {e}", r.name()));
+                out.clustering.canonicalize().labels
+            })
+            .collect();
+
+        for (plan_name, plan) in plans() {
+            for (i, runner) in runners(params).iter().enumerate() {
+                let tag = format!(
+                    "seed={seed} plan={plan_name} runner={} budget={budget}",
+                    runner.name()
+                );
+                let ctx = Context::new(chaos_config(seed, &plan).with_memory_budget(budget));
+                let env = RunEnv::engine(&ctx);
+                let out = match runner.run_dbscan(&env, Arc::clone(&data)) {
+                    Ok(out) => out,
+                    Err(e) => fail(
+                        &tag,
+                        Some(&ctx.trace().snapshot()),
+                        &format!("budgeted run failed: {e}"),
+                    ),
+                };
+                let trace = ctx.trace().snapshot();
+                if out.clustering.canonicalize().labels != clean_labels[i] {
+                    fail(&tag, Some(&trace), "budgeted clustering differs from clean run");
+                }
+                let (lost, recomputed) = lost_and_recomputed(&trace);
+                if !recomputed.is_subset(&lost) {
+                    fail(&tag, Some(&trace), "recomputed a map output that was never lost");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn chaos_runs_are_reproducible_from_the_seed_alone() {
     // the printed tag is the whole reproduction recipe: same seed +
     // plan + runner must give the same clustering AND the same
