@@ -1,0 +1,138 @@
+//! DBSCAN workloads for the engine's schedule-space explorer.
+//!
+//! [`sparklet::Explorer`] fuzzes task interleavings and checks each run
+//! against invariant oracles; this module supplies the DBSCAN side of
+//! that contract. The paper's algorithm has no executor↔executor
+//! communication, so its labels must be *byte-identical under every
+//! schedule* — [`clustering_fingerprint`] turns a [`Clustering`] into
+//! the canonical byte string the explorer's `label-identity` oracle
+//! compares, and [`DbscanExploreJob`] packages a full
+//! [`SparkDbscan`] exact-mode run (plus an accumulator merge-once
+//! probe) as an [`ExploreJob`].
+
+use crate::label::{Clustering, Label};
+use crate::params::DbscanParams;
+use crate::partitioned::driver::SparkDbscan;
+use dbscan_spatial::Dataset;
+use sparklet::{Context, ExploreJob, JobArtifacts, MergeOnceCheck, SparkResult};
+use std::sync::Arc;
+
+/// Canonical byte fingerprint of a clustering: cluster ids renumbered
+/// in first-seen order, then each label as a little-endian `u32`
+/// (`u32::MAX` for noise) followed by the core-point bitmap. Two
+/// clusterings fingerprint equal iff they assign identical labels and
+/// core flags after renumbering — the strongest output-identity check a
+/// schedule is allowed to vary nothing of.
+pub fn clustering_fingerprint(clustering: &Clustering) -> Vec<u8> {
+    let canon = clustering.canonicalize();
+    let mut bytes = Vec::with_capacity(canon.labels.len() * 4 + canon.core.len());
+    for label in &canon.labels {
+        let id = match label {
+            Label::Cluster(c) => *c,
+            Label::Noise => u32::MAX,
+        };
+        bytes.extend_from_slice(&id.to_le_bytes());
+    }
+    bytes.extend(canon.core.iter().map(|&c| u8::from(c)));
+    bytes
+}
+
+/// A full exact-mode [`SparkDbscan`] run as an explorer workload.
+///
+/// Each invocation clusters `data` on the explorer's context and
+/// fingerprints the result; alongside, a small counting job exercises
+/// the accumulator path so the `accumulator-merge-once` oracle has a
+/// declared expectation to verify even when fault plans force task
+/// retries.
+pub struct DbscanExploreJob {
+    /// Points to cluster.
+    pub data: Arc<Dataset>,
+    /// DBSCAN parameters.
+    pub params: DbscanParams,
+    /// Spatial partition count for the partitioned run.
+    pub partitions: usize,
+}
+
+impl DbscanExploreJob {
+    /// A job clustering `data` with `params` over `partitions` slices.
+    pub fn new(data: Arc<Dataset>, params: DbscanParams, partitions: usize) -> Self {
+        DbscanExploreJob { data, params, partitions }
+    }
+}
+
+impl ExploreJob for DbscanExploreJob {
+    fn run(&self, ctx: &Context) -> SparkResult<JobArtifacts> {
+        let result = SparkDbscan::new(self.params)
+            .exact()
+            .partitions(self.partitions)
+            .run(ctx, Arc::clone(&self.data));
+
+        // merge-once probe: one update per partition of a side job; the
+        // accumulator must see each successful attempt exactly once no
+        // matter how many retries or kills the schedule inflicted
+        let parts = self.partitions.max(1) as u64;
+        let hits = ctx.accumulator(0u64);
+        ctx.range(0, parts, self.partitions.max(1)).foreach_partition({
+            let hits = hits.clone();
+            move |_, _| hits.add(1)
+        })?;
+
+        Ok(JobArtifacts {
+            fingerprint: clustering_fingerprint(&result.clustering),
+            merge_once: vec![MergeOnceCheck {
+                name: "partition-hits".into(),
+                expected: parts,
+                observed: hits.value(),
+            }],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Clustering {
+        Clustering {
+            labels: vec![
+                Label::Cluster(7),
+                Label::Cluster(7),
+                Label::Noise,
+                Label::Cluster(3),
+                Label::Cluster(3),
+            ],
+            core: vec![true, true, false, true, false],
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_invariant_under_cluster_renumbering() {
+        let a = two_blobs();
+        let mut b = two_blobs();
+        // swap the arbitrary ids; the partition of points is unchanged
+        for l in &mut b.labels {
+            *l = match *l {
+                Label::Cluster(7) => Label::Cluster(3),
+                Label::Cluster(3) => Label::Cluster(7),
+                other => other,
+            };
+        }
+        assert_eq!(clustering_fingerprint(&a), clustering_fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_labels_and_core_flags() {
+        let a = two_blobs();
+        let mut moved = two_blobs();
+        moved.labels[2] = Label::Cluster(7);
+        assert_ne!(clustering_fingerprint(&a), clustering_fingerprint(&moved));
+        let mut demoted = two_blobs();
+        demoted.core[0] = false;
+        assert_ne!(clustering_fingerprint(&a), clustering_fingerprint(&demoted));
+    }
+
+    #[test]
+    fn fingerprint_length_is_five_bytes_per_point() {
+        assert_eq!(clustering_fingerprint(&two_blobs()).len(), 5 * 4 + 5);
+    }
+}

@@ -35,6 +35,7 @@
 //! DBSCAN on core points (property-tested in `tests/`).
 
 pub mod estimate;
+pub mod explore;
 pub mod filter;
 pub mod incremental;
 pub mod label;
@@ -52,6 +53,7 @@ pub mod unionfind;
 pub mod validate;
 
 pub use estimate::{k_distances, knee_index, suggest_eps};
+pub use explore::{clustering_fingerprint, DbscanExploreJob};
 pub use filter::filter_small_partials;
 pub use incremental::IncrementalDbscan;
 pub use label::{Clustering, Label};

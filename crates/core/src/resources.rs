@@ -70,9 +70,31 @@ impl Resources {
     /// bounded per-executor memory budget. Unset or unparsable variables
     /// leave the default in place.
     pub fn from_env() -> Self {
+        Self::from_env_values(
+            std::env::var("DBSCAN_BUILD_THREADS").ok().as_deref(),
+            std::env::var("DBSCAN_MEM_BUDGET").ok().as_deref(),
+        )
+    }
+
+    /// The pure core of [`Resources::from_env`], taking the raw variable
+    /// values so tests can exercise the parsing contract without touching
+    /// the process environment (`std::env::set_var` is unsound under
+    /// threaded test runners).
+    ///
+    /// The contract, for any input including junk, overflow and empty
+    /// strings — this function never panics and never errors:
+    ///
+    /// * `build_threads`: whitespace-trimmed `usize`, else the default
+    ///   (`0` = auto). `0` is a *valid* value meaning auto.
+    /// * `mem_budget`: whitespace-trimmed `u64` byte count, else the
+    ///   default (unbounded). A parsed `0` clamps to a 1-byte bounded
+    ///   budget ([`MemoryBudget::per_executor`] keeps budgets non-zero).
+    pub fn from_env_values(build_threads: Option<&str>, mem_budget: Option<&str>) -> Self {
         let mut r = Resources::new();
-        r.build = BuildConfig::from_env();
-        r.memory = parse_mem_budget(std::env::var("DBSCAN_MEM_BUDGET").ok().as_deref());
+        if let Some(t) = build_threads.and_then(|v| v.trim().parse::<usize>().ok()) {
+            r.build = r.build.with_threads(t);
+        }
+        r.memory = parse_mem_budget(mem_budget);
         r
     }
 

@@ -2,6 +2,8 @@
 
 use crate::fault::FaultPlan;
 use crate::memory::MemoryBudget;
+use crate::schedule::{Fifo, SchedulePolicy};
+use std::sync::Arc;
 
 /// Straggler model for the virtual-cluster time simulation.
 ///
@@ -91,6 +93,9 @@ pub struct ClusterConfig {
     /// [`crate::memory::MemoryManager`] for the eviction / spill /
     /// backpressure ladder a bounded budget engages).
     pub memory: MemoryBudget,
+    /// Scheduling-decision policy ([`Fifo`] by default — production
+    /// order; see [`crate::schedule`] and [`crate::explore`]).
+    pub schedule: Arc<dyn SchedulePolicy>,
 }
 
 impl ClusterConfig {
@@ -108,6 +113,7 @@ impl ClusterConfig {
             seed: 0x5eed,
             trace: TraceConfig::default(),
             memory: MemoryBudget::UNBOUNDED,
+            schedule: Arc::new(Fifo),
         }
     }
 
@@ -175,6 +181,12 @@ impl ClusterConfig {
         self.memory = MemoryBudget::per_executor(bytes);
         self
     }
+
+    /// Builder-style: set the scheduling-decision policy.
+    pub fn with_schedule(mut self, schedule: Arc<dyn SchedulePolicy>) -> Self {
+        self.schedule = schedule;
+        self
+    }
 }
 
 impl Default for ClusterConfig {
@@ -232,6 +244,15 @@ mod tests {
         assert_eq!(c.trace.capacity, TraceConfig::DEFAULT_CAPACITY);
         let c = c.with_trace(TraceConfig::with_capacity(128));
         assert_eq!(c.trace.capacity, 128);
+    }
+
+    #[test]
+    fn schedule_defaults_to_fifo_and_is_swappable() {
+        let c = ClusterConfig::local(2);
+        assert!(!c.schedule.reorders(), "production default is pass-through");
+        let c = c.with_schedule(Arc::new(crate::schedule::Seeded::new(3)));
+        assert!(c.schedule.reorders());
+        assert_eq!(c.schedule.keyed_seed(), Some(3));
     }
 
     #[test]

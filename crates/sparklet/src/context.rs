@@ -77,6 +77,7 @@ impl Context {
             config.seed,
             Arc::clone(&tracer),
             Arc::clone(&memory),
+            Arc::clone(&config.schedule),
         );
         let shuffles = Arc::new(ShuffleManager::with_tracer_and_faults(
             Arc::clone(&tracer),
@@ -84,6 +85,7 @@ impl Context {
             config.seed,
             Arc::clone(&memory),
             Arc::clone(&spill),
+            Arc::clone(&config.schedule),
         ));
         let cache = Arc::new(CacheManager::new(CacheConfig {
             memory: Arc::clone(&memory),

@@ -6,8 +6,9 @@
 //! down — the fault-tolerance contrast with MPI the paper emphasizes.
 
 use crate::accumulator::{begin_task_buffer, take_task_buffer};
-use crate::fault::{FaultPlan, STRAGGLER_SALT, TASK_SALT};
+use crate::fault::{decision_hash, FaultPlan, EXPLORE_JITTER_SALT, STRAGGLER_SALT, TASK_SALT};
 use crate::memory::MemoryManager;
+use crate::schedule::SchedulePolicy;
 use crate::task::{set_current_executor, AttemptResult, TaskError, TaskSpec};
 use crate::trace::{self, EventKind, MemOp, TaskScope, TraceCollector};
 use crossbeam::channel::{unbounded, Sender};
@@ -39,9 +40,13 @@ impl ExecutorPool {
         seed: u64,
         tracer: Arc<TraceCollector>,
         memory: Arc<MemoryManager>,
+        schedule: Arc<dyn SchedulePolicy>,
     ) -> Self {
         let threads = threads.max(1);
         let plan = Arc::new(plan);
+        // keyed decisions only: workers are concurrent, so the schedule
+        // seam reaches them as a pure hash seed, never a shared counter
+        let keyed = schedule.keyed_seed();
         let (tx, rx) = unbounded::<Envelope>();
         let workers = (0..threads)
             .map(|w| {
@@ -53,7 +58,7 @@ impl ExecutorPool {
                     .name(format!("sparklet-worker-{w}"))
                     .spawn(move || {
                         while let Ok(env) = rx.recv() {
-                            let result = run_attempt(&env, &plan, seed, &tracer, &memory);
+                            let result = run_attempt(&env, &plan, seed, keyed, &tracer, &memory);
                             // the driver may have aborted the job; a closed
                             // reply channel is not an error for the worker
                             let _ = env.reply.send(result);
@@ -94,6 +99,7 @@ fn run_attempt(
     env: &Envelope,
     plan: &FaultPlan,
     seed: u64,
+    keyed: Option<u64>,
     tracer: &TraceCollector,
     memory: &MemoryManager,
 ) -> AttemptResult {
@@ -125,6 +131,21 @@ fn run_attempt(
     if plan.straggler.should_fire(seed, STRAGGLER_SALT, spec.stage_id, spec.partition, env.attempt)
     {
         std::thread::sleep(Duration::from_millis(plan.straggler_delay_ms));
+    }
+    // schedule-exploration jitter: an extra keyed sub-millisecond delay
+    // perturbing the real thread interleaving, decided purely from the
+    // task identity so a replay reproduces it without shared state
+    if let Some(ks) = keyed {
+        let h = decision_hash(
+            ks,
+            EXPLORE_JITTER_SALT,
+            spec.stage_id as u64,
+            spec.partition as u64,
+            env.attempt as u64,
+        );
+        if h.is_multiple_of(4) {
+            std::thread::sleep(Duration::from_micros(100 + h % 900));
+        }
     }
     let start = Instant::now();
 
@@ -194,6 +215,17 @@ mod tests {
         TaskSpec { stage_id: 0, partition: 0, executor: 0, mem_hint: 0, work }
     }
 
+    /// Test pools run under the production (pass-through) policy.
+    fn start_fifo(
+        threads: usize,
+        plan: FaultPlan,
+        seed: u64,
+        tracer: Arc<TraceCollector>,
+        memory: Arc<MemoryManager>,
+    ) -> ExecutorPool {
+        ExecutorPool::start(threads, plan, seed, tracer, memory, Arc::new(crate::schedule::Fifo))
+    }
+
     fn run_one(pool: &ExecutorPool, s: TaskSpec, attempt: usize) -> AttemptResult {
         let (tx, rx) = unbounded();
         pool.submit(Envelope { spec: s, attempt, reply: tx });
@@ -202,7 +234,7 @@ mod tests {
 
     #[test]
     fn runs_tasks_and_returns_output() {
-        let pool = ExecutorPool::start(
+        let pool = start_fifo(
             2,
             FaultPlan::none(),
             0,
@@ -218,7 +250,7 @@ mod tests {
 
     #[test]
     fn catches_panics() {
-        let pool = ExecutorPool::start(
+        let pool = start_fifo(
             1,
             FaultPlan::none(),
             0,
@@ -233,7 +265,7 @@ mod tests {
 
     #[test]
     fn injects_failures_per_config() {
-        let pool = ExecutorPool::start(
+        let pool = start_fifo(
             1,
             FaultConfig::always_first(1).into(),
             7,
@@ -249,8 +281,7 @@ mod tests {
     #[test]
     fn straggler_rule_delays_the_attempt() {
         let plan = FaultPlan::none().with_stragglers(FaultRule::always_first(1), 20);
-        let pool =
-            ExecutorPool::start(1, plan, 0, TraceCollector::disabled(), MemoryManager::unbounded());
+        let pool = start_fifo(1, plan, 0, TraceCollector::disabled(), MemoryManager::unbounded());
         let t0 = Instant::now();
         let r = run_one(&pool, spec(Arc::new(|| Ok(TaskOutput::Unit))), 0);
         assert!(r.outcome.is_ok());
@@ -261,7 +292,7 @@ mod tests {
 
     #[test]
     fn busy_time_is_measured() {
-        let pool = ExecutorPool::start(
+        let pool = start_fifo(
             1,
             FaultPlan::none(),
             0,
@@ -281,7 +312,7 @@ mod tests {
 
     #[test]
     fn pool_shuts_down_cleanly() {
-        let pool = ExecutorPool::start(
+        let pool = start_fifo(
             4,
             FaultPlan::none(),
             0,
@@ -295,7 +326,7 @@ mod tests {
     #[test]
     fn task_lifecycle_is_traced_with_injected_flag() {
         let tracer = Arc::new(TraceCollector::new(crate::config::TraceConfig::enabled()));
-        let pool = ExecutorPool::start(
+        let pool = start_fifo(
             1,
             FaultConfig::always_first(1).into(),
             0,
@@ -312,7 +343,7 @@ mod tests {
 
     #[test]
     fn zero_threads_clamped_to_one() {
-        let pool = ExecutorPool::start(
+        let pool = start_fifo(
             0,
             FaultPlan::none(),
             0,

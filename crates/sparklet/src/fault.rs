@@ -97,6 +97,10 @@ pub(crate) const VICTIM_SALT: u64 = 0x6d61_7076_6963_7469; // "mapvicti"
                                                            // DFS read-fault curses are decided inside minidfs (its own salt) so the
                                                            // storage crate stays engine-independent; see `minidfs::ReadFaultPlan`.
 pub(crate) const STRAGGLER_SALT: u64 = 0x7374_7261_6767_6c65; // "straggle"
+                                                              // salts for the schedule explorer's keyed (worker-side) decisions, so
+                                                              // its perturbations never alias the fault plan's decision streams
+pub(crate) const EXPLORE_FETCH_SALT: u64 = 0x6578_706c_6674_6368; // "explftch"
+pub(crate) const EXPLORE_JITTER_SALT: u64 = 0x6578_706c_6a69_7474; // "expljitt"
 
 /// One probabilistic fault rule, keyed by the full task identity.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -36,10 +36,13 @@ pub mod config;
 pub mod context;
 pub mod error;
 pub mod executor;
+pub mod explore;
 pub mod fault;
 pub mod memory;
 pub mod metrics;
+pub mod oracle;
 pub mod rdd;
+pub mod schedule;
 pub mod scheduler;
 pub mod shuffle;
 pub mod sim;
@@ -53,10 +56,16 @@ pub use broadcast::Broadcast;
 pub use config::{ClusterConfig, StragglerConfig, TraceConfig};
 pub use context::{Context, KillReport};
 pub use error::{SparkError, SparkResult};
+pub use explore::{ExploreJob, ExploreReport, Explorer, JobArtifacts, MergeOnceCheck, Violation};
 pub use fault::{ExecutorKillAt, FaultConfig, FaultPlan, FaultRule};
 pub use memory::{MemoryBudget, MemoryManager, MemoryStats, DRIVER_LANE};
 pub use metrics::{JobMetrics, StageKind, StageMetrics, TaskMetrics};
+pub use oracle::{
+    default_oracles, InvariantOracle, LabelIdentity, LedgerConservation, MergeOnce, RunObservation,
+    TraceWellFormed,
+};
 pub use rdd::{CoGrouped, Rdd};
+pub use schedule::{DecisionPoint, Fifo, Replay, ReplayToken, SchedulePolicy, Seeded};
 pub use sim::{lpt_makespan, VirtualScheduler};
 pub use spill::{SpillError, SpillHandle, SpillStore, Spillable};
 pub use storage::{CacheConfig, CacheManager};

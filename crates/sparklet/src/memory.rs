@@ -101,6 +101,15 @@ pub struct MemoryStats {
     /// Broadcast bytes shipped — metered but budget-exempt (broadcasts
     /// are shared read-only state, not per-task working memory).
     pub broadcast_bytes: u64,
+    /// Total task working-set bytes ever granted (by
+    /// [`MemoryManager::reserve_task`], forced or not, and by the quiet
+    /// backpressure-drain path).
+    pub task_reserved_bytes: u64,
+    /// Total task working-set bytes released back by finished attempts.
+    /// Once every submitted attempt has run to completion,
+    /// `task_released_bytes == task_reserved_bytes` — the ledger
+    /// conservation law the schedule explorer's oracle checks.
+    pub task_released_bytes: u64,
 }
 
 #[derive(Default)]
@@ -197,6 +206,7 @@ impl MemoryManager {
                     (Grant::Deferred, bounded)
                 } else {
                     Self::charge_locked(&mut ledger, lane, bytes);
+                    ledger.stats.task_reserved_bytes += bytes;
                     (Grant::Granted, bounded)
                 }
             }
@@ -207,11 +217,34 @@ impl MemoryManager {
         grant
     }
 
-    /// Release a task reservation made by [`MemoryManager::reserve_task`].
+    /// Release a task reservation made by [`MemoryManager::reserve_task`]
+    /// or [`MemoryManager::reserve_task_quiet`].
     pub fn release_task(&self, lane: usize, bytes: u64) {
         if bytes > 0 {
-            Self::uncharge_locked(&mut self.inner.lock(), lane, bytes);
+            let mut ledger = self.inner.lock();
+            Self::uncharge_locked(&mut ledger, lane, bytes);
+            ledger.stats.task_released_bytes += bytes;
         }
+    }
+
+    /// Quiet retry of a deferred task reservation: charge if it fits,
+    /// without bumping the backpressure counter or emitting trace
+    /// events (the scheduler polls this after every release, and
+    /// repeated polling would inflate both). A successful charge counts
+    /// toward `task_reserved_bytes` like any granted reservation, so
+    /// the reserved/released conservation law holds on either path.
+    pub fn reserve_task_quiet(&self, lane: usize, bytes: u64) -> bool {
+        if bytes == 0 {
+            return true;
+        }
+        let mut ledger = self.inner.lock();
+        let fits = !ledger.budget.is_bounded()
+            || ledger.lanes.get(&lane).map_or(0, |l| l.used) + bytes <= ledger.budget.bytes();
+        if fits {
+            Self::charge_locked(&mut ledger, lane, bytes);
+            ledger.stats.task_reserved_bytes += bytes;
+        }
+        fits
     }
 
     /// Charge storage bytes if they fit (or the budget is unbounded).
@@ -355,6 +388,27 @@ mod tests {
         assert_eq!(s.evicted_bytes, 40);
         assert_eq!(s.evictions, 1);
         assert_eq!(m.lane_used(0), 0);
+    }
+
+    #[test]
+    fn task_ledger_conserves_reserved_and_released() {
+        let m = bounded(100);
+        assert_eq!(m.reserve_task(0, 60, false), Grant::Granted);
+        assert_eq!(m.reserve_task(0, 60, false), Grant::Deferred, "deferred counts nothing");
+        assert!(!m.reserve_task_quiet(0, 60), "quiet path refuses over budget");
+        m.release_task(0, 60);
+        assert!(m.reserve_task_quiet(0, 60), "quiet path charges when it fits");
+        assert_eq!(m.reserve_task(1, 90, true), Grant::Granted, "forced grants count too");
+        m.release_task(0, 60);
+        m.release_task(1, 90);
+        let s = m.stats();
+        assert_eq!(s.task_reserved_bytes, 60 + 60 + 90);
+        assert_eq!(s.task_released_bytes, s.task_reserved_bytes, "conservation at quiescence");
+        // zero-byte reservations are free on both sides
+        assert_eq!(m.reserve_task(0, 0, false), Grant::Granted);
+        m.release_task(0, 0);
+        assert_eq!(m.stats().task_reserved_bytes, 210);
+        assert_eq!(m.stats().task_released_bytes, 210);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Invariant oracles for schedule exploration.
+//!
+//! An oracle inspects one explored run — its job artifacts, the FIFO
+//! baseline's artifacts, the memory-ledger counters and the structured
+//! trace — and reports a violation as a human-readable detail string.
+//! The built-in set ([`default_oracles`]) encodes the invariants the
+//! repo already guards piecemeal elsewhere:
+//!
+//! * [`LabelIdentity`] — the job's output fingerprint is byte-identical
+//!   to the canonical-baseline schedule's (the paper's determinism
+//!   claim: no executor↔executor communication means no
+//!   schedule-dependent answers).
+//! * [`TraceWellFormed`] — the Chrome trace of the explored run passes
+//!   [`crate::trace::validate_chrome_trace`] (balanced spans, sane
+//!   nesting) no matter how replies were reordered.
+//! * [`LedgerConservation`] — every reserved task byte was released:
+//!   `task_reserved_bytes == task_released_bytes` once the job is done.
+//! * [`MergeOnce`] — job-declared accumulator checks hold (updates from
+//!   stale or failed attempts were merged exactly zero times, updates
+//!   from successful attempts exactly once).
+
+use crate::explore::JobArtifacts;
+use crate::memory::MemoryStats;
+use crate::trace::validate_chrome_trace;
+
+/// Everything an oracle may look at about one explored run.
+pub struct RunObservation<'a> {
+    /// Artifacts of the explored run.
+    pub artifacts: &'a JobArtifacts,
+    /// Artifacts of the canonical baseline schedule.
+    pub baseline: &'a JobArtifacts,
+    /// Memory counters at job end.
+    pub memory: MemoryStats,
+    /// The run's Chrome-format trace JSON.
+    pub trace_json: &'a str,
+}
+
+/// A pluggable schedule-exploration invariant.
+pub trait InvariantOracle: Send + Sync {
+    /// Short stable name, quoted in violation reports.
+    fn name(&self) -> &'static str;
+    /// `Err(detail)` when the invariant is violated.
+    fn check(&self, obs: &RunObservation<'_>) -> Result<(), String>;
+}
+
+/// Output fingerprint must match the canonical baseline byte-for-byte.
+pub struct LabelIdentity;
+
+impl InvariantOracle for LabelIdentity {
+    fn name(&self) -> &'static str {
+        "label-identity"
+    }
+
+    fn check(&self, obs: &RunObservation<'_>) -> Result<(), String> {
+        if obs.artifacts.fingerprint == obs.baseline.fingerprint {
+            return Ok(());
+        }
+        let diverge = obs
+            .artifacts
+            .fingerprint
+            .iter()
+            .zip(&obs.baseline.fingerprint)
+            .position(|(a, b)| a != b);
+        Err(format!(
+            "output fingerprint diverged from the baseline schedule ({} vs {} bytes, first \
+             difference at byte {:?})",
+            obs.artifacts.fingerprint.len(),
+            obs.baseline.fingerprint.len(),
+            diverge
+        ))
+    }
+}
+
+/// The run's trace must validate as a well-formed Chrome trace.
+pub struct TraceWellFormed;
+
+impl InvariantOracle for TraceWellFormed {
+    fn name(&self) -> &'static str {
+        "trace-well-formed"
+    }
+
+    fn check(&self, obs: &RunObservation<'_>) -> Result<(), String> {
+        validate_chrome_trace(obs.trace_json)
+            .map(|_| ())
+            .map_err(|e| format!("trace failed validation: {e}"))
+    }
+}
+
+/// Reserved task bytes must all have been released by job end.
+pub struct LedgerConservation;
+
+impl InvariantOracle for LedgerConservation {
+    fn name(&self) -> &'static str {
+        "ledger-conservation"
+    }
+
+    fn check(&self, obs: &RunObservation<'_>) -> Result<(), String> {
+        let m = obs.memory;
+        if m.task_reserved_bytes == m.task_released_bytes {
+            Ok(())
+        } else {
+            Err(format!(
+                "task ledger does not balance: reserved {} bytes, released {} bytes",
+                m.task_reserved_bytes, m.task_released_bytes
+            ))
+        }
+    }
+}
+
+/// Job-declared accumulator merge-once checks must hold.
+pub struct MergeOnce;
+
+impl InvariantOracle for MergeOnce {
+    fn name(&self) -> &'static str {
+        "accumulator-merge-once"
+    }
+
+    fn check(&self, obs: &RunObservation<'_>) -> Result<(), String> {
+        for c in &obs.artifacts.merge_once {
+            if c.expected != c.observed {
+                return Err(format!(
+                    "accumulator {:?} merged wrong: expected {}, observed {}",
+                    c.name, c.expected, c.observed
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The built-in oracle set, in checking order.
+pub fn default_oracles() -> Vec<Box<dyn InvariantOracle>> {
+    vec![
+        Box::new(LabelIdentity),
+        Box::new(TraceWellFormed),
+        Box::new(LedgerConservation),
+        Box::new(MergeOnce),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{JobArtifacts, MergeOnceCheck};
+
+    fn artifacts(fp: &[u8]) -> JobArtifacts {
+        JobArtifacts { fingerprint: fp.to_vec(), merge_once: Vec::new() }
+    }
+
+    #[test]
+    fn label_identity_flags_fingerprint_divergence() {
+        let base = artifacts(&[1, 2, 3]);
+        let same = artifacts(&[1, 2, 3]);
+        let diff = artifacts(&[1, 9, 3]);
+        let ok = RunObservation {
+            artifacts: &same,
+            baseline: &base,
+            memory: MemoryStats::default(),
+            trace_json: "",
+        };
+        assert!(LabelIdentity.check(&ok).is_ok());
+        let bad = RunObservation {
+            artifacts: &diff,
+            baseline: &base,
+            memory: MemoryStats::default(),
+            trace_json: "",
+        };
+        let err = LabelIdentity.check(&bad).unwrap_err();
+        assert!(err.contains("byte Some(1)"), "{err}");
+    }
+
+    #[test]
+    fn ledger_conservation_checks_balance() {
+        let a = artifacts(&[]);
+        let mut m =
+            MemoryStats { task_reserved_bytes: 10, task_released_bytes: 10, ..Default::default() };
+        let obs = |m: MemoryStats| RunObservation {
+            artifacts: &a,
+            baseline: &a,
+            memory: m,
+            trace_json: "",
+        };
+        assert!(LedgerConservation.check(&obs(m)).is_ok());
+        m.task_released_bytes = 9;
+        assert!(LedgerConservation.check(&obs(m)).is_err());
+    }
+
+    #[test]
+    fn merge_once_checks_job_declared_counts() {
+        let good = JobArtifacts {
+            fingerprint: Vec::new(),
+            merge_once: vec![MergeOnceCheck { name: "n".into(), expected: 4, observed: 4 }],
+        };
+        let bad = JobArtifacts {
+            fingerprint: Vec::new(),
+            merge_once: vec![MergeOnceCheck { name: "n".into(), expected: 4, observed: 5 }],
+        };
+        let base = JobArtifacts { fingerprint: Vec::new(), merge_once: Vec::new() };
+        fn obs<'a>(a: &'a JobArtifacts, base: &'a JobArtifacts) -> RunObservation<'a> {
+            RunObservation {
+                artifacts: a,
+                baseline: base,
+                memory: MemoryStats::default(),
+                trace_json: "",
+            }
+        }
+        assert!(MergeOnce.check(&obs(&good, &base)).is_ok());
+        assert!(MergeOnce.check(&obs(&bad, &base)).unwrap_err().contains("expected 4, observed 5"));
+    }
+}

@@ -42,6 +42,7 @@ use crate::executor::Envelope;
 use crate::memory::Grant;
 use crate::metrics::{straggler_extra, JobMetrics, StageKind, StageMetrics, TaskMetrics};
 use crate::rdd::{AnyRdd, Parent, RddNode, ShuffleDepObj};
+use crate::schedule::DecisionPoint;
 use crate::task::{AttemptResult, TaskErrorKind, TaskOutput, TaskSpec};
 use crate::trace::EventKind;
 use crate::Data;
@@ -253,9 +254,20 @@ fn drain_pending(
     pending: &mut VecDeque<(TaskSpec, usize)>,
     in_flight: &mut usize,
 ) {
+    let policy = &ctx.inner.config.schedule;
+    if policy.reorders() && pending.len() > 1 {
+        // schedule exploration: the policy picks the drain order by
+        // repeatedly choosing the next candidate (the final pick has
+        // arity 1 and is free)
+        let mut rest: Vec<(TaskSpec, usize)> = std::mem::take(pending).into_iter().collect();
+        while !rest.is_empty() {
+            let k = policy.choose(DecisionPoint::Drain, rest.len());
+            pending.push_back(rest.remove(k));
+        }
+    }
     let mut still_blocked = VecDeque::with_capacity(pending.len());
     while let Some((spec, attempt)) = pending.pop_front() {
-        if ctx.inner.memory.try_charge(spec.executor, spec.mem_hint) {
+        if ctx.inner.memory.reserve_task_quiet(spec.executor, spec.mem_hint) {
             ctx.inner.pool.submit(Envelope { spec, attempt, reply: tx.clone() });
             *in_flight += 1;
         } else {
@@ -301,11 +313,33 @@ fn run_stage(
     }
 
     let cfg = &ctx.inner.config;
-    let kills: Vec<crate::fault::ExecutorKillAt> =
-        cfg.fault.executor_kills.iter().filter(|k| k.stage == stage_id).copied().collect();
+    let policy = Arc::clone(&cfg.schedule);
+    let explore = policy.reorders();
+    let kills: Vec<crate::fault::ExecutorKillAt> = cfg
+        .fault
+        .executor_kills
+        .iter()
+        .filter(|k| k.stage == stage_id)
+        .copied()
+        .map(|mut k| {
+            if explore {
+                // virtual-time kill placement: choice `c > 0` fires the
+                // kill after the c-th completion instead of the plan's
+                let c = policy.choose(DecisionPoint::Kill, total + 1);
+                if c != 0 {
+                    k.after_tasks = c;
+                }
+            }
+            k
+        })
+        .collect();
     let mut kills_fired = vec![false; kills.len()];
 
     let mut outputs: HashMap<usize, TaskOutput> = HashMap::with_capacity(total);
+    // replies received but not yet processed (exploring policies only);
+    // `in_flight` keeps counting them until they are processed, so the
+    // recovery-barrier conditions below are unchanged
+    let mut reply_buf: Vec<AttemptResult> = Vec::new();
     let mut task_metrics = Vec::with_capacity(total);
     let mut parked: Vec<ParkedFetch> = Vec::new();
     let mut failed_attempts = 0usize;
@@ -381,7 +415,20 @@ fn run_stage(
             continue;
         }
 
-        let r = rx.recv().expect("executor pool alive while context exists");
+        let r = if explore {
+            // collect every outstanding reply, then let the policy pick
+            // from a canonically-ordered buffer: driver-observed
+            // completion order becomes a pure function of the decision
+            // sequence, independent of thread timing
+            while reply_buf.len() < in_flight {
+                reply_buf.push(rx.recv().expect("executor pool alive while context exists"));
+            }
+            reply_buf.sort_by_key(|r| (r.partition, r.attempt));
+            let k = policy.choose(DecisionPoint::Reply, reply_buf.len());
+            reply_buf.remove(k)
+        } else {
+            rx.recv().expect("executor pool alive while context exists")
+        };
         in_flight -= 1;
         // the finished attempt released its reservation before replying;
         // queued submissions may fit now

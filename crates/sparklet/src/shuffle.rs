@@ -17,8 +17,9 @@
 //! as paired [`EventKind::MapOutputLost`] / [`EventKind::MapOutputRecomputed`]
 //! trace events.
 
-use crate::fault::{decision_hash, FaultRule, FETCH_SALT, VICTIM_SALT};
+use crate::fault::{decision_hash, FaultRule, EXPLORE_FETCH_SALT, FETCH_SALT, VICTIM_SALT};
 use crate::memory::MemoryManager;
+use crate::schedule::{Fifo, SchedulePolicy};
 use crate::spill::{SpillHandle, SpillStore};
 use crate::task::TaskError;
 use crate::trace::{self, EventKind, TraceCollector};
@@ -90,6 +91,9 @@ pub struct ShuffleManager {
     memory: Arc<MemoryManager>,
     /// Disk tier for over-budget spillable map outputs.
     spill: Arc<SpillStore>,
+    /// Schedule policy: an exploring policy's keyed seed permutes the
+    /// per-fetch bucket order (see [`crate::schedule`]).
+    schedule: Arc<dyn SchedulePolicy>,
 }
 
 impl Default for ShuffleManager {
@@ -112,6 +116,7 @@ impl ShuffleManager {
             0,
             MemoryManager::unbounded(),
             Arc::new(SpillStore::new().expect("create spill dir")),
+            Arc::new(Fifo),
         )
     }
 
@@ -123,6 +128,7 @@ impl ShuffleManager {
         seed: u64,
         memory: Arc<MemoryManager>,
         spill: Arc<SpillStore>,
+        schedule: Arc<dyn SchedulePolicy>,
     ) -> Self {
         ShuffleManager {
             shuffles: Mutex::new(HashMap::new()),
@@ -133,6 +139,7 @@ impl ShuffleManager {
             seed,
             memory,
             spill,
+            schedule,
         }
     }
 
@@ -310,6 +317,32 @@ impl ShuffleManager {
                 }
             }
             slots
+        };
+        // schedule exploration: an exploring policy's keyed seed ranks
+        // the buckets per (shuffle, reduce, map) identity, so the reduce
+        // task walks (and disk-reads) them in a replayable permuted
+        // order instead of map order. Buckets form one merged column;
+        // no consumer may assume positional alignment with map indices.
+        let slots = match self.schedule.keyed_seed() {
+            Some(ks) if slots.len() > 1 => {
+                let mut ranked: Vec<(u64, Slot)> = slots
+                    .into_iter()
+                    .enumerate()
+                    .map(|(m, s)| {
+                        let rank = decision_hash(
+                            ks,
+                            EXPLORE_FETCH_SALT,
+                            shuffle_id as u64,
+                            reduce_part as u64,
+                            m as u64,
+                        );
+                        (rank, s)
+                    })
+                    .collect();
+                ranked.sort_by_key(|(rank, _)| *rank);
+                ranked.into_iter().map(|(_, s)| s).collect()
+            }
+            _ => slots,
         };
         let mut col = Vec::with_capacity(slots.len());
         for slot in slots {
@@ -547,6 +580,7 @@ mod tests {
             42,
             MemoryManager::unbounded(),
             Arc::new(SpillStore::new().unwrap()),
+            Arc::new(Fifo),
         );
         m.register(3, 2, 1);
         m.put_map_output(3, 0, 0, vec![bucket(vec![(1, 1)])], 1, 8);

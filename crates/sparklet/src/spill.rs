@@ -371,6 +371,70 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_blob_round_trips() {
+        // an empty partition is a legal spill: header-only file, zero
+        // checksum, read-back yields an empty vec — not an error
+        let store = SpillStore::new().unwrap();
+        let h = store.spill(&[]).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.read(h).unwrap(), Vec::<u8>::new());
+        // the file really is just the fixed header on disk
+        let on_disk = fs::metadata(store.path_of(h)).unwrap().len();
+        assert_eq!(on_disk, 4 + 8 + 8, "header-only file: magic + len + checksum");
+        store.remove(h);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn read_after_remove_race_is_missing_not_corrupt() {
+        // `remove` is how kill_executor cleans up; a stale reader racing
+        // it must see a typed Missing error, never Corrupt or a panic,
+        // and removing twice is fine (the second caller lost the race)
+        let store = SpillStore::new().unwrap();
+        let h = store.spill(&[9u8; 64]).unwrap();
+        store.remove(h);
+        assert_eq!(store.read(h), Err(SpillError::Missing { id: h.id() }));
+        store.remove(h); // idempotent
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn concurrent_spill_and_read_from_two_threads() {
+        // one worker spills while another reads back already-spilled
+        // handles: every read must be byte-identical, ids must never
+        // collide, and the live table must end consistent
+        let store = SpillStore::new().unwrap();
+        let payload =
+            |i: u32| -> Vec<u8> { (0..200u32).flat_map(|j| (i ^ j).to_le_bytes()).collect() };
+        const N: u32 = 64;
+        let (tx, rx) = std::sync::mpsc::channel::<(u32, SpillHandle)>();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..N {
+                    let h = store.spill(&payload(i)).unwrap();
+                    tx.send((i, h)).unwrap();
+                }
+                drop(tx);
+            });
+            s.spawn(|| {
+                let mut seen = std::collections::HashSet::new();
+                for (i, h) in rx {
+                    assert!(seen.insert(h.id()), "spill ids must be unique");
+                    // interleave two reads per handle to widen the race window
+                    assert_eq!(store.read(h).unwrap(), payload(i));
+                    assert_eq!(store.read(h).unwrap(), payload(i));
+                }
+                assert_eq!(seen.len(), N as usize);
+            });
+        });
+        assert_eq!(store.len(), N as usize);
+        for h in store.handles() {
+            store.remove(h);
+        }
+        assert!(store.is_empty());
+    }
+
+    #[test]
     fn codec_round_trips_and_rejects_malformed_input() {
         let v: Vec<(u32, Vec<u64>)> = vec![(1, vec![2, 3]), (4, vec![]), (5, vec![u64::MAX])];
         let bytes = encode(&v);

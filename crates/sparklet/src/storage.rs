@@ -526,6 +526,34 @@ mod tests {
     }
 
     #[test]
+    fn read_after_kill_executor_surfaces_a_clean_miss() {
+        // kill_executor deletes a dead executor's spilled blobs from
+        // disk; a later lookup of that partition must be a plain cache
+        // miss (triggering recompute), with the handle gone from the
+        // store and a direct read yielding the typed Missing error
+        let memory = Arc::new(MemoryManager::new(
+            MemoryBudget::per_executor(200),
+            TraceCollector::disabled(),
+        ));
+        let spill = Arc::new(SpillStore::new().unwrap());
+        let c = CacheManager::new(CacheConfig { memory, spill: Arc::clone(&spill) });
+        let codec: Arc<dyn SpillCodec> = Arc::new(VecI32Codec);
+        // two puts on executor 0 under a one-entry budget: the first spills
+        assert!(c.put(1, 0, 0, data(vec![1, 2, 3]), 150, Some(Arc::clone(&codec))));
+        assert!(c.put(1, 1, 0, data(vec![4]), 150, Some(codec)));
+        assert_eq!(c.spilled_entries(), 1);
+        let handle = spill.handles()[0];
+
+        c.kill_executor(0);
+        assert!(spill.is_empty(), "dead executor's blobs removed from disk");
+        assert_eq!(spill.read(handle), Err(crate::spill::SpillError::Missing { id: handle.id() }));
+        // both partitions (resident and spilled alike) are clean misses now
+        assert!(c.get(1, 0).unwrap().is_none());
+        assert!(c.get(1, 1).unwrap().is_none());
+        assert_eq!(c.spilled_entries(), 0);
+    }
+
+    #[test]
     fn corrupted_spill_surfaces_typed_error_and_heals() {
         let memory = Arc::new(MemoryManager::new(
             MemoryBudget::per_executor(200),

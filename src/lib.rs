@@ -51,14 +51,15 @@ pub use sparklet as engine;
 /// The most common imports for applications.
 pub mod prelude {
     pub use dbscan_core::{
-        Balance, Clustering, DbscanParams, DbscanRunner, Label, MergeStrategy, MrDbscan,
-        ParamError, Resources, RunEnv, RunOutcome, RunTimings, RunnerError, SeedPolicy,
-        SequentialDbscan, SparkDbscan,
+        clustering_fingerprint, Balance, Clustering, DbscanExploreJob, DbscanParams, DbscanRunner,
+        Label, MergeStrategy, MrDbscan, ParamError, Resources, RunEnv, RunOutcome, RunTimings,
+        RunnerError, SeedPolicy, SequentialDbscan, SparkDbscan,
     };
     pub use dbscan_datagen::{DatasetSpec, StandardDataset};
     pub use dbscan_spatial::{BuildConfig, Dataset, KdTree, PointId, SpatialIndex};
     pub use sparklet::{
-        ClusterConfig, Context, MemoryBudget, MemoryStats, SparkError, SpillError, TraceConfig,
+        ClusterConfig, Context, ExploreJob, ExploreReport, Explorer, MemoryBudget, MemoryStats,
+        Replay, ReplayToken, SchedulePolicy, Seeded, SparkError, SpillError, TraceConfig,
         TraceHandle,
     };
 }

@@ -105,3 +105,123 @@ proptest! {
         prop_assert_eq!(par.clustering.core, seq.core);
     }
 }
+
+/// Named deterministic versions of the shrunken counterexamples in
+/// `tests/equivalence_prop.proptest-regressions`.
+///
+/// Policy (see DESIGN.md "Testing strategy"): every counterexample
+/// proptest persists is promoted to a named `#[test]` on its literal
+/// shrunken input, so the case survives even if the regression file is
+/// pruned, runs under plain `cargo test` filters, and carries a name
+/// that says what it once broke. The persistence file stays checked in
+/// too — proptest replays it before generating novel cases.
+mod regressions {
+    use super::*;
+
+    /// Run one literal input through every property in this file.
+    fn check(rows: Vec<Vec<f64>>, eps: f64, min_pts: usize, partitions: usize) {
+        let data = Arc::new(Dataset::from_rows(rows));
+        let params = DbscanParams::new(eps, min_pts).unwrap();
+        let seq = SequentialDbscan::new(params).run(Arc::clone(&data));
+        let ctx = Context::new(ClusterConfig::local(2));
+
+        // exact_mode_always_matches_sequential
+        let exact =
+            SparkDbscan::new(params).partitions(partitions).exact().run(&ctx, Arc::clone(&data));
+        assert!(
+            core_labels_equivalent(&exact.clustering, &seq),
+            "exact mode: {} vs {} clusters",
+            exact.clustering.num_clusters(),
+            seq.num_clusters()
+        );
+        assert_eq!(exact.clustering.noise_count(), seq.noise_count());
+        assert_eq!(exact.shuffle_records, 0u64);
+
+        // paper_mode_is_close_for_any_partition_count (heuristic bounds)
+        // + partitioning_never_changes_core_points
+        let paper = SparkDbscan::new(params).partitions(partitions).run(&ctx, data);
+        assert!(paper.clustering.num_clusters() >= seq.num_clusters());
+        for i in 0..paper.clustering.len() {
+            if paper.clustering.core[i] {
+                assert!(paper.clustering.labels[i].is_cluster(), "clustered core {i}");
+            }
+        }
+        assert!(paper.clustering.noise_count() >= seq.noise_count());
+        assert_eq!(paper.clustering.core, seq.core);
+    }
+
+    /// cc 20d5425b: 27 points, two tight blobs plus scattered jitter,
+    /// four partitions — historically tripped the single-SEED heuristic
+    /// when its one seed landed on a foreign noise point.
+    #[test]
+    fn regression_20d5425b_seed_on_foreign_noise_point() {
+        let rows = vec![
+            vec![10.0, -0.2850782337097511],
+            vec![0.0, 10.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![-0.041444441218034415, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![10.268989552694892, 0.506355330074332],
+            vec![10.0, 0.720588168561722],
+            vec![9.889513524327018, 0.6534951939783447],
+            vec![0.0, 0.9539137294501702],
+            vec![10.644800005765397, 0.8135421299999321],
+            vec![10.0, 0.1360880687228832],
+            vec![10.0, 0.0],
+            vec![0.0, 0.0],
+            vec![10.41723435473722, -0.46213903453233196],
+            vec![0.9186153285570567, 0.0],
+            vec![0.0, 10.0],
+            vec![0.0, 10.0],
+            vec![0.5025936042084814, 9.464398111712613],
+            vec![0.0, -0.7349210206880596],
+            vec![10.522870414053097, -0.960817477270511],
+            vec![0.8142190649641046, 0.0],
+            vec![10.057122293751208, -0.17243763953864563],
+            vec![0.0, 0.0],
+        ];
+        check(rows, 0.5719099935266885, 4, 4);
+    }
+
+    /// cc 68823134: one blob of nine near-duplicates plus an isolated
+    /// point, min_pts at the blob-size edge — a borderline-core case.
+    #[test]
+    fn regression_68823134_borderline_core_blob() {
+        let rows = vec![
+            vec![10.0, 0.20855521032469343],
+            vec![10.317347808802843, 0.25521174531242363],
+            vec![10.0, -0.11788590702232724],
+            vec![9.487243436843926, 0.0],
+            vec![10.0, 0.1746286932327519],
+            vec![9.509521074049541, 0.0],
+            vec![10.0, 0.44060099468500735],
+            vec![10.0, -0.5963605119230624],
+            vec![9.676793801746774, -0.27589836019078046],
+            vec![0.0, 0.0],
+        ];
+        check(rows, 0.4680977845584666, 5, 2);
+    }
+
+    /// cc 5e81629f: two small far-apart groups with a tiny eps, so the
+    /// lower group is all noise while the upper one barely clusters.
+    #[test]
+    fn regression_5e81629f_sparse_group_all_noise() {
+        let rows = vec![
+            vec![-0.367568148509745, 10.647586815107566],
+            vec![0.0, 0.0],
+            vec![-0.7722293898595615, 10.624562294685532],
+            vec![-0.3170553334522932, 10.974557983501958],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.5068917624335951],
+            vec![0.0, -0.6891592066935873],
+            vec![-0.5117484259762696, 10.774599476761976],
+            vec![0.0, -0.8584529199867934],
+        ];
+        check(rows, 0.33271281245546924, 4, 2);
+    }
+}

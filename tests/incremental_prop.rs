@@ -79,3 +79,60 @@ proptest! {
         }
     }
 }
+
+/// Named deterministic version of the shrunken counterexample in
+/// `tests/incremental_prop.proptest-regressions` — see DESIGN.md
+/// "Testing strategy" for the promotion policy.
+mod regressions {
+    use super::*;
+
+    /// cc 59b107de: 20 points, a borderline blob around (8, 0) built up
+    /// point by point amid noise — historically diverged from batch on
+    /// an intermediate prefix where a point's core status flipped late.
+    #[test]
+    fn regression_59b107de_core_status_flips_mid_prefix() {
+        let rows = vec![
+            vec![8.0, 0.9030860180345589],
+            vec![8.139128119598077, 0.46305306742023816],
+            vec![0.0, 0.0],
+            vec![7.812358465760733, -0.6077885827742343],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![7.685098821226321, -0.08138483371984385],
+            vec![8.568419982688718, 0.17962054391692195],
+            vec![7.243812421121554, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![7.9029074330852485, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+        ];
+        let params = DbscanParams::new(0.602032779921223, 4).unwrap();
+
+        // prefix_consistency on the literal input: check EVERY prefix
+        // (20 points is cheap), not just every tenth
+        let mut inc = IncrementalDbscan::new(params, 2);
+        for (i, row) in rows.iter().enumerate() {
+            inc.insert(row);
+            let batch = SequentialDbscan::new(params)
+                .run(Arc::new(Dataset::from_rows(rows[..=i].to_vec())));
+            assert!(
+                core_labels_equivalent(&inc.clustering(), &batch),
+                "diverged after {} inserts",
+                i + 1
+            );
+            assert_eq!(inc.clustering().noise_count(), batch.noise_count(), "prefix {}", i + 1);
+        }
+
+        // incremental_equals_batch on the full input (identity order)
+        let full = SequentialDbscan::new(params).run(Arc::new(Dataset::from_rows(rows)));
+        assert!(core_labels_equivalent(&inc.clustering(), &full));
+        assert_eq!(inc.clustering().noise_count(), full.noise_count());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the `Resources::from_env` parsing contract:
+//! whatever garbage the environment holds — junk words, overflow
+//! digits, empty strings, control characters — the parser must never
+//! panic and must land on either the parsed value or the documented
+//! default (threads `0` = auto, memory unbounded).
+
+use proptest::prelude::*;
+use scalable_dbscan::dbscan::Resources;
+use scalable_dbscan::prelude::MemoryBudget;
+
+/// An optional arbitrary ASCII string (including control characters,
+/// digits and whitespace), standing in for a raw environment value.
+fn arb_env_value() -> impl Strategy<Value = Option<String>> {
+    (any::<bool>(), prop::collection::vec(0u8..128, 0..14))
+        .prop_map(|(set, bytes)| set.then(|| bytes.into_iter().map(char::from).collect()))
+}
+
+/// Whitespace padding assembled from spaces, tabs and newlines.
+fn arb_padding() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..3, 0..4)
+        .prop_map(|ix| ix.into_iter().map(|i| [' ', '\t', '\n'][i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_env_values_never_panic(
+        threads in arb_env_value(),
+        budget in arb_env_value(),
+    ) {
+        let r = Resources::from_env_values(threads.as_deref(), budget.as_deref());
+        // whatever happened, the result is either the documented default
+        // or a faithfully parsed override — mirroring the contract, not
+        // the implementation
+        match threads.as_deref().and_then(|v| v.trim().parse::<usize>().ok()) {
+            Some(t) => prop_assert_eq!(r.build.threads, t),
+            None => prop_assert_eq!(r.build.threads, 0, "junk threads must mean auto"),
+        }
+        match budget.as_deref().and_then(|v| v.trim().parse::<u64>().ok()) {
+            Some(b) => prop_assert_eq!(r.memory, MemoryBudget::per_executor(b)),
+            None => prop_assert!(!r.memory.is_bounded(), "junk budget must mean unbounded"),
+        }
+    }
+
+    #[test]
+    fn numeric_values_round_trip(
+        threads in 0usize..1_000_000,
+        budget in 1u64..u64::MAX,
+    ) {
+        let t = threads.to_string();
+        let b = budget.to_string();
+        let r = Resources::from_env_values(Some(&t), Some(&b));
+        prop_assert_eq!(r.build.threads, threads);
+        prop_assert_eq!(r.memory, MemoryBudget::per_executor(budget));
+    }
+
+    #[test]
+    fn surrounding_whitespace_is_trimmed(
+        threads in 0usize..64,
+        budget in 1u64..1_000_000_000_000,
+        pad_l in arb_padding(),
+        pad_r in arb_padding(),
+    ) {
+        let t = format!("{pad_l}{threads}{pad_r}");
+        let b = format!("{pad_r}{budget}{pad_l}");
+        let r = Resources::from_env_values(Some(&t), Some(&b));
+        prop_assert_eq!(r.build.threads, threads);
+        prop_assert_eq!(r.memory.bytes(), budget);
+    }
+}
+
+#[test]
+fn documented_defaults_for_the_usual_suspects() {
+    // unset: full library defaults
+    assert_eq!(Resources::from_env_values(None, None), Resources::new());
+    // junk, empty, signs, overflow, inner whitespace, unicode digits:
+    // all fall back to the documented defaults
+    for bad in [
+        "",
+        "   ",
+        "lots",
+        "-1",
+        "1e6",
+        "0x10",
+        "4 threads",
+        "1 0",
+        "١٢٣",
+        "99999999999999999999999999999999",
+        "18446744073709551616", // u64::MAX + 1
+    ] {
+        let r = Resources::from_env_values(Some(bad), Some(bad));
+        assert_eq!(r.build.threads, 0, "threads from {bad:?}");
+        assert!(!r.memory.is_bounded(), "budget from {bad:?}");
+    }
+}
+
+#[test]
+fn leading_plus_sign_parses_like_rust_integers_do() {
+    // `str::parse` accepts an explicit plus, so the env contract does too
+    let r = Resources::from_env_values(Some("+8"), Some("+4096"));
+    assert_eq!(r.build.threads, 8);
+    assert_eq!(r.memory.bytes(), 4096);
+}
+
+#[test]
+fn zero_means_auto_threads_but_one_byte_budget() {
+    let r = Resources::from_env_values(Some("0"), Some("0"));
+    assert_eq!(r.build.threads, 0);
+    assert!(r.memory.is_bounded());
+    assert_eq!(r.memory.bytes(), 1, "MemoryBudget::per_executor clamps 0 to 1");
+}
+
+#[test]
+fn u64_max_budget_is_the_unbounded_sentinel_edge() {
+    // u64::MAX parses, but MemoryBudget uses that value as its
+    // "unbounded" sentinel — the one documented quirk of the contract
+    let r = Resources::from_env_values(None, Some(&u64::MAX.to_string()));
+    assert!(!r.memory.is_bounded());
+    assert_eq!(r.memory.bytes(), u64::MAX);
+}
