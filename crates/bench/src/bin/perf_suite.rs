@@ -39,17 +39,31 @@
 //!    spilled bytes nonzero. Results land in `<out_dir>/BENCH_PR7.json`
 //!    and the suite exits non-zero on any violation.
 //!
+//! 5. **Data layout & batching (PR 9)** — leaf-scan kernel throughput:
+//!    the dimension-major SoA lane kernel against the row-major scalar
+//!    scan over the same bucketed tree's leaves at `d = 2..=6`
+//!    (acceptance: >= 1.5x at d in {2,3,4}), plus an end-to-end
+//!    identity matrix (scalar / lanes / batched / count-fast-path at
+//!    1, 2 and 8 worker threads) whose labels — and traces, modulo the
+//!    zero-tick `TaskKernel` events for the fast path — must be
+//!    byte-identical to the scalar reference. Results land in
+//!    `<out_dir>/BENCH_PR9.json`; the suite exits non-zero on any
+//!    identity violation or a missed throughput floor.
+//!
 //! Usage:
 //!   cargo run --release -p dbscan-bench --bin perf_suite -- [out_dir] [n]
+//!   cargo run --release -p dbscan-bench --bin perf_suite -- --kernels-only [out_dir]
 
 use dbscan_bench::report;
 use dbscan_core::{
     local_partial_clusters, merge_partial_clusters_threaded, merge_unionfind_report, Balance,
-    DbscanParams, MergeStrategy, PartitionRanges, SeedPolicy, SparkDbscan, SparkDbscanResult,
+    DbscanParams, MergeStrategy, PartitionRanges, Resources, SeedPolicy, SparkDbscan,
+    SparkDbscanResult,
 };
 use dbscan_datagen::{ClusterGenerator, GeneratorParams, SkewedGenerator, SkewedParams};
 use dbscan_spatial::{
-    scan_block, scan_block_generic, BkdTree, BuildConfig, Dataset, Metric, SpatialIndex,
+    scan_block, scan_block_generic, scan_block_soa, BkdTree, BuildConfig, Dataset, KernelConfig,
+    Metric, SpatialIndex, DEFAULT_LANES,
 };
 use serde::Serialize;
 use sparklet::{ClusterConfig, Context, Trace, TraceConfig};
@@ -550,8 +564,252 @@ fn memory_budget_experiment(out_dir: &str) {
     }
 }
 
+/// One row of the leaf-scan throughput microbench.
+#[derive(Serialize)]
+struct LeafScanRow {
+    dim: usize,
+    rows: usize,
+    leaves: usize,
+    queries: usize,
+    lanes: usize,
+    scalar_mrows_per_s: f64,
+    soa_mrows_per_s: f64,
+    speedup: f64,
+    hits: u64,
+}
+
+/// One cell of the end-to-end kernel identity matrix.
+#[derive(Serialize)]
+struct IdentityCell {
+    config: String,
+    worker_threads: usize,
+    labels_identical: bool,
+    /// Full trace for scalar/lanes/batched cells; modulo the zero-tick
+    /// `TaskKernel` events for fast-path cells (their counters shrink).
+    trace_identical: bool,
+    kernel_rows_scanned: u64,
+    kernel_early_exits: u64,
+}
+
+#[derive(Serialize)]
+struct ReportPr9 {
+    bench: &'static str,
+    seed: u64,
+    eps: f64,
+    min_pts: usize,
+    leaf_scan: Vec<LeafScanRow>,
+    /// Worst SoA-vs-scalar speedup over the acceptance dims {2, 3, 4}.
+    min_speedup_d2_4: f64,
+    identity_n: usize,
+    identity_partitions: usize,
+    cells: Vec<IdentityCell>,
+    all_labels_identical: bool,
+    all_traces_identical: bool,
+}
+
+/// Leaf-scan throughput at one dimension: every query swept over every
+/// leaf of the same bucketed tree, once through the row-major scalar
+/// scan and once through the dimension-major SoA lane kernel. Both
+/// paths must report the same hit count (they are bit-identical by
+/// construction; the counter is a cheap cross-check that also defeats
+/// dead-code elimination).
+fn leaf_scan_row(dim: usize, n: usize, queries: usize) -> LeafScanRow {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..dim).map(|k| (((i * dim + k) as f64) * 0.711).sin() * 500.0).collect())
+        .collect();
+    let ds = Arc::new(Dataset::from_rows(rows));
+    let cfg = BuildConfig::default().with_bucket_size(64);
+    let (tree, _) = BkdTree::build_with_report(Arc::clone(&ds), Metric::Euclidean, cfg);
+    let leaves = tree.leaf_ranges();
+    let qs: Vec<Vec<f64>> = (0..queries)
+        .map(|q| (0..dim).map(|k| (((q * dim + k) as f64) * 1.37).cos() * 500.0).collect())
+        .collect();
+    let thr = Metric::Euclidean.threshold(EPS * 2.0);
+
+    let scalar_pass = || {
+        let mut hits = 0u64;
+        let t = Instant::now();
+        for q in &qs {
+            for &(s, e) in &leaves {
+                scan_block(Metric::Euclidean, dim, q, tree.leaf_coords(s, e), thr, |_| {
+                    hits += 1;
+                    true
+                });
+            }
+        }
+        (t.elapsed().as_secs_f64(), hits)
+    };
+    let soa_pass = || {
+        let mut hits = 0u64;
+        let t = Instant::now();
+        for q in &qs {
+            for &(s, e) in &leaves {
+                let soa = tree.leaf_soa(s, e).expect("lanes layout builds the SoA mirror");
+                scan_block_soa(Metric::Euclidean, dim, q, soa, e - s, thr, DEFAULT_LANES, |_| {
+                    hits += 1;
+                    true
+                });
+            }
+        }
+        (t.elapsed().as_secs_f64(), hits)
+    };
+
+    // one warm-up pass per path, then interleaved best-of-N: the suite
+    // shares a single preemptible vCPU with the rest of the machine, so
+    // any individual pass can be descheduled mid-flight — the minimum
+    // over alternating reps is the only stable throughput estimate
+    let _ = scalar_pass();
+    let _ = soa_pass();
+    let (mut scalar_s, mut soa_s) = (f64::INFINITY, f64::INFINITY);
+    let (mut scalar_hits, mut soa_hits) = (0u64, 0u64);
+    for _ in 0..5 {
+        let (s, h) = scalar_pass();
+        scalar_s = scalar_s.min(s);
+        scalar_hits = h;
+        let (s, h) = soa_pass();
+        soa_s = soa_s.min(s);
+        soa_hits = h;
+    }
+    assert_eq!(scalar_hits, soa_hits, "leaf-scan paths disagree at dim {dim}");
+
+    let touched = (queries * n) as f64;
+    let row = LeafScanRow {
+        dim,
+        rows: n,
+        leaves: leaves.len(),
+        queries,
+        lanes: DEFAULT_LANES,
+        scalar_mrows_per_s: touched / scalar_s / 1e6,
+        soa_mrows_per_s: touched / soa_s / 1e6,
+        speedup: scalar_s / soa_s,
+        hits: scalar_hits,
+    };
+    println!(
+        "leaf scan dim={dim}: scalar {:.1} Mrows/s, soa {:.1} Mrows/s ({:.2}x, {} leaves)",
+        row.scalar_mrows_per_s, row.soa_mrows_per_s, row.speedup, row.leaves
+    );
+    row
+}
+
+/// Experiment 5: SoA lane-kernel throughput plus the end-to-end kernel
+/// identity matrix. Exits the process on an identity violation or a
+/// missed throughput floor.
+fn kernel_layout_experiment(out_dir: &str) {
+    let leaf_scan: Vec<LeafScanRow> =
+        [2usize, 3, 4, 5, 6].into_iter().map(|d| leaf_scan_row(d, 16_384, 192)).collect();
+    let min_speedup_d2_4 =
+        leaf_scan.iter().filter(|r| r.dim <= 4).map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+
+    // -- end-to-end identity matrix on a small skewed workload
+    let identity_n = 6_000;
+    let (data, _) = SkewedGenerator::new(SkewedParams::new(identity_n, 2, SEED)).generate();
+    let data = Arc::new(data);
+    let params = DbscanParams::new(EPS, MIN_PTS).expect("valid params");
+
+    let run_cell = |kernel: KernelConfig, workers: usize| {
+        let mut cfg =
+            ClusterConfig::local(PARTITIONS).with_seed(SEED).with_trace(TraceConfig::enabled());
+        cfg.worker_threads = workers;
+        let ctx = Context::new(cfg);
+        let res = Resources::new().with_build(BuildConfig::default().with_kernel(kernel));
+        let out = SparkDbscan::new(params)
+            .partitions(PARTITIONS)
+            .exact()
+            .resources(res)
+            .run(&ctx, Arc::clone(&data));
+        (out, ctx.trace().snapshot())
+    };
+
+    let (ref_out, ref_trace) = run_cell(KernelConfig::scalar(), 1);
+    let ref_labels = ref_out.clustering.canonicalize().labels;
+
+    let arms: Vec<(String, KernelConfig, usize, bool)> = {
+        let mut v = Vec::new();
+        for workers in [1usize, 2, 8] {
+            v.push(("scalar".to_string(), KernelConfig::scalar(), workers, false));
+            v.push(("lanes".to_string(), KernelConfig::default(), workers, false));
+            v.push(("batch32".to_string(), KernelConfig::default().with_batch(32), workers, false));
+        }
+        v.push((
+            "batch32-fast".to_string(),
+            KernelConfig::default().with_batch(32).with_count_fast_path(true),
+            2,
+            true,
+        ));
+        v.push(("fast".to_string(), KernelConfig::default().with_count_fast_path(true), 2, true));
+        v
+    };
+
+    let mut cells = Vec::new();
+    for (name, kernel, workers, fast) in arms {
+        let (out, trace) = run_cell(kernel, workers);
+        let labels_identical = out.clustering.canonicalize().labels == ref_labels;
+        let trace_identical = if fast {
+            trace.without_kernel().events == ref_trace.without_kernel().events
+        } else {
+            trace.events == ref_trace.events
+        };
+        let rows: u64 = out.executor_stats.iter().map(|(_, s)| s.kernel.rows_scanned).sum();
+        let exits: u64 = out.executor_stats.iter().map(|(_, s)| s.kernel.early_exits).sum();
+        println!(
+            "identity {name}@{workers}: labels {} trace {} ({} kernel rows, {} early exits)",
+            if labels_identical { "ok" } else { "DIFFER" },
+            if trace_identical { "ok" } else { "DIFFER" },
+            rows,
+            exits,
+        );
+        cells.push(IdentityCell {
+            config: name,
+            worker_threads: workers,
+            labels_identical,
+            trace_identical,
+            kernel_rows_scanned: rows,
+            kernel_early_exits: exits,
+        });
+    }
+    let all_labels = cells.iter().all(|c| c.labels_identical);
+    let all_traces = cells.iter().all(|c| c.trace_identical);
+
+    let report_value = ReportPr9 {
+        bench: "BENCH_PR9",
+        seed: SEED,
+        eps: EPS,
+        min_pts: MIN_PTS,
+        leaf_scan,
+        min_speedup_d2_4,
+        identity_n,
+        identity_partitions: PARTITIONS,
+        cells,
+        all_labels_identical: all_labels,
+        all_traces_identical: all_traces,
+    };
+    report::write_json(Path::new(out_dir), "BENCH_PR9", &report_value).expect("write BENCH_PR9");
+
+    if !all_labels {
+        eprintln!("FAIL: a kernel configuration changed the clustering labels");
+        std::process::exit(1);
+    }
+    if !all_traces {
+        eprintln!("FAIL: a kernel configuration changed the event trace");
+        std::process::exit(1);
+    }
+    if min_speedup_d2_4 < 1.5 {
+        eprintln!(
+            "FAIL: SoA leaf-scan speedup {min_speedup_d2_4:.2}x at d in {{2,3,4}} is below the 1.5x floor"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    // fast path for iterating on the kernel experiment alone
+    if args.iter().any(|a| a == "--kernels-only") {
+        args.retain(|a| a != "--kernels-only");
+        let out_dir = args.get(1).map(String::as_str).unwrap_or("results");
+        kernel_layout_experiment(out_dir);
+        return;
+    }
     let out_dir = args.get(1).map(String::as_str).unwrap_or("results");
     let n: usize = args.get(2).map(|s| s.parse().expect("n must be an integer")).unwrap_or(20_000);
 
@@ -622,4 +880,7 @@ fn main() {
 
     // ---- experiment 4: memory budget (spill, don't fail) at 100k -----
     memory_budget_experiment(out_dir);
+
+    // ---- experiment 5: SoA lane kernels + kernel identity matrix -----
+    kernel_layout_experiment(out_dir);
 }

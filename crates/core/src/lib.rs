@@ -63,8 +63,8 @@ pub use mr_iterative::{MrDbscanIterative, MrIterativeResult, PointState};
 pub use params::{DbscanParams, ParamError};
 pub use partitioned::driver::{SparkDbscan, SparkDbscanResult, Timings};
 pub use partitioned::executor_side::{
-    local_partial_clusters, local_partial_clusters_scratch, ExecutorScratch, ExecutorStats,
-    LocalClustering,
+    local_partial_clusters, local_partial_clusters_scratch, local_partial_clusters_source,
+    ExecutorScratch, ExecutorStats, LocalClustering, NeighborSource, TreeNeighborSource,
 };
 pub use partitioned::merge::{
     extract_seed_edges, merge_partial_clusters, merge_partial_clusters_threaded,

@@ -13,7 +13,7 @@ use crate::label::Clustering;
 use crate::model::{PartialCluster, PartitionRanges};
 use crate::params::DbscanParams;
 use crate::partitioned::executor_side::{
-    local_partial_clusters_scratch, ExecutorScratch, ExecutorStats,
+    local_partial_clusters_source, ExecutorScratch, ExecutorStats, TreeNeighborSource,
 };
 use crate::partitioned::merge::{
     extract_seed_edges, merge_partial_clusters, merge_with_edges, MergeStrategy,
@@ -23,8 +23,7 @@ use crate::partitioned::SeedPolicy;
 use crate::reorder::{apply_permutation, zorder_permutation};
 use crate::resources::Resources;
 use dbscan_spatial::{
-    BkdTree, BuildConfig, BuildReport, Dataset, Metric, PointId, PruneConfig, QueryScratch,
-    SpatialIndex,
+    BkdTree, BuildConfig, BuildReport, Dataset, KernelCounters, Metric, PruneConfig, QueryScratch,
 };
 use sparklet::{Context, JobMetrics, MemoryStats, SpillHandle, DRIVER_LANE};
 use std::cell::RefCell;
@@ -293,7 +292,10 @@ impl SparkDbscan {
         }
         trace.phase_end("kdtree_build");
         let kdtree_build = t.elapsed();
-        let broadcast_size = data.size_bytes() + tree.size_bytes();
+        // shipped_bytes, not size_bytes: the SoA leaf mirror is derived
+        // locally from the broadcast coords, so the accounted payload
+        // (and the trace) stays identical across kernel layouts
+        let broadcast_size = data.size_bytes() + tree.shipped_bytes();
         let shared = ctx.broadcast_sized(
             SharedInfo {
                 tree,
@@ -375,32 +377,39 @@ impl SparkDbscan {
             .mem_hints(hints)
             .foreach_partition(move |part, _indices| {
                 let info = bcast.value();
-                let dataset = info.tree.dataset();
+                // batched expansion and early-exit counting require the
+                // exact tree path: under pruned queries they fall back
+                // to the (byte-identical) scalar loop
+                let kernel = if info.prune == PruneConfig::EXACT {
+                    info.tree.kernel_config()
+                } else {
+                    info.tree.kernel_config().with_batch(0).with_count_fast_path(false)
+                };
                 // per-worker scratch: the query traversal stack and the
                 // epoch-stamped expansion state persist across tasks,
                 // so the hot path allocates nothing in steady state
                 let local = WORKER_SCRATCH.with(|s| {
                     let (qscratch, escratch) = &mut *s.borrow_mut();
-                    local_partial_clusters_scratch(
-                        |q, out| {
-                            info.tree.range_pruned_scratch(
-                                dataset.point(PointId(q)),
-                                info.params.eps,
-                                info.prune,
-                                qscratch,
-                                out,
-                            );
-                        },
+                    qscratch.counters = KernelCounters::default();
+                    let mut source =
+                        TreeNeighborSource::new(&info.tree, qscratch, info.params.eps, info.prune);
+                    let mut local = local_partial_clusters_source(
+                        &mut source,
                         info.params,
                         &info.ranges,
                         part,
                         info.seed_policy,
                         escratch,
-                    )
+                        kernel,
+                    );
+                    local.stats.kernel = qscratch.counters;
+                    local
                 });
                 // work actually performed, in the planner's units
                 // (candidates scanned ~ neighbors found across queries)
                 th.task_work(local.stats.neighbors_found as u64);
+                let k = local.stats.kernel;
+                th.task_kernel(k.blocks_scanned, k.rows_scanned, k.range_hits, k.early_exits);
                 // Algorithm 2 lines 26-28: send partial clusters to the
                 // driver through the accumulator at closure end
                 for c in local.clusters {

@@ -16,6 +16,10 @@
 //! |---|---|---|
 //! | `DBSCAN_BUILD_THREADS` | `build.threads` | driver-phase worker count (`0` = auto) |
 //! | `DBSCAN_MEM_BUDGET` | `memory` | per-executor byte budget (unset = unbounded) |
+//! | `DBSCAN_KERNEL` | `build.kernel.layout` | `scalar` or `lanes` leaf-scan layout |
+//! | `DBSCAN_KERNEL_LANES` | `build.kernel.lanes` | lane width (rounded to 4/8/16) |
+//! | `DBSCAN_QUERY_BATCH` | `build.kernel.batch` | frontier chunk size (`0` = per-query) |
+//! | `DBSCAN_COUNT_FAST_PATH` | `build.kernel.count_fast_path` | `min_pts` early-exit counting |
 //!
 //! Every field is benign to vary: clustering labels are identical for
 //! any `Resources` value (budgets spill, never drop data; thread counts
@@ -67,13 +71,17 @@ impl Resources {
 
     /// Defaults overlaid with the environment: `DBSCAN_BUILD_THREADS`
     /// sets the build worker count, `DBSCAN_MEM_BUDGET` (bytes) sets a
-    /// bounded per-executor memory budget. Unset or unparsable variables
-    /// leave the default in place.
+    /// bounded per-executor memory budget, and the `DBSCAN_KERNEL*` /
+    /// `DBSCAN_QUERY_BATCH` / `DBSCAN_COUNT_FAST_PATH` family (parsed by
+    /// [`dbscan_spatial::KernelConfig::from_env`]) selects the leaf-scan
+    /// kernel. Unset or unparsable variables leave the default in place.
     pub fn from_env() -> Self {
-        Self::from_env_values(
+        let mut r = Self::from_env_values(
             std::env::var("DBSCAN_BUILD_THREADS").ok().as_deref(),
             std::env::var("DBSCAN_MEM_BUDGET").ok().as_deref(),
-        )
+        );
+        r.build = r.build.with_kernel(dbscan_spatial::KernelConfig::from_env());
+        r
     }
 
     /// The pure core of [`Resources::from_env`], taking the raw variable
@@ -186,5 +194,19 @@ mod tests {
         assert_eq!(parse_mem_budget(None), MemoryBudget::UNBOUNDED);
         // no env set under test: from_env mirrors the defaults
         assert!(!Resources::from_env().memory.is_bounded());
+    }
+
+    #[test]
+    fn kernel_config_rides_the_build_config() {
+        use dbscan_spatial::{KernelConfig, KernelLayout};
+        let k = KernelConfig::scalar().with_batch(16);
+        let r = Resources::new().with_build(BuildConfig::default().with_kernel(k));
+        assert_eq!(r.build.kernel, k);
+        assert_eq!(r.build.kernel.layout, KernelLayout::Scalar);
+        // no kernel env set under test: from_env keeps the default
+        assert_eq!(Resources::from_env().build.kernel, KernelConfig::default());
+        // the pure parsing core never reads kernel variables — its
+        // pinned two-argument signature stays untouched
+        assert_eq!(Resources::from_env_values(None, None).build.kernel, KernelConfig::default());
     }
 }

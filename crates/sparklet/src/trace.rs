@@ -218,6 +218,23 @@ pub enum EventKind {
         /// Bytes involved.
         bytes: u64,
     },
+    /// Spatial-kernel counters for one task (recorded in-task before
+    /// completion). The counts are defined over *visited* leaves, so
+    /// they are invariant across scalar, lane-blocked and batched
+    /// execution; only the `min_pts` early-exit fast path changes them.
+    /// Like [`EventKind::MemoryAction`], the event consumes zero
+    /// virtual ticks, so a trace with its kernel events stripped is
+    /// byte-identical across kernel configurations.
+    TaskKernel {
+        /// Leaf blocks scanned ((leaf, query) visits).
+        blocks: u64,
+        /// Rows belonging to the visited leaf blocks.
+        rows: u64,
+        /// Rows that passed the eps threshold.
+        hits: u64,
+        /// Scans cut short (report budget or count cap reached).
+        early_exits: u64,
+    },
 }
 
 /// What a [`EventKind::MemoryAction`] did.
@@ -256,6 +273,7 @@ impl EventKind {
             EventKind::TaskWork { .. } => "task",
             EventKind::BuildShard { .. } => "phase",
             EventKind::MemoryAction { .. } => "memory",
+            EventKind::TaskKernel { .. } => "kernel",
         }
     }
 
@@ -270,7 +288,7 @@ impl EventKind {
             }
             EventKind::DfsBlockRead { bytes, .. } => 1 + bytes / 1024,
             EventKind::TaskWork { units } => 1 + units / 16,
-            EventKind::MemoryAction { .. } => 0,
+            EventKind::MemoryAction { .. } | EventKind::TaskKernel { .. } => 0,
             _ => 1,
         }
     }
@@ -320,6 +338,23 @@ impl Trace {
                 .events
                 .iter()
                 .filter(|e| !matches!(e.kind, EventKind::MemoryAction { .. }))
+                .copied()
+                .collect(),
+            dropped: self.dropped,
+        }
+    }
+
+    /// The trace with all `TaskKernel` events removed. Kernel events
+    /// consume zero virtual ticks and their payloads are invariant
+    /// across scalar/lane-blocked/batched execution, so this is only
+    /// needed to compare a `min_pts` fast-path run (whose counters
+    /// legitimately shrink) against a full-scan run.
+    pub fn without_kernel(&self) -> Trace {
+        Trace {
+            events: self
+                .events
+                .iter()
+                .filter(|e| !matches!(e.kind, EventKind::TaskKernel { .. }))
                 .copied()
                 .collect(),
             dropped: self.dropped,
@@ -455,7 +490,9 @@ impl TraceCollector {
                 // only exist under a bounded budget, and all other
                 // events must keep identical timestamps across budget
                 // settings
-                (None, EventKind::MemoryAction { .. }) => vs.now(),
+                (None, EventKind::MemoryAction { .. }) | (None, EventKind::TaskKernel { .. }) => {
+                    vs.now()
+                }
                 (None, kind) => {
                     let t = vs.driver_tick();
                     if let EventKind::StageStart { stage, .. } = kind {
@@ -562,6 +599,12 @@ impl TraceHandle {
     /// exported timelines.
     pub fn task_work(&self, units: u64) {
         self.collector.record_auto(EventKind::TaskWork { units });
+    }
+
+    /// Record the calling task's spatial-kernel counters (zero virtual
+    /// ticks; see [`EventKind::TaskKernel`]).
+    pub fn task_kernel(&self, blocks: u64, rows: u64, hits: u64, early_exits: u64) {
+        self.collector.record_auto(EventKind::TaskKernel { blocks, rows, hits, early_exits });
     }
 
     /// Record one shard of a parallel driver-side bulk build (e.g. a
@@ -884,6 +927,15 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                 e.vt,
                 instant(&format!("mem {op:?}"), "memory", e.vt, pid, tid,
                     &format!("\"lane\":{lane},\"bytes\":{bytes}")),
+            ),
+            EventKind::TaskKernel { blocks, rows, hits, early_exits } => push(
+                &mut entries,
+                &mut order,
+                e.vt,
+                instant("task kernel", "kernel", e.vt, pid, tid,
+                    &format!(
+                        "\"blocks\":{blocks},\"rows\":{rows},\"hits\":{hits},\"early_exits\":{early_exits}"
+                    )),
             ),
         }
     }
@@ -1279,6 +1331,36 @@ mod tests {
         assert_eq!(summary.count("task"), 2);
         assert_eq!(summary.count("shuffle"), 2);
         assert_eq!(summary.count("broadcast"), 1);
+    }
+
+    #[test]
+    fn task_kernel_events_consume_zero_ticks_and_strip_cleanly() {
+        let build = |with_kernel: bool| {
+            let c = enabled_collector(1024);
+            c.record_driver(EventKind::StageStart { stage: 0, kind: StageKind::Result, tasks: 1 });
+            let s = scope(0, 0, 0);
+            c.record(Some(s), EventKind::TaskStart);
+            c.record(Some(s), EventKind::TaskWork { units: 64 });
+            if with_kernel {
+                c.record(
+                    Some(s),
+                    EventKind::TaskKernel { blocks: 3, rows: 90, hits: 12, early_exits: 1 },
+                );
+            }
+            c.record(Some(s), EventKind::TaskSuccess);
+            c.record_driver(EventKind::StageEnd { stage: 0, failed_attempts: 0 });
+            c.snapshot()
+        };
+        let with = build(true);
+        let without = build(false);
+        // zero in-task ticks: stripping the kernel event reproduces the
+        // kernel-free trace byte for byte
+        assert_eq!(format!("{:?}", with.without_kernel()), format!("{without:?}"));
+        // and the event itself round-trips through the chrome exporter
+        let json = chrome_trace_json(&with);
+        let summary = validate_chrome_trace(&json).expect("trace with kernel event validates");
+        assert_eq!(summary.count("kernel"), 1);
+        assert!(json.contains("\"early_exits\":1"));
     }
 
     #[test]

@@ -30,6 +30,7 @@
 use crate::dataset::Dataset;
 use crate::index::SpatialIndex;
 use crate::kdtree::PruneConfig;
+use crate::kernel::{KernelConfig, KernelCounters, KernelLayout};
 use crate::metric::Metric;
 use crate::point::PointId;
 use std::cell::RefCell;
@@ -58,18 +59,30 @@ pub struct BuildConfig {
     /// shard boundary of [`BuildReport`], so the shard decomposition
     /// depends only on the data, never on `threads`.
     pub par_cutoff: usize,
+    /// Query-kernel configuration the built tree will scan leaves with
+    /// (data layout, lane width, frontier batching). Like `threads`,
+    /// every value yields byte-identical query results; under
+    /// [`KernelLayout::Lanes`] the build additionally materializes the
+    /// dimension-major leaf blocks.
+    pub kernel: KernelConfig,
 }
 
 impl Default for BuildConfig {
     fn default() -> Self {
-        BuildConfig { threads: 0, bucket_size: DEFAULT_BUCKET_SIZE, par_cutoff: PAR_CUTOFF }
+        BuildConfig {
+            threads: 0,
+            bucket_size: DEFAULT_BUCKET_SIZE,
+            par_cutoff: PAR_CUTOFF,
+            kernel: KernelConfig::default(),
+        }
     }
 }
 
 impl BuildConfig {
     /// Default configuration with the thread count taken from the
     /// `DBSCAN_BUILD_THREADS` environment variable when set (the CI
-    /// thread matrix runs the whole suite under 1 and 8).
+    /// thread matrix runs the whole suite under 1 and 8) and the kernel
+    /// knobs from [`KernelConfig::from_env`].
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
         if let Some(t) =
@@ -77,6 +90,7 @@ impl BuildConfig {
         {
             cfg.threads = t;
         }
+        cfg.kernel = KernelConfig::from_env();
         cfg
     }
 
@@ -95,6 +109,12 @@ impl BuildConfig {
     /// Set the sequential cutoff / shard boundary.
     pub fn with_par_cutoff(mut self, par_cutoff: usize) -> Self {
         self.par_cutoff = par_cutoff;
+        self
+    }
+
+    /// Set the query-kernel configuration.
+    pub fn with_kernel(mut self, kernel: KernelConfig) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -145,6 +165,12 @@ pub struct BuildReport {
     pub internal_nanos_by_depth: Vec<u64>,
     /// Tree-order coordinate materialization (embarrassingly parallel).
     pub coords_nanos: u64,
+    /// Dimension-major (SoA) leaf-block materialization — `0` under
+    /// [`KernelLayout::Scalar`]. Measured separately from
+    /// `coords_nanos` and excluded from
+    /// [`BuildReport::modeled_makespan_nanos`], which models the
+    /// layout-independent part of the build.
+    pub soa_nanos: u64,
     /// Whole build.
     pub total_nanos: u64,
 }
@@ -226,6 +252,12 @@ pub struct QueryScratch {
     stack: Vec<u32>,
     /// DFS stack of (reduced-space lower bound, node) for nearest search.
     bounded: Vec<(f64, u32)>,
+    /// Buffers of [`BkdTree::query_batch`], grown to the batch
+    /// high-water mark and reused.
+    batch: BatchScratch,
+    /// Kernel instrumentation accumulated by every scratch-taking query
+    /// on this tree; the caller owns the reset/read cycle.
+    pub counters: KernelCounters,
 }
 
 impl QueryScratch {
@@ -239,6 +271,32 @@ impl QueryScratch {
     pub fn stack_capacity(&self) -> usize {
         self.stack.capacity()
     }
+}
+
+/// [`BkdTree::query_batch`] working set: the epoch-stamped reachability
+/// marks of the batch-AABB descent plus the (leaf, query) pair arrays
+/// the leaf-major scan phase runs over.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// `node_stamp[n] == epoch` ⇔ node `n` is reachable from the
+    /// current batch's bounding box.
+    node_stamp: Vec<u32>,
+    epoch: u32,
+    /// Batch bounding box, `lo` then `hi` (`dim` each).
+    aabb: Vec<f64>,
+    /// Leaf node of each discovered (leaf, query) pair, in per-query
+    /// discovery order.
+    pair_leaf: Vec<u32>,
+    /// Query (batch position) of each pair.
+    pair_query: Vec<u32>,
+    /// Per query: (first pair index, pair count).
+    query_pairs: Vec<(u32, u32)>,
+    /// Pair indices reordered leaf-major for the scan phase.
+    order: Vec<u32>,
+    /// Per pair: (offset, len) of its hits in `arena`.
+    pair_hits: Vec<(u32, u32)>,
+    /// Hit storage of the scan phase, reassembled per query afterwards.
+    arena: Vec<PointId>,
 }
 
 thread_local! {
@@ -257,10 +315,18 @@ pub struct BkdTree {
     nodes: Vec<BNode>,
     /// Tree-order copy of the coordinates (row-major, `dim` per point).
     coords: Vec<f64>,
+    /// Dimension-major (SoA) copy of each leaf's coordinate block: leaf
+    /// `[start, end)` owns `soa[start * d..end * d]`, transposed so
+    /// coordinate `k` of the leaf's point `i` sits at
+    /// `start * d + k * (end - start) + i`. Empty under
+    /// [`KernelLayout::Scalar`].
+    soa: Vec<f64>,
     /// `ids[pos]` = original dataset index of tree-order position `pos`.
     ids: Vec<u32>,
     metric: Metric,
     bucket_size: usize,
+    /// Leaf-scan kernel configuration the tree was built for.
+    kernel: KernelConfig,
 }
 
 impl BkdTree {
@@ -323,14 +389,30 @@ impl BkdTree {
             }
         }
         report.coords_nanos = t.elapsed().as_nanos() as u64;
+        // materialize the dimension-major leaf blocks the lane-blocked
+        // kernels scan; per-leaf transposes over disjoint ranges, so the
+        // leaf list chunks across the same workers
+        let t = Instant::now();
+        let soa = if cfg.kernel.layout == KernelLayout::Lanes && n > 0 && d > 0 {
+            build_soa(&nodes, &coords, d, threads)
+        } else {
+            Vec::new()
+        };
+        report.soa_nanos = t.elapsed().as_nanos() as u64;
         report.total_nanos = total.elapsed().as_nanos() as u64;
-        (BkdTree { dataset, nodes, coords, ids, metric, bucket_size }, report)
+        (
+            BkdTree { dataset, nodes, coords, soa, ids, metric, bucket_size, kernel: cfg.kernel },
+            report,
+        )
     }
 
     /// Whether two trees are structurally identical: same flat node
     /// array (splits compared bitwise), same tree-order permutation,
     /// same permuted coordinates. The parallel build must satisfy this
-    /// against the sequential build for every thread count.
+    /// against the sequential build for every thread count. The kernel
+    /// configuration (and the SoA mirror it may add) is deliberately
+    /// excluded: it is derived data, a pure per-leaf transpose of
+    /// `coords`.
     pub fn same_structure(&self, other: &Self) -> bool {
         self.ids == other.ids
             && self.coords.len() == other.coords.len()
@@ -364,6 +446,35 @@ impl BkdTree {
         self.bucket_size
     }
 
+    /// The kernel configuration this tree was built for.
+    pub fn kernel_config(&self) -> KernelConfig {
+        self.kernel
+    }
+
+    /// The `[start, end)` tree-order point range of every leaf, in flat
+    /// node order (which tiles `[0, len)` ascending). Exposed for the
+    /// perf suite's leaf-scan microbenchmarks and the layout property
+    /// tests.
+    pub fn leaf_ranges(&self) -> Vec<(usize, usize)> {
+        self.nodes.iter().filter(|n| n.is_leaf()).map(|n| (n.a as usize, n.b as usize)).collect()
+    }
+
+    /// Row-major coordinate block of leaf `[start, end)`.
+    pub fn leaf_coords(&self, start: usize, end: usize) -> &[f64] {
+        let d = self.dataset.dim().max(1);
+        &self.coords[start * d..end * d]
+    }
+
+    /// Dimension-major (SoA) coordinate block of leaf `[start, end)`;
+    /// `None` under [`KernelLayout::Scalar`], which keeps no SoA mirror.
+    pub fn leaf_soa(&self, start: usize, end: usize) -> Option<&[f64]> {
+        if self.soa.is_empty() {
+            return None;
+        }
+        let d = self.dataset.dim().max(1);
+        Some(&self.soa[start * d..end * d])
+    }
+
     /// The build permutation: `tree_order()[pos]` is the original id of
     /// the point stored at tree-order position `pos`.
     pub fn tree_order(&self) -> &[u32] {
@@ -395,8 +506,53 @@ impl BkdTree {
     pub fn size_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<BNode>()
             + self.coords.len() * std::mem::size_of::<f64>()
+            + self.soa.len() * std::mem::size_of::<f64>()
             + self.ids.len() * std::mem::size_of::<u32>()
             + std::mem::size_of::<Self>()
+    }
+
+    /// Bytes a broadcast of this tree logically ships. Unlike
+    /// [`BkdTree::size_bytes`] this excludes the SoA leaf mirror: the
+    /// mirror is a local transposition of `coords`, rebuildable on the
+    /// receiving side, so the shipped payload — and with it the trace —
+    /// is identical across kernel layouts.
+    pub fn shipped_bytes(&self) -> usize {
+        self.size_bytes() - self.soa.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Scan leaf `[start, end)` against `query`, dispatching on the
+    /// tree's configured leaf layout. Both arms report matches in the
+    /// same row order with bit-identical distances.
+    #[inline]
+    fn scan_leaf<F: FnMut(usize) -> bool>(
+        &self,
+        start: usize,
+        end: usize,
+        d: usize,
+        query: &[f64],
+        thr: f64,
+        on_match: F,
+    ) -> bool {
+        match self.kernel.layout {
+            KernelLayout::Scalar => crate::kernel::scan_block(
+                self.metric,
+                d,
+                query,
+                &self.coords[start * d..end * d],
+                thr,
+                on_match,
+            ),
+            KernelLayout::Lanes => crate::kernel::scan_block_soa(
+                self.metric,
+                d,
+                query,
+                &self.soa[start * d..end * d],
+                end - start,
+                thr,
+                self.kernel.lanes,
+                on_match,
+            ),
+        }
     }
 
     /// Exact eps-range query through caller-provided scratch. `out` is
@@ -432,12 +588,13 @@ impl BkdTree {
         let metric = self.metric;
         let mut visited = 0usize;
         let mut reported = 0usize;
-        let stack = &mut scratch.stack;
+        let QueryScratch { stack, counters, .. } = scratch;
         stack.clear();
         stack.push(0);
         'walk: while let Some(at) = stack.pop() {
             if let Some(maxv) = cfg.max_visited {
                 if visited >= maxv {
+                    counters.early_exits += 1;
                     break;
                 }
             }
@@ -445,13 +602,15 @@ impl BkdTree {
             let node = self.nodes[at as usize];
             if node.is_leaf() {
                 let (start, end) = (node.a as usize, node.b as usize);
-                let block = &self.coords[start * d..end * d];
-                let finished = crate::kernel::scan_block(metric, d, query, block, thr, |i| {
+                counters.blocks_scanned += 1;
+                counters.rows_scanned += (end - start) as u64;
+                let finished = self.scan_leaf(start, end, d, query, thr, |i| {
                     out.push(PointId(self.ids[start + i]));
                     reported += 1;
                     cfg.max_neighbors.is_none_or(|maxn| reported < maxn)
                 });
                 if !finished {
+                    counters.early_exits += 1;
                     break 'walk;
                 }
             } else {
@@ -465,6 +624,7 @@ impl BkdTree {
                 stack.push(near);
             }
         }
+        counters.range_hits += reported as u64;
         visited
     }
 
@@ -498,24 +658,72 @@ impl BkdTree {
         if self.nodes.is_empty() {
             return false;
         }
+        self.count_up_to(query, eps, k, scratch) >= k
+    }
+
+    /// Count neighbours of `query` within `eps`, stopping the traversal
+    /// once `cap` are found. The result is **exact whenever it is below
+    /// `cap`**; once the cap is reached the traversal stops (under the
+    /// lane-blocked layout at lane-group granularity, so the returned
+    /// value may overshoot) — the contract the executor's `min_pts`
+    /// fast path needs: a non-core point gets its true neighbour count,
+    /// a core point only proves `>= cap`.
+    pub fn count_up_to(
+        &self,
+        query: &[f64],
+        eps: f64,
+        cap: usize,
+        scratch: &mut QueryScratch,
+    ) -> usize {
+        debug_assert_eq!(query.len(), self.dataset.dim());
+        if cap == 0 || self.nodes.is_empty() {
+            return 0;
+        }
         let d = self.dataset.dim().max(1);
         let thr = self.metric.threshold(eps);
         let metric = self.metric;
+        let lanes = self.kernel.lanes;
+        let soa_path = self.kernel.layout == KernelLayout::Lanes;
         let mut count = 0usize;
-        let stack = &mut scratch.stack;
+        let QueryScratch { stack, counters, .. } = scratch;
         stack.clear();
         stack.push(0);
         while let Some(at) = stack.pop() {
             let node = self.nodes[at as usize];
             if node.is_leaf() {
                 let (start, end) = (node.a as usize, node.b as usize);
-                let block = &self.coords[start * d..end * d];
-                let finished = crate::kernel::scan_block(metric, d, query, block, thr, |_| {
-                    count += 1;
-                    count < k
-                });
-                if !finished {
-                    return true;
+                counters.blocks_scanned += 1;
+                counters.rows_scanned += (end - start) as u64;
+                let before = count;
+                let capped = if soa_path {
+                    crate::kernel::count_block_soa(
+                        metric,
+                        d,
+                        query,
+                        &self.soa[start * d..end * d],
+                        end - start,
+                        thr,
+                        lanes,
+                        cap,
+                        &mut count,
+                    )
+                } else {
+                    !crate::kernel::scan_block(
+                        metric,
+                        d,
+                        query,
+                        &self.coords[start * d..end * d],
+                        thr,
+                        |_| {
+                            count += 1;
+                            count < cap
+                        },
+                    )
+                };
+                counters.range_hits += (count - before) as u64;
+                if capped {
+                    counters.early_exits += 1;
+                    return count;
                 }
             } else {
                 let delta = query[node.axis as usize] - node.split;
@@ -526,7 +734,169 @@ impl BkdTree {
                 stack.push(near);
             }
         }
-        false
+        count
+    }
+
+    /// Exact eps-range queries for a whole frontier chunk at once.
+    /// `queries` are dataset row ids; after the call `out` holds every
+    /// query's neighbours concatenated and `spans[i] = (offset, len)`
+    /// addresses query `i`'s slice (both buffers are cleared first).
+    ///
+    /// Per query, the result — contents *and order* — is byte-identical
+    /// to [`BkdTree::range_into_scratch`] on the same id: phase 1
+    /// replays each query's exact near-first traversal (so the
+    /// (leaf, query) pair list is in scalar visit order) and the leaf
+    /// scans report rows in row order. What batching adds is shared
+    /// work: a batch-bounding-box descent stamps the reachable subtree
+    /// once (phase 0), so every per-query descent short-circuits
+    /// far-side `axis_bound` tests outside the batch region with one
+    /// memory read — an unstamped node is unreachable for *every* query
+    /// in the batch — and the scans run leaf-major (phase 2), so a leaf
+    /// block shared by many frontier queries stays resident while they
+    /// all scan it.
+    ///
+    /// Only exact queries batch soundly (pruned configurations carry
+    /// per-query traversal state), which is why the executor falls back
+    /// to scalar queries under a non-exact [`PruneConfig`].
+    pub fn query_batch(
+        &self,
+        queries: &[u32],
+        eps: f64,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<PointId>,
+        spans: &mut Vec<(u32, u32)>,
+    ) {
+        out.clear();
+        spans.clear();
+        if queries.is_empty() {
+            return;
+        }
+        if self.nodes.is_empty() {
+            spans.resize(queries.len(), (0, 0));
+            return;
+        }
+        let d = self.dataset.dim().max(1);
+        let thr = self.metric.threshold(eps);
+        let metric = self.metric;
+        let QueryScratch { stack, batch, counters, .. } = scratch;
+        let BatchScratch {
+            node_stamp,
+            epoch,
+            aabb,
+            pair_leaf,
+            pair_query,
+            query_pairs,
+            order,
+            pair_hits,
+            arena,
+        } = batch;
+
+        // phase 0: stamp every node reachable from the batch's bounding
+        // box. For the box [lo, hi] on a split axis, the left subtree
+        // (values <= split) is reachable iff some query q satisfies
+        // axis_bound(max(q - split, 0)) <= thr, which is minimized at
+        // q = lo; symmetrically the right subtree at q = hi. axis_bound
+        // is monotone in |delta|, so the stamped set is a superset of
+        // every per-query reachable set.
+        aabb.clear();
+        aabb.resize(2 * d, 0.0);
+        let (lo, hi) = aabb.split_at_mut(d);
+        lo.fill(f64::INFINITY);
+        hi.fill(f64::NEG_INFINITY);
+        for &q in queries {
+            for (k, &v) in self.dataset.row(q as usize).iter().enumerate() {
+                lo[k] = lo[k].min(v);
+                hi[k] = hi[k].max(v);
+            }
+        }
+        if node_stamp.len() != self.nodes.len() || *epoch == u32::MAX {
+            node_stamp.clear();
+            node_stamp.resize(self.nodes.len(), 0);
+            *epoch = 0;
+        }
+        *epoch += 1;
+        let epoch = *epoch;
+        stack.clear();
+        stack.push(0);
+        while let Some(at) = stack.pop() {
+            node_stamp[at as usize] = epoch;
+            let node = self.nodes[at as usize];
+            if node.is_leaf() {
+                continue;
+            }
+            let axis = node.axis as usize;
+            if metric.axis_bound((lo[axis] - node.split).max(0.0)) <= thr {
+                stack.push(at + 1);
+            }
+            if metric.axis_bound((node.split - hi[axis]).max(0.0)) <= thr {
+                stack.push(node.a);
+            }
+        }
+
+        // phase 1: per-query discovery — the exact scalar traversal
+        // (near child first; a query's near child is always inside the
+        // box, hence always stamped), consulting the stamp before the
+        // far-side bound test. Unstamped ⇒ unreachable for this query
+        // too, so push decisions — and therefore leaf visit order —
+        // match the scalar walk exactly.
+        pair_leaf.clear();
+        pair_query.clear();
+        query_pairs.clear();
+        for (qi, &q) in queries.iter().enumerate() {
+            let first = pair_leaf.len() as u32;
+            let query = self.dataset.row(q as usize);
+            stack.clear();
+            stack.push(0);
+            while let Some(at) = stack.pop() {
+                let node = self.nodes[at as usize];
+                if node.is_leaf() {
+                    pair_leaf.push(at);
+                    pair_query.push(qi as u32);
+                } else {
+                    let delta = query[node.axis as usize] - node.split;
+                    let (near, far) =
+                        if delta <= 0.0 { (at + 1, node.a) } else { (node.a, at + 1) };
+                    if node_stamp[far as usize] == epoch && metric.axis_bound(delta) <= thr {
+                        stack.push(far);
+                    }
+                    stack.push(near);
+                }
+            }
+            query_pairs.push((first, pair_leaf.len() as u32 - first));
+        }
+
+        // phase 2: leaf-major scans — pairs grouped by leaf so a shared
+        // block is scanned back to back by every query touching it
+        order.clear();
+        order.extend(0..pair_leaf.len() as u32);
+        order.sort_unstable_by_key(|&pid| (pair_leaf[pid as usize], pid));
+        pair_hits.clear();
+        pair_hits.resize(pair_leaf.len(), (0, 0));
+        arena.clear();
+        for &pid in order.iter() {
+            let node = self.nodes[pair_leaf[pid as usize] as usize];
+            let (start, end) = (node.a as usize, node.b as usize);
+            let row = self.dataset.row(queries[pair_query[pid as usize] as usize] as usize);
+            counters.blocks_scanned += 1;
+            counters.rows_scanned += (end - start) as u64;
+            let off = arena.len() as u32;
+            self.scan_leaf(start, end, d, row, thr, |i| {
+                arena.push(PointId(self.ids[start + i]));
+                true
+            });
+            pair_hits[pid as usize] = (off, arena.len() as u32 - off);
+        }
+        counters.range_hits += arena.len() as u64;
+
+        // phase 3: reassemble per query, pairs back in discovery order
+        for &(first, cnt) in query_pairs.iter() {
+            let off = out.len() as u32;
+            for pid in first..first + cnt {
+                let (hoff, hlen) = pair_hits[pid as usize];
+                out.extend_from_slice(&arena[hoff as usize..(hoff + hlen) as usize]);
+            }
+            spans.push((off, out.len() as u32 - off));
+        }
     }
 
     /// Nearest neighbour of `query` (ties broken arbitrarily); `None`
@@ -607,8 +977,7 @@ impl SpatialIndex for BkdTree {
                 let node = self.nodes[at as usize];
                 if node.is_leaf() {
                     let (start, end) = (node.a as usize, node.b as usize);
-                    let block = &self.coords[start * d..end * d];
-                    crate::kernel::scan_block(metric, d, query, block, thr, |_| {
+                    self.scan_leaf(start, end, d, query, thr, |_| {
                         count += 1;
                         true
                     });
@@ -635,6 +1004,53 @@ impl SpatialIndex for BkdTree {
 fn gather_coords(ds: &Dataset, ids: &[u32], out: &mut [f64], d: usize) {
     for (slot, &id) in out.chunks_exact_mut(d).zip(ids) {
         slot.copy_from_slice(ds.row(id as usize));
+    }
+}
+
+/// Materialize the dimension-major mirror of every leaf's coordinate
+/// block. Leaf ranges tile `[0, n)` contiguously in flat node order, so
+/// the leaf list chunks across workers and each worker transposes a
+/// disjoint `soa` slice.
+fn build_soa(nodes: &[BNode], coords: &[f64], d: usize, threads: usize) -> Vec<f64> {
+    let mut soa = vec![0.0f64; coords.len()];
+    let leaves: Vec<(usize, usize)> =
+        nodes.iter().filter(|n| n.is_leaf()).map(|n| (n.a as usize, n.b as usize)).collect();
+    if threads <= 1 || leaves.len() < 2 {
+        transpose_leaves(&leaves, coords, d, &mut soa, 0);
+    } else {
+        let per = leaves.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            let mut rest: &mut [f64] = &mut soa;
+            let mut consumed = 0usize;
+            for chunk in leaves.chunks(per) {
+                let start = chunk.first().expect("non-empty chunk").0;
+                let end = chunk.last().expect("non-empty chunk").1;
+                debug_assert_eq!(start, consumed, "leaves must tile [0, n) in node order");
+                let (mine, tail) = rest.split_at_mut((end - start) * d);
+                rest = tail;
+                consumed = end;
+                s.spawn(move || transpose_leaves(chunk, coords, d, mine, start));
+            }
+        });
+    }
+    soa
+}
+
+/// Transpose a run of leaves into an `out` slice that starts at
+/// tree-order position `base`.
+fn transpose_leaves(
+    leaves: &[(usize, usize)],
+    coords: &[f64],
+    d: usize,
+    out: &mut [f64],
+    base: usize,
+) {
+    for &(start, end) in leaves {
+        crate::kernel::transpose_block(
+            &coords[start * d..end * d],
+            d,
+            &mut out[(start - base) * d..(end - base) * d],
+        );
     }
 }
 
@@ -1092,5 +1508,156 @@ mod tests {
         assert_eq!(BuildConfig::default().with_threads(2).fork_budget(), 1);
         assert_eq!(BuildConfig::default().with_threads(8).fork_budget(), 3);
         assert_eq!(BuildConfig::default().with_threads(5).fork_budget(), 3);
+    }
+
+    #[test]
+    fn soa_mirror_transposes_every_leaf() {
+        let ds = scatter_dataset(1500);
+        let d = ds.dim();
+        for threads in [1, 4] {
+            let cfg = BuildConfig::default().with_bucket_size(8).with_threads(threads);
+            let t = BkdTree::build_with_config(ds.clone(), Metric::Euclidean, cfg);
+            assert_eq!(t.kernel_config().layout, KernelLayout::Lanes);
+            let mut covered = 0usize;
+            for (start, end) in t.leaf_ranges() {
+                assert_eq!(start, covered, "leaves tile [0, n) in node order");
+                covered = end;
+                let rows = end - start;
+                let block = t.leaf_coords(start, end);
+                let soa = t.leaf_soa(start, end).expect("lanes layout keeps an SoA mirror");
+                for i in 0..rows {
+                    for k in 0..d {
+                        assert_eq!(block[i * d + k].to_bits(), soa[k * rows + i].to_bits());
+                    }
+                }
+            }
+            assert_eq!(covered, ds.len());
+        }
+    }
+
+    #[test]
+    fn scalar_layout_keeps_no_soa_and_matches_lanes() {
+        let ds = scatter_dataset(800);
+        let lanes = BkdTree::build(ds.clone());
+        let scalar = BkdTree::build_with_config(
+            ds.clone(),
+            Metric::Euclidean,
+            BuildConfig::default().with_kernel(KernelConfig::scalar()),
+        );
+        assert!(scalar.leaf_soa(0, 1).is_none());
+        assert!(lanes.same_structure(&scalar), "layout is derived data, structure identical");
+        let mut s = QueryScratch::new();
+        for id in (0..ds.len()).step_by(37) {
+            let q = ds.row(id);
+            for eps in [0.0, 5.0, 40.0] {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                lanes.range_into_scratch(q, eps, &mut s, &mut a);
+                scalar.range_into_scratch(q, eps, &mut s, &mut b);
+                // order and contents must match exactly, not just as sets
+                assert_eq!(a, b, "id={id} eps={eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_up_to_is_exact_below_cap() {
+        let ds = scatter_dataset(600);
+        for kernel in [KernelConfig::default(), KernelConfig::scalar()] {
+            let t = BkdTree::build_with_config(
+                ds.clone(),
+                Metric::Euclidean,
+                BuildConfig::default().with_kernel(kernel),
+            );
+            let mut s = QueryScratch::new();
+            for id in (0..ds.len()).step_by(41) {
+                let q = ds.row(id);
+                for eps in [3.0, 15.0, 60.0] {
+                    let n = t.range(q, eps).len();
+                    // cap above the true count: exact
+                    assert_eq!(t.count_up_to(q, eps, n + 3, &mut s), n, "{kernel:?}");
+                    // cap at/below: must report at least the cap
+                    for cap in [1, n.max(1)] {
+                        let got = t.count_up_to(q, eps, cap, &mut s);
+                        assert!(got >= cap.min(n), "{kernel:?} cap={cap} n={n} got={got}");
+                        assert!((got >= cap) == (n >= cap), "{kernel:?} cap={cap} n={n} got={got}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_batch_matches_per_query_results_exactly() {
+        let ds = scatter_dataset(900);
+        for kernel in [KernelConfig::default(), KernelConfig::scalar()] {
+            let t = BkdTree::build_with_config(
+                ds.clone(),
+                Metric::Euclidean,
+                BuildConfig::default().with_kernel(kernel),
+            );
+            let mut s = QueryScratch::new();
+            let mut out = Vec::new();
+            let mut spans = Vec::new();
+            for eps in [0.0, 8.0, 30.0] {
+                // several reuses of the same scratch, varied batch makeup
+                for round in 0..3u32 {
+                    let queries: Vec<u32> =
+                        (0..ds.len() as u32).filter(|q| (q + round) % 7 == 0).collect();
+                    t.query_batch(&queries, eps, &mut s, &mut out, &mut spans);
+                    assert_eq!(spans.len(), queries.len());
+                    for (i, &q) in queries.iter().enumerate() {
+                        let (off, len) = spans[i];
+                        let got = &out[off as usize..(off + len) as usize];
+                        let mut want = Vec::new();
+                        t.range_into_scratch(ds.row(q as usize), eps, &mut s, &mut want);
+                        assert_eq!(got, &want[..], "{kernel:?} eps={eps} q={q}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_batch_handles_empty_inputs() {
+        let t = BkdTree::build(Arc::new(Dataset::empty(2)));
+        let mut s = QueryScratch::new();
+        let (mut out, mut spans) = (vec![PointId(9)], vec![(7u32, 7u32)]);
+        t.query_batch(&[], 1.0, &mut s, &mut out, &mut spans);
+        assert!(out.is_empty() && spans.is_empty());
+        let ds = grid_dataset();
+        let t = BkdTree::build(ds);
+        t.query_batch(&[], 1.0, &mut s, &mut out, &mut spans);
+        assert!(out.is_empty() && spans.is_empty());
+    }
+
+    #[test]
+    fn query_counters_are_layout_invariant() {
+        let ds = scatter_dataset(700);
+        let lanes = BkdTree::build(ds.clone());
+        let scalar = BkdTree::build_with_config(
+            ds.clone(),
+            Metric::Euclidean,
+            BuildConfig::default().with_kernel(KernelConfig::scalar()),
+        );
+        let run = |t: &BkdTree| {
+            let mut s = QueryScratch::new();
+            let mut out = Vec::new();
+            for id in 0..ds.len() {
+                out.clear();
+                t.range_into_scratch(ds.row(id), 12.0, &mut s, &mut out);
+            }
+            s.counters
+        };
+        let (a, b) = (run(&lanes), run(&scalar));
+        assert_eq!(a, b, "blocks/rows/hits are defined over visited leaves, not layout");
+        assert!(!a.is_zero());
+        assert_eq!(a.early_exits, 0, "exact queries never exit early");
+        // batched queries visit the same (leaf, query) pairs
+        let queries: Vec<u32> = (0..ds.len() as u32).collect();
+        let mut s = QueryScratch::new();
+        let (mut out, mut spans) = (Vec::new(), Vec::new());
+        lanes.query_batch(&queries, 12.0, &mut s, &mut out, &mut spans);
+        assert_eq!(s.counters, a, "batching must not change what gets scanned");
     }
 }

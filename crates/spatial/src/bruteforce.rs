@@ -29,6 +29,23 @@ impl BruteForceIndex {
     pub fn metric(&self) -> Metric {
         self.metric
     }
+
+    /// One whole-matrix scan. All metric dispatch happens **once per
+    /// scan**, never once per row: specialized dims go through the
+    /// fixed-`D` kernels and the generic fallback resolves
+    /// [`crate::kernel::metric_kernel`] up front, so the row loop is a
+    /// bare distance-and-compare.
+    #[inline]
+    fn scan<F: FnMut(usize) -> bool>(&self, query: &[f64], eps: f64, on_match: F) {
+        crate::kernel::scan_block(
+            self.metric,
+            self.dataset.dim(),
+            query,
+            self.dataset.flat(),
+            self.metric.threshold(eps),
+            on_match,
+        );
+    }
 }
 
 impl SpatialIndex for BruteForceIndex {
@@ -37,34 +54,18 @@ impl SpatialIndex for BruteForceIndex {
     }
 
     fn range_into(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
-        let thr = self.metric.threshold(eps);
-        crate::kernel::scan_block(
-            self.metric,
-            self.dataset.dim(),
-            query,
-            self.dataset.flat(),
-            thr,
-            |i| {
-                out.push(PointId(i as u32));
-                true
-            },
-        );
+        self.scan(query, eps, |i| {
+            out.push(PointId(i as u32));
+            true
+        });
     }
 
     fn count_within(&self, query: &[f64], eps: f64) -> usize {
-        let thr = self.metric.threshold(eps);
         let mut count = 0usize;
-        crate::kernel::scan_block(
-            self.metric,
-            self.dataset.dim(),
-            query,
-            self.dataset.flat(),
-            thr,
-            |_| {
-                count += 1;
-                true
-            },
-        );
+        self.scan(query, eps, |_| {
+            count += 1;
+            true
+        });
         count
     }
 
@@ -126,5 +127,17 @@ mod tests {
         let mut buf = vec![PointId(99)];
         idx.range_into(&[0.0], 0.5, &mut buf);
         assert_eq!(buf, vec![PointId(99), PointId(0)]);
+    }
+
+    #[test]
+    fn hoisted_kernel_fn_matches_per_row_dispatch() {
+        // the once-per-scan resolved kernel function is the same
+        // computation the enum dispatch performs row by row
+        let a = [1.5, -2.25, 3.0];
+        let b = [-0.5, 4.0, 7.125];
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            let f = crate::kernel::metric_kernel(m);
+            assert_eq!(f(&a, &b).to_bits(), m.reduced_distance(&a, &b).to_bits());
+        }
     }
 }

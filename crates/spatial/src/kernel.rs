@@ -1,26 +1,45 @@
-//! Dimension-monomorphized query kernels.
+//! Dimension-monomorphized and lane-blocked query kernels.
 //!
 //! Every distance in [`crate::metric`] is a dynamic-length loop over
 //! `&[f64]`: the compiler cannot unroll it, keeps the trip-count check,
 //! and emits scalar code. But a dataset's dimensionality is fixed for
 //! the lifetime of every query, and the paper's workloads are low-`d`
 //! (2–10, with the figures' plots all 2-D). This module monomorphizes
-//! the hot loops over a `const D` for the common small dimensions
-//! (`D = 2, 3, 4`) and dispatches **once per block scan** on
-//! `Dataset::dim`, so the per-row work is a fixed-trip-count,
-//! bounds-check-free loop the compiler auto-vectorizes.
+//! the hot loops over a `const D` for the neighborhood-query dimensions
+//! (`D = 2..=6`, matching the planner's `MAX_NEIGHBORHOOD_DIM`) and
+//! dispatches **once per block scan** on `Dataset::dim`, so the per-row
+//! work is a fixed-trip-count, bounds-check-free loop.
 //!
-//! Two invariants make the specialization safe to wire everywhere:
+//! On top of the row-major kernels sit the **lane-blocked SoA kernels**
+//! ([`scan_block_soa`], [`count_block_soa`]): they scan a leaf block
+//! stored dimension-major (all `x`s, then all `y`s, …), accumulating a
+//! whole group of `LANES` points into a fixed-width `[f64; LANES]`
+//! stack buffer that LLVM auto-vectorizes on stable. One lane per
+//! point: each point's per-dimension sum runs in the exact sequential
+//! coordinate order of the scalar kernels, so every distance is the
+//! same `f64` bit for bit — vectorization happens *across* points,
+//! never inside one point's accumulation. The threshold test is a
+//! branch-free pass packing hit indices left, so dense and sparse
+//! blocks cost the same per row.
 //!
-//! * **Bit-identical results.** The fixed-`D` kernels accumulate in the
-//!   same coordinate order as the generic loops, so every distance is
-//!   the exact same `f64` — specialized and generic paths return
-//!   byte-identical neighborhoods (property-tested in
-//!   `tests/proptest_kernels.rs`).
-//! * **Same early-exit semantics.** [`scan_block`] reports matches
-//!   through a callback that can stop the scan, so pruned queries
+//! Three invariants make the kernels safe to wire everywhere:
+//!
+//! * **Bit-identical results.** Fixed-`D`, generic and lane-blocked
+//!   paths accumulate in the same coordinate order, so every distance
+//!   is the exact same `f64` — all paths return byte-identical
+//!   neighborhoods (property-tested in `tests/proptest_kernels.rs`).
+//!   The AVX2 specialization vectorizes only *across* points with the
+//!   same per-lane IEEE ops (`vsubpd`/`vmulpd`/`vaddpd`, never an FMA
+//!   contraction), so it is covered by the same guarantee.
+//! * **Same early-exit semantics.** [`scan_block`] and
+//!   [`scan_block_soa`] report matches through a callback that can stop
+//!   the scan, row by row in row order, so pruned queries
 //!   (`max_neighbors`) and `count_at_least` behave exactly like the
 //!   generic traversal they replace.
+//! * **Count exactness below the cap.** [`count_block_soa`] early-exits
+//!   at lane-group granularity only once the cap is reached, so any
+//!   returned count *below* the cap is exact — the contract the
+//!   executor's `min_pts` fast path relies on.
 //!
 //! Callers: [`crate::BkdTree`] leaf scans, [`crate::BruteForceIndex`]
 //! whole-matrix scans, and [`crate::Metric::reduced_distance`] (single
@@ -30,8 +49,182 @@ use crate::metric::Metric;
 
 /// Dimensions with a monomorphized kernel; anything else takes the
 /// generic fallback. Exposed so benches and tests can iterate the
-/// dispatch table.
-pub const SPECIALIZED_DIMS: [usize; 3] = [2, 3, 4];
+/// dispatch table. Covers every dimension the partition planner builds
+/// neighborhood grids for (`MAX_NEIGHBORHOOD_DIM = 6`).
+pub const SPECIALIZED_DIMS: [usize; 5] = [2, 3, 4, 5, 6];
+
+/// Lane widths the SoA kernels are monomorphized for.
+pub const LANE_WIDTHS: [usize; 3] = [4, 8, 16];
+
+/// Default lane width: 8 points per group is wide enough to fill an
+/// AVX2 register file without spilling the accumulators at `d = 6`.
+pub const DEFAULT_LANES: usize = 8;
+
+/// How leaf blocks are stored and scanned. Every layout produces
+/// bit-identical results; only throughput changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelLayout {
+    /// Row-major blocks, one point at a time ([`scan_block`]).
+    Scalar,
+    /// Dimension-major (SoA) blocks, a lane group of points at a time
+    /// ([`scan_block_soa`]).
+    Lanes,
+}
+
+/// Query-kernel configuration threaded through the resource bundle:
+/// data layout, lane width, frontier batching and the `min_pts`
+/// count-only fast path. Labels are byte-identical for every value —
+/// [`KernelConfig::count_fast_path`] additionally leaves every
+/// executor stat untouched and only changes the *kernel counters*
+/// (fewer rows scanned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Leaf-block layout and scan strategy.
+    pub layout: KernelLayout,
+    /// Points per SoA lane group (normalized to one of
+    /// [`LANE_WIDTHS`]); ignored under [`KernelLayout::Scalar`].
+    pub lanes: usize,
+    /// Executor frontier chunk size for batched `query_batch`
+    /// expansion; `0` disables batching (one query at a time).
+    pub batch: usize,
+    /// Decide core-point status with an early-exit count before paying
+    /// for the full neighbor list of non-core points.
+    pub count_fast_path: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            layout: KernelLayout::Lanes,
+            lanes: DEFAULT_LANES,
+            batch: 0,
+            count_fast_path: false,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// The seed-path configuration: row-major scalar scans, no
+    /// batching, no fast path — the arm every other configuration is
+    /// checked byte-identical against.
+    pub fn scalar() -> Self {
+        KernelConfig { layout: KernelLayout::Scalar, ..Self::default() }
+    }
+
+    /// Set the leaf-block layout.
+    pub fn with_layout(mut self, layout: KernelLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Set the SoA lane width (normalized to one of [`LANE_WIDTHS`]).
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = normalized_lanes(lanes);
+        self
+    }
+
+    /// Set the executor frontier batch size (`0` = off).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Enable or disable the `min_pts` count-only fast path.
+    pub fn with_count_fast_path(mut self, on: bool) -> Self {
+        self.count_fast_path = on;
+        self
+    }
+
+    /// Defaults overlaid with the environment: `DBSCAN_KERNEL`
+    /// (`scalar`/`lanes`), `DBSCAN_KERNEL_LANES` (lane width),
+    /// `DBSCAN_QUERY_BATCH` (frontier chunk, `0` = off) and
+    /// `DBSCAN_COUNT_FAST_PATH` (`1`/`true`). Unset or unparsable
+    /// variables leave the default in place.
+    pub fn from_env() -> Self {
+        Self::from_env_values(
+            std::env::var("DBSCAN_KERNEL").ok().as_deref(),
+            std::env::var("DBSCAN_KERNEL_LANES").ok().as_deref(),
+            std::env::var("DBSCAN_QUERY_BATCH").ok().as_deref(),
+            std::env::var("DBSCAN_COUNT_FAST_PATH").ok().as_deref(),
+        )
+    }
+
+    /// The pure core of [`KernelConfig::from_env`], taking the raw
+    /// variable values so tests can exercise the parsing contract
+    /// without touching the process environment. Never panics, never
+    /// errors: junk keeps the default for that knob.
+    pub fn from_env_values(
+        layout: Option<&str>,
+        lanes: Option<&str>,
+        batch: Option<&str>,
+        fast: Option<&str>,
+    ) -> Self {
+        let mut cfg = Self::default();
+        match layout.map(|v| v.trim().to_ascii_lowercase()).as_deref() {
+            Some("scalar") => cfg.layout = KernelLayout::Scalar,
+            Some("lanes") => cfg.layout = KernelLayout::Lanes,
+            _ => {}
+        }
+        if let Some(l) = lanes.and_then(|v| v.trim().parse::<usize>().ok()) {
+            cfg.lanes = normalized_lanes(l);
+        }
+        if let Some(b) = batch.and_then(|v| v.trim().parse::<usize>().ok()) {
+            cfg.batch = b;
+        }
+        match fast.map(|v| v.trim().to_ascii_lowercase()).as_deref() {
+            Some("1") | Some("true") => cfg.count_fast_path = true,
+            Some("0") | Some("false") => cfg.count_fast_path = false,
+            _ => {}
+        }
+        cfg
+    }
+}
+
+/// Snap an arbitrary lane request to the nearest monomorphized width.
+fn normalized_lanes(lanes: usize) -> usize {
+    if lanes <= 4 {
+        4
+    } else if lanes <= 8 {
+        8
+    } else {
+        16
+    }
+}
+
+/// Per-run kernel instrumentation, accumulated on
+/// [`crate::QueryScratch`] and surfaced on the executor stats. The
+/// counters are defined over *visited* leaves — blocks touched by the
+/// traversal and the rows those blocks hold — so they are invariant
+/// across scalar, lane-blocked and batched configurations (which visit
+/// the same leaves in the same order). Only the count fast path, which
+/// genuinely prunes traversal, moves them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Leaf blocks scanned (one per leaf per query touching it).
+    pub blocks_scanned: u64,
+    /// Rows held by the scanned blocks.
+    pub rows_scanned: u64,
+    /// Rows reported within the query threshold.
+    pub range_hits: u64,
+    /// Scans stopped before their last block (count caps reached,
+    /// pruning budgets exhausted).
+    pub early_exits: u64,
+}
+
+impl KernelCounters {
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: &KernelCounters) {
+        self.blocks_scanned += other.blocks_scanned;
+        self.rows_scanned += other.rows_scanned;
+        self.range_hits += other.range_hits;
+        self.early_exits += other.early_exits;
+    }
+
+    /// Whether nothing was counted.
+    pub fn is_zero(&self) -> bool {
+        *self == KernelCounters::default()
+    }
+}
 
 /// Scan a row-major coordinate block (`block.len() == rows * dim`),
 /// invoking `on_match(i)` for every row `i` whose reduced distance to
@@ -55,13 +248,16 @@ pub fn scan_block<F: FnMut(usize) -> bool>(
         2 => scan_fixed::<2, F>(metric, query, block, thr, on_match),
         3 => scan_fixed::<3, F>(metric, query, block, thr, on_match),
         4 => scan_fixed::<4, F>(metric, query, block, thr, on_match),
+        5 => scan_fixed::<5, F>(metric, query, block, thr, on_match),
+        6 => scan_fixed::<6, F>(metric, query, block, thr, on_match),
         _ => scan_block_generic(metric, dim, query, block, thr, on_match),
     }
 }
 
 /// The dynamic-length scan [`scan_block`] falls back to — public so the
 /// perf suite and the differential property tests can pit the two paths
-/// against each other on the same data.
+/// against each other on the same data. The metric's kernel function is
+/// resolved once per scan, never once per row.
 #[inline]
 pub fn scan_block_generic<F: FnMut(usize) -> bool>(
     metric: Metric,
@@ -72,12 +268,24 @@ pub fn scan_block_generic<F: FnMut(usize) -> bool>(
     mut on_match: F,
 ) -> bool {
     let d = dim.max(1);
+    let dist = metric_kernel(metric);
     for (i, row) in block.chunks_exact(d).enumerate() {
-        if reduced_generic(metric, query, row) <= thr && !on_match(i) {
+        if dist(query, row) <= thr && !on_match(i) {
             return false;
         }
     }
     true
+}
+
+/// The dynamic-length reduced-distance function for `metric`, resolved
+/// once so block scans don't re-dispatch the metric per row.
+#[inline]
+pub fn metric_kernel(metric: Metric) -> fn(&[f64], &[f64]) -> f64 {
+    match metric {
+        Metric::Euclidean => crate::metric::squared_euclidean,
+        Metric::Manhattan => crate::metric::manhattan,
+        Metric::Chebyshev => crate::metric::chebyshev,
+    }
 }
 
 #[inline]
@@ -116,6 +324,520 @@ fn scan_rows<const D: usize, G: Fn(&[f64; D]) -> f64, F: FnMut(usize) -> bool>(
     true
 }
 
+// ---- lane-blocked SoA kernels ------------------------------------------
+
+/// Scan a dimension-major (SoA) coordinate block of `rows` points
+/// (`soa[k * rows + i]` = coordinate `k` of point `i`,
+/// `soa.len() == rows * dim`), invoking `on_match(i)` for every row
+/// within `thr`, **in row order** — the same callback sequence, stops
+/// included, as [`scan_block`] over the row-major transpose of the
+/// block. Distances are bit-identical to the scalar path: lanes run
+/// across points, each point still accumulates coordinate `0..dim`
+/// sequentially.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn scan_block_soa<F: FnMut(usize) -> bool>(
+    metric: Metric,
+    dim: usize,
+    query: &[f64],
+    soa: &[f64],
+    rows: usize,
+    thr: f64,
+    lanes: usize,
+    on_match: F,
+) -> bool {
+    debug_assert_eq!(soa.len(), rows * dim);
+    if rows == 0 || dim == 0 {
+        return true;
+    }
+    match normalized_lanes(lanes) {
+        4 => scan_soa_dispatch::<4, F>(metric, dim, query, soa, rows, thr, on_match),
+        16 => scan_soa_dispatch::<16, F>(metric, dim, query, soa, rows, thr, on_match),
+        _ => scan_soa_dispatch::<8, F>(metric, dim, query, soa, rows, thr, on_match),
+    }
+}
+
+/// Count the rows of a dimension-major block within `thr`, adding to
+/// `*count` and stopping (at lane-group granularity) once
+/// `*count >= cap`. Returns `true` iff the cap was reached. Any final
+/// `*count` **below** `cap` is the exact block count — early exit can
+/// only fire at or past the cap.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn count_block_soa(
+    metric: Metric,
+    dim: usize,
+    query: &[f64],
+    soa: &[f64],
+    rows: usize,
+    thr: f64,
+    lanes: usize,
+    cap: usize,
+    count: &mut usize,
+) -> bool {
+    debug_assert_eq!(soa.len(), rows * dim);
+    if rows == 0 || dim == 0 {
+        return *count >= cap;
+    }
+    match normalized_lanes(lanes) {
+        4 => count_soa_dispatch::<4>(metric, dim, query, soa, rows, thr, cap, count),
+        16 => count_soa_dispatch::<16>(metric, dim, query, soa, rows, thr, cap, count),
+        _ => count_soa_dispatch::<8>(metric, dim, query, soa, rows, thr, cap, count),
+    }
+}
+
+/// Pick the widest ISA the host supports at runtime. The AVX2 twin
+/// computes each group's threshold mask with explicit 256-bit
+/// intrinsics ([`group_mask_avx2`]) — the per-lane operations are the
+/// exact IEEE ops of the portable body in the same order, so every bit
+/// of every distance is identical to the portable build.
+#[inline]
+fn scan_soa_dispatch<const L: usize, F: FnMut(usize) -> bool>(
+    metric: Metric,
+    dim: usize,
+    query: &[f64],
+    soa: &[f64],
+    rows: usize,
+    thr: f64,
+    on_match: F,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if L >= 8 && std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: the avx512f feature was just detected on this CPU.
+            return unsafe {
+                scan_soa_lanes_avx512::<L, F>(metric, dim, query, soa, rows, thr, on_match)
+            };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 feature was just detected on this CPU.
+            return unsafe {
+                scan_soa_lanes_avx2::<L, F>(metric, dim, query, soa, rows, thr, on_match)
+            };
+        }
+    }
+    scan_soa_lanes::<L, F>(metric, dim, query, soa, rows, thr, on_match)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn scan_soa_lanes_avx2<const L: usize, F: FnMut(usize) -> bool>(
+    metric: Metric,
+    dim: usize,
+    query: &[f64],
+    soa: &[f64],
+    rows: usize,
+    thr: f64,
+    mut on_match: F,
+) -> bool {
+    let mut base = 0usize;
+    while base + L <= rows {
+        let mut mask = unsafe { group_mask_avx2::<L>(metric, dim, query, soa, rows, base, thr) };
+        while mask != 0 {
+            let j = mask.trailing_zeros() as usize;
+            if !on_match(base + j) {
+                return false;
+            }
+            mask &= mask - 1;
+        }
+        base += L;
+    }
+    for i in base..rows {
+        if reduced_soa_point(metric, dim, query, soa, rows, i) <= thr && !on_match(i) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Within-threshold bitmask of one full lane group, 256 bits at a time:
+/// explicit `vsubpd`/`vmulpd`/`vaddpd` (and `vandpd` abs / `vmaxpd`)
+/// followed by `vcmppd LE_OQ` + `vmovmskpd`. Each instruction is the
+/// per-lane IEEE operation of the scalar kernel — multiply and add stay
+/// separate (no FMA contraction) and the accumulation still runs
+/// coordinates in ascending order — so every lane's distance, and hence
+/// the mask, is bit-identical to the portable path for the finite
+/// coordinates datasets hold.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn group_mask_avx2<const L: usize>(
+    metric: Metric,
+    dim: usize,
+    query: &[f64],
+    soa: &[f64],
+    rows: usize,
+    base: usize,
+    thr: f64,
+) -> u32 {
+    use std::arch::x86_64::*;
+    debug_assert!(L.is_multiple_of(4) && base + L <= rows);
+    let t = _mm256_set1_pd(thr);
+    let abs_mask = _mm256_set1_pd(f64::from_bits(0x7fff_ffff_ffff_ffff));
+    // coordinate-outer so the query broadcast is paid once per group
+    // per dimension; the whole group's accumulators live in registers
+    // (L <= 16, so at most four of the sixteen ymm registers)
+    let n = L / 4;
+    let mut acc = [_mm256_setzero_pd(); 4];
+    for (k, &q) in query.iter().enumerate().take(dim) {
+        let qv = _mm256_set1_pd(q);
+        // SAFETY: k < dim and base + L <= rows, so all L lanes lie
+        // inside column k of the dim-major block.
+        let colp = unsafe { soa.as_ptr().add(k * rows + base) };
+        for (c, a) in acc.iter_mut().enumerate().take(n) {
+            let col = unsafe { _mm256_loadu_pd(colp.add(4 * c)) };
+            let delta = _mm256_sub_pd(qv, col);
+            *a = match metric {
+                Metric::Euclidean => _mm256_add_pd(*a, _mm256_mul_pd(delta, delta)),
+                Metric::Manhattan => _mm256_add_pd(*a, _mm256_and_pd(delta, abs_mask)),
+                Metric::Chebyshev => _mm256_max_pd(*a, _mm256_and_pd(delta, abs_mask)),
+            };
+        }
+    }
+    let mut mask = 0u32;
+    for (c, &a) in acc.iter().enumerate().take(n) {
+        let le = _mm256_cmp_pd::<_CMP_LE_OQ>(a, t);
+        mask |= (_mm256_movemask_pd(le) as u32) << (4 * c);
+    }
+    mask
+}
+
+/// [`group_mask_avx2`] at AVX-512 width: the accumulators are zmm
+/// registers (8 lanes each, so `L = 8` is a single register and
+/// `L = 16` two) and the threshold compare lands directly in a mask
+/// register via `vcmppd k, ...`. Per-lane operations are the same IEEE
+/// sub/mul/add (no FMA) in the same coordinate order — bit-identical
+/// to both the portable and the AVX2 paths.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn group_mask_avx512<const L: usize>(
+    metric: Metric,
+    dim: usize,
+    query: &[f64],
+    soa: &[f64],
+    rows: usize,
+    base: usize,
+    thr: f64,
+) -> u32 {
+    use std::arch::x86_64::*;
+    debug_assert!(L.is_multiple_of(8) && base + L <= rows);
+    let t = _mm512_set1_pd(thr);
+    let n = L / 8;
+    let mut acc = [_mm512_setzero_pd(); 2];
+    for (k, &q) in query.iter().enumerate().take(dim) {
+        let qv = _mm512_set1_pd(q);
+        // SAFETY: k < dim and base + L <= rows, so all L lanes lie
+        // inside column k of the dim-major block.
+        let colp = unsafe { soa.as_ptr().add(k * rows + base) };
+        for (c, a) in acc.iter_mut().enumerate().take(n) {
+            let col = unsafe { _mm512_loadu_pd(colp.add(8 * c)) };
+            let delta = _mm512_sub_pd(qv, col);
+            *a = match metric {
+                Metric::Euclidean => _mm512_add_pd(*a, _mm512_mul_pd(delta, delta)),
+                Metric::Manhattan => _mm512_add_pd(*a, _mm512_abs_pd(delta)),
+                Metric::Chebyshev => _mm512_max_pd(*a, _mm512_abs_pd(delta)),
+            };
+        }
+    }
+    let mut mask = 0u32;
+    for (c, &a) in acc.iter().enumerate().take(n) {
+        mask |= (_mm512_cmp_pd_mask::<_CMP_LE_OQ>(a, t) as u32) << (8 * c);
+    }
+    mask
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn scan_soa_lanes_avx512<const L: usize, F: FnMut(usize) -> bool>(
+    metric: Metric,
+    dim: usize,
+    query: &[f64],
+    soa: &[f64],
+    rows: usize,
+    thr: f64,
+    mut on_match: F,
+) -> bool {
+    let mut base = 0usize;
+    while base + L <= rows {
+        let mut mask = unsafe { group_mask_avx512::<L>(metric, dim, query, soa, rows, base, thr) };
+        while mask != 0 {
+            let j = mask.trailing_zeros() as usize;
+            if !on_match(base + j) {
+                return false;
+            }
+            mask &= mask - 1;
+        }
+        base += L;
+    }
+    for i in base..rows {
+        if reduced_soa_point(metric, dim, query, soa, rows, i) <= thr && !on_match(i) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn count_soa_lanes_avx512<const L: usize>(
+    metric: Metric,
+    dim: usize,
+    query: &[f64],
+    soa: &[f64],
+    rows: usize,
+    thr: f64,
+    cap: usize,
+    count: &mut usize,
+) -> bool {
+    let mut base = 0usize;
+    while base + L <= rows {
+        let mask = unsafe { group_mask_avx512::<L>(metric, dim, query, soa, rows, base, thr) };
+        *count += mask.count_ones() as usize;
+        if *count >= cap {
+            return true;
+        }
+        base += L;
+    }
+    for i in base..rows {
+        *count += (reduced_soa_point(metric, dim, query, soa, rows, i) <= thr) as usize;
+        if *count >= cap {
+            return true;
+        }
+    }
+    false
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn count_soa_dispatch<const L: usize>(
+    metric: Metric,
+    dim: usize,
+    query: &[f64],
+    soa: &[f64],
+    rows: usize,
+    thr: f64,
+    cap: usize,
+    count: &mut usize,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if L >= 8 && std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: the avx512f feature was just detected on this CPU.
+            return unsafe {
+                count_soa_lanes_avx512::<L>(metric, dim, query, soa, rows, thr, cap, count)
+            };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 feature was just detected on this CPU.
+            return unsafe {
+                count_soa_lanes_avx2::<L>(metric, dim, query, soa, rows, thr, cap, count)
+            };
+        }
+    }
+    count_soa_lanes::<L>(metric, dim, query, soa, rows, thr, cap, count)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn count_soa_lanes_avx2<const L: usize>(
+    metric: Metric,
+    dim: usize,
+    query: &[f64],
+    soa: &[f64],
+    rows: usize,
+    thr: f64,
+    cap: usize,
+    count: &mut usize,
+) -> bool {
+    let mut base = 0usize;
+    while base + L <= rows {
+        let mask = unsafe { group_mask_avx2::<L>(metric, dim, query, soa, rows, base, thr) };
+        *count += mask.count_ones() as usize;
+        if *count >= cap {
+            return true;
+        }
+        base += L;
+    }
+    for i in base..rows {
+        *count += (reduced_soa_point(metric, dim, query, soa, rows, i) <= thr) as usize;
+        if *count >= cap {
+            return true;
+        }
+    }
+    false
+}
+
+#[inline(always)]
+fn scan_soa_lanes<const L: usize, F: FnMut(usize) -> bool>(
+    metric: Metric,
+    dim: usize,
+    query: &[f64],
+    soa: &[f64],
+    rows: usize,
+    thr: f64,
+    mut on_match: F,
+) -> bool {
+    let mut base = 0usize;
+    while base + L <= rows {
+        let acc = group_distances::<L>(metric, dim, query, soa, rows, base);
+        // branch-free threshold pass: one compare bit per lane (LLVM
+        // lowers the reduction to a vector compare + movemask), then
+        // report set bits in row order — the usual all-zero mask skips
+        // the emission loop entirely
+        let mut mask = 0u32;
+        for (j, &a) in acc.iter().enumerate() {
+            mask |= u32::from(a <= thr) << j;
+        }
+        while mask != 0 {
+            let j = mask.trailing_zeros() as usize;
+            if !on_match(base + j) {
+                return false;
+            }
+            mask &= mask - 1;
+        }
+        base += L;
+    }
+    for i in base..rows {
+        if reduced_soa_point(metric, dim, query, soa, rows, i) <= thr && !on_match(i) {
+            return false;
+        }
+    }
+    true
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn count_soa_lanes<const L: usize>(
+    metric: Metric,
+    dim: usize,
+    query: &[f64],
+    soa: &[f64],
+    rows: usize,
+    thr: f64,
+    cap: usize,
+    count: &mut usize,
+) -> bool {
+    let mut base = 0usize;
+    while base + L <= rows {
+        let acc = group_distances::<L>(metric, dim, query, soa, rows, base);
+        let mut mask = 0u32;
+        for (j, &a) in acc.iter().enumerate() {
+            mask |= u32::from(a <= thr) << j;
+        }
+        *count += mask.count_ones() as usize;
+        if *count >= cap {
+            return true;
+        }
+        base += L;
+    }
+    for i in base..rows {
+        *count += (reduced_soa_point(metric, dim, query, soa, rows, i) <= thr) as usize;
+        if *count >= cap {
+            return true;
+        }
+    }
+    false
+}
+
+/// Reduced distances of one full lane group, one lane per point. The
+/// outer loop runs coordinates in ascending order, so each lane's
+/// accumulation order matches the scalar kernels exactly; the inner
+/// `0..L` loop over a length-proven column slice is what LLVM turns
+/// into vector code.
+#[inline(always)]
+fn group_distances<const L: usize>(
+    metric: Metric,
+    dim: usize,
+    query: &[f64],
+    soa: &[f64],
+    rows: usize,
+    base: usize,
+) -> [f64; L] {
+    let mut acc = [0.0f64; L];
+    match metric {
+        Metric::Euclidean => {
+            for (k, &q) in query.iter().enumerate().take(dim) {
+                let col: &[f64; L] =
+                    soa[k * rows + base..k * rows + base + L].try_into().expect("full lane group");
+                for j in 0..L {
+                    let delta = q - col[j];
+                    acc[j] += delta * delta;
+                }
+            }
+        }
+        Metric::Manhattan => {
+            for (k, &q) in query.iter().enumerate().take(dim) {
+                let col: &[f64; L] =
+                    soa[k * rows + base..k * rows + base + L].try_into().expect("full lane group");
+                for j in 0..L {
+                    acc[j] += (q - col[j]).abs();
+                }
+            }
+        }
+        Metric::Chebyshev => {
+            for (k, &q) in query.iter().enumerate().take(dim) {
+                let col: &[f64; L] =
+                    soa[k * rows + base..k * rows + base + L].try_into().expect("full lane group");
+                for j in 0..L {
+                    acc[j] = f64::max(acc[j], (q - col[j]).abs());
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Reduced distance of one point of a dimension-major block (the
+/// remainder rows after the last full lane group). Same coordinate
+/// order as the scalar kernels.
+#[inline(always)]
+fn reduced_soa_point(
+    metric: Metric,
+    dim: usize,
+    query: &[f64],
+    soa: &[f64],
+    rows: usize,
+    i: usize,
+) -> f64 {
+    let mut acc = 0.0f64;
+    match metric {
+        Metric::Euclidean => {
+            for (k, &q) in query.iter().enumerate().take(dim) {
+                let delta = q - soa[k * rows + i];
+                acc += delta * delta;
+            }
+        }
+        Metric::Manhattan => {
+            for (k, &q) in query.iter().enumerate().take(dim) {
+                acc += (q - soa[k * rows + i]).abs();
+            }
+        }
+        Metric::Chebyshev => {
+            for (k, &q) in query.iter().enumerate().take(dim) {
+                acc = f64::max(acc, (q - soa[k * rows + i]).abs());
+            }
+        }
+    }
+    acc
+}
+
+/// Transpose one row-major block into dimension-major (SoA) order:
+/// `out[k * rows + i] = block[i * dim + k]`. The inverse of the gather
+/// the SoA kernels perform; `out.len() == block.len()`.
+pub fn transpose_block(block: &[f64], dim: usize, out: &mut [f64]) {
+    debug_assert_eq!(block.len(), out.len());
+    if dim == 0 {
+        return;
+    }
+    let rows = block.len() / dim;
+    for (i, row) in block.chunks_exact(dim).enumerate() {
+        for (k, &v) in row.iter().enumerate() {
+            out[k * rows + i] = v;
+        }
+    }
+}
+
 /// Reduced distance between a single pair of points, dispatched on
 /// length. Accumulation order matches the generic loops exactly, so the
 /// result is bit-identical to [`reduced_generic`].
@@ -126,6 +848,8 @@ pub fn reduced_distance_dispatch(metric: Metric, a: &[f64], b: &[f64]) -> f64 {
         2 => reduced_fixed::<2>(metric, a, b),
         3 => reduced_fixed::<3>(metric, a, b),
         4 => reduced_fixed::<4>(metric, a, b),
+        5 => reduced_fixed::<5>(metric, a, b),
+        6 => reduced_fixed::<6>(metric, a, b),
         _ => reduced_generic(metric, a, b),
     }
 }
@@ -145,11 +869,7 @@ fn reduced_fixed<const D: usize>(metric: Metric, a: &[f64], b: &[f64]) -> f64 {
 /// the specialized kernels must agree with bit for bit.
 #[inline]
 pub fn reduced_generic(metric: Metric, a: &[f64], b: &[f64]) -> f64 {
-    match metric {
-        Metric::Euclidean => crate::metric::squared_euclidean(a, b),
-        Metric::Manhattan => crate::metric::manhattan(a, b),
-        Metric::Chebyshev => crate::metric::chebyshev(a, b),
-    }
+    metric_kernel(metric)(a, b)
 }
 
 /// Squared Euclidean distance over a fixed dimension.
@@ -193,9 +913,15 @@ mod tests {
         (0..dim * rows).map(|i| ((i as f64) * 7.31).sin() * 40.0).collect()
     }
 
+    fn soa_of(block: &[f64], dim: usize) -> Vec<f64> {
+        let mut out = vec![0.0; block.len()];
+        transpose_block(block, dim, &mut out);
+        out
+    }
+
     #[test]
     fn dispatch_matches_generic_bit_for_bit() {
-        for dim in 1..=6 {
+        for dim in 1..=8 {
             let data = block(dim, 37);
             let q: Vec<f64> = (0..dim).map(|k| (k as f64) * 3.7 - 1.0).collect();
             for m in METRICS {
@@ -210,7 +936,7 @@ mod tests {
 
     #[test]
     fn scan_block_matches_generic_matches() {
-        for dim in 1..=6 {
+        for dim in 1..=8 {
             let data = block(dim, 53);
             let q: Vec<f64> = (0..dim).map(|k| (k as f64) * 1.3).collect();
             for m in METRICS {
@@ -232,6 +958,102 @@ mod tests {
     }
 
     #[test]
+    fn soa_scan_matches_row_major_scan() {
+        for dim in 1..=8 {
+            // rows chosen to leave a remainder group at every lane width
+            let data = block(dim, 43);
+            let soa = soa_of(&data, dim);
+            let q: Vec<f64> = (0..dim).map(|k| (k as f64) * 1.3).collect();
+            for m in METRICS {
+                for thr in [0.0, 10.0, 1000.0, f64::INFINITY] {
+                    for lanes in LANE_WIDTHS {
+                        let mut row_major = Vec::new();
+                        let mut lane = Vec::new();
+                        assert!(scan_block(m, dim, &q, &data, thr, |i| {
+                            row_major.push(i);
+                            true
+                        }));
+                        assert!(scan_block_soa(m, dim, &q, &soa, 43, thr, lanes, |i| {
+                            lane.push(i);
+                            true
+                        }));
+                        assert_eq!(
+                            row_major, lane,
+                            "dim={dim} metric={m:?} thr={thr} lanes={lanes}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_scan_early_exit_matches_row_major() {
+        let data = block(3, 100);
+        let soa = soa_of(&data, 3);
+        let q = [0.0, 0.0, 0.0];
+        for cap in [1usize, 3, 7] {
+            let run = |soa_path: bool| {
+                let mut hits = Vec::new();
+                let cb = |i: usize| {
+                    hits.push(i);
+                    hits.len() < cap
+                };
+                let finished = if soa_path {
+                    scan_block_soa(Metric::Euclidean, 3, &q, &soa, 100, f64::INFINITY, 8, cb)
+                } else {
+                    scan_block(Metric::Euclidean, 3, &q, &data, f64::INFINITY, cb)
+                };
+                (finished, hits)
+            };
+            assert_eq!(run(true), run(false), "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn count_soa_is_exact_below_cap_and_stops_at_cap() {
+        let data = block(2, 77);
+        let soa = soa_of(&data, 2);
+        let q = [1.0, -2.0];
+        for m in METRICS {
+            for thr in [0.0, 25.0, 1e6] {
+                let mut exact = 0usize;
+                scan_block(m, 2, &q, &data, thr, |_| {
+                    exact += 1;
+                    true
+                });
+                for lanes in LANE_WIDTHS {
+                    // cap above the block count: exact count, no exit
+                    let mut n = 0usize;
+                    let capped = count_block_soa(m, 2, &q, &soa, 77, thr, lanes, exact + 1, &mut n);
+                    assert!(!capped);
+                    assert_eq!(n, exact, "metric={m:?} thr={thr} lanes={lanes}");
+                    // cap at/below the count: must report reached
+                    if exact > 0 {
+                        let mut n = 0usize;
+                        assert!(count_block_soa(m, 2, &q, &soa, 77, thr, lanes, exact, &mut n));
+                        assert!(n >= exact);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips_losslessly() {
+        for dim in 1..=6 {
+            let data = block(dim, 29);
+            let soa = soa_of(&data, dim);
+            let rows = 29;
+            for (i, row) in data.chunks_exact(dim).enumerate() {
+                for (k, &v) in row.iter().enumerate() {
+                    assert_eq!(v.to_bits(), soa[k * rows + i].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
     fn early_exit_stops_the_scan() {
         let data = block(2, 100);
         let mut seen = 0usize;
@@ -245,17 +1067,56 @@ mod tests {
 
     #[test]
     fn empty_block_scans_nothing() {
-        for dim in [1, 2, 3, 4, 5] {
+        for dim in [1, 2, 3, 4, 5, 6, 7] {
             let q = vec![0.0; dim];
             assert!(scan_block(Metric::Euclidean, dim, &q, &[], 1.0, |_| panic!("no rows")));
+            assert!(scan_block_soa(Metric::Euclidean, dim, &q, &[], 0, 1.0, 8, |_| panic!(
+                "no rows"
+            )));
         }
     }
 
     #[test]
     fn specialized_dims_are_dispatched() {
-        // sanity: the dispatch table covers exactly what it claims
-        for d in SPECIALIZED_DIMS {
-            assert!((2..=4).contains(&d));
-        }
+        // sanity: the dispatch table covers exactly what it claims —
+        // every neighborhood-grid dimension up to MAX_NEIGHBORHOOD_DIM
+        assert_eq!(SPECIALIZED_DIMS.to_vec(), (2..=6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kernel_config_env_parsing_contract() {
+        let d = KernelConfig::default();
+        assert_eq!(d.layout, KernelLayout::Lanes);
+        assert_eq!(d.lanes, DEFAULT_LANES);
+        assert_eq!(d.batch, 0);
+        assert!(!d.count_fast_path);
+        assert_eq!(KernelConfig::from_env_values(None, None, None, None), d);
+        let c =
+            KernelConfig::from_env_values(Some(" SCALAR "), Some("5"), Some("32"), Some("true"));
+        assert_eq!(c.layout, KernelLayout::Scalar);
+        assert_eq!(c.lanes, 8, "5 snaps up to the nearest monomorphized width");
+        assert_eq!(c.batch, 32);
+        assert!(c.count_fast_path);
+        // junk keeps defaults per knob
+        let j = KernelConfig::from_env_values(Some("simd"), Some("lots"), Some("-1"), Some("yep"));
+        assert_eq!(j, d);
+        assert_eq!(KernelConfig::from_env_values(None, Some("99"), None, None).lanes, 16);
+        assert_eq!(KernelConfig::from_env_values(None, Some("1"), None, None).lanes, 4);
+        assert_eq!(KernelConfig::scalar().layout, KernelLayout::Scalar);
+    }
+
+    #[test]
+    fn kernel_counters_merge() {
+        let mut a = KernelCounters::default();
+        assert!(a.is_zero());
+        let b =
+            KernelCounters { blocks_scanned: 1, rows_scanned: 16, range_hits: 3, early_exits: 1 };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.blocks_scanned, 2);
+        assert_eq!(a.rows_scanned, 32);
+        assert_eq!(a.range_hits, 6);
+        assert_eq!(a.early_exits, 2);
+        assert!(!a.is_zero());
     }
 }

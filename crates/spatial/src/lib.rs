@@ -47,7 +47,11 @@ pub use dataset::Dataset;
 pub use grid::GridIndex;
 pub use index::SpatialIndex;
 pub use kdtree::{KdTree, PruneConfig};
-pub use kernel::{scan_block, scan_block_generic, SPECIALIZED_DIMS};
+pub use kernel::{
+    count_block_soa, metric_kernel, scan_block, scan_block_generic, scan_block_soa,
+    transpose_block, KernelConfig, KernelCounters, KernelLayout, DEFAULT_LANES, LANE_WIDTHS,
+    SPECIALIZED_DIMS,
+};
 pub use metric::{chebyshev, euclidean, manhattan, squared_euclidean, Metric};
 pub use point::PointId;
 pub use rtree::RTree;

@@ -1,11 +1,13 @@
-//! Property tests for the dimension-monomorphized kernels: the
-//! specialized `D = 2/3/4` paths must be **byte-identical** to the
-//! generic dynamic-length loops — same matched rows, same `f64` bits —
-//! and the indexes wired through them must still agree with each other.
+//! Property tests for the dimension-monomorphized and lane-blocked
+//! kernels: the specialized `D = 2..=6` paths and the SoA lane kernels
+//! must be **byte-identical** to the generic dynamic-length loops —
+//! same matched rows, same `f64` bits, same early-exit row — and the
+//! indexes wired through them must still agree with each other.
 
 use dbscan_spatial::{
-    scan_block, scan_block_generic, BkdTree, BruteForceIndex, Dataset, Metric, PointId,
-    QueryScratch, SpatialIndex, SPECIALIZED_DIMS,
+    count_block_soa, scan_block, scan_block_generic, scan_block_soa, transpose_block, BkdTree,
+    BruteForceIndex, Dataset, Metric, PointId, QueryScratch, SpatialIndex, LANE_WIDTHS,
+    SPECIALIZED_DIMS,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -99,13 +101,13 @@ proptest! {
     /// fallback dim, for every metric.
     #[test]
     fn bkdtree_matches_bruteforce_specialized_dims(
-        seed_rows in dataset_strategy(5),
+        seed_rows in dataset_strategy(7),
         eps in 0.0f64..40.0,
         bucket in 1usize..=16,
         metric_idx in 0usize..3,
     ) {
         let metric = METRICS[metric_idx];
-        for dim in SPECIALIZED_DIMS.iter().copied().chain([5usize]) {
+        for dim in SPECIALIZED_DIMS.iter().copied().chain([7usize]) {
             let rows: Vec<Vec<f64>> =
                 seed_rows.iter().map(|r| r[..dim].to_vec()).collect();
             let ds = Arc::new(Dataset::from_rows(rows));
@@ -118,6 +120,106 @@ proptest! {
                 bkd.range_into_scratch(row, eps, &mut scratch, &mut out);
                 prop_assert_eq!(sorted(out.clone()), sorted(bf.range(row, eps)));
                 prop_assert_eq!(bkd.count_within(row, eps), bf.count_within(row, eps));
+            }
+        }
+    }
+
+    /// SoA transposition is lossless: every coordinate lands at its
+    /// dimension-major slot with identical bits, and transposing back
+    /// reproduces the row-major block exactly.
+    #[test]
+    fn soa_transpose_round_trips_losslessly(
+        dim in 1usize..=6,
+        seed_rows in dataset_strategy(6),
+    ) {
+        let block: Vec<f64> =
+            seed_rows.iter().flat_map(|r| r[..dim].iter().copied()).collect();
+        let rows = block.len() / dim;
+        let mut soa = vec![0.0f64; block.len()];
+        transpose_block(&block, dim, &mut soa);
+        for i in 0..rows {
+            for k in 0..dim {
+                prop_assert_eq!(block[i * dim + k].to_bits(), soa[k * rows + i].to_bits());
+            }
+        }
+        // round trip: the SoA block viewed as a rows-per-"row" matrix
+        // transposes back to the original
+        let mut back = vec![0.0f64; block.len()];
+        transpose_block(&soa, rows, &mut back);
+        for (a, b) in block.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The lane-blocked SoA scan reports exactly the rows the scalar
+    /// scan reports, in the same order, for every dim, metric and lane
+    /// width — including the early-exit row when the callback stops.
+    #[test]
+    fn soa_scan_is_bit_identical_to_scalar(
+        dim in 1usize..=6,
+        seed_rows in dataset_strategy(6),
+        q6 in prop::collection::vec(-60.0f64..60.0, 6..=6),
+        eps in 0.0f64..60.0,
+        metric_idx in 0usize..3,
+        cap_raw in 0usize..8,
+    ) {
+        let cap = (cap_raw > 0).then_some(cap_raw);
+        let metric = METRICS[metric_idx];
+        let block: Vec<f64> =
+            seed_rows.iter().flat_map(|r| r[..dim].iter().copied()).collect();
+        let rows = block.len() / dim;
+        let mut soa = vec![0.0f64; block.len()];
+        transpose_block(&block, dim, &mut soa);
+        let q = &q6[..dim];
+        let thr = metric.threshold(eps);
+        let scalar = {
+            let mut hits = Vec::new();
+            let finished = scan_block(metric, dim, q, &block, thr, |i| {
+                hits.push(i);
+                cap.is_none_or(|c| hits.len() < c)
+            });
+            (finished, hits)
+        };
+        for lanes in LANE_WIDTHS {
+            let mut hits = Vec::new();
+            let finished = scan_block_soa(metric, dim, q, &soa, rows, thr, lanes, |i| {
+                hits.push(i);
+                cap.is_none_or(|c| hits.len() < c)
+            });
+            prop_assert_eq!(&(finished, hits), &scalar, "lanes={}", lanes);
+        }
+    }
+
+    /// The count-only kernel is exact below its cap and agrees with the
+    /// scalar match count; once capped it reports at least the cap.
+    #[test]
+    fn soa_count_is_exact_below_cap(
+        dim in 1usize..=6,
+        seed_rows in dataset_strategy(6),
+        q6 in prop::collection::vec(-60.0f64..60.0, 6..=6),
+        eps in 0.0f64..60.0,
+        metric_idx in 0usize..3,
+        cap in 1usize..200,
+    ) {
+        let metric = METRICS[metric_idx];
+        let block: Vec<f64> =
+            seed_rows.iter().flat_map(|r| r[..dim].iter().copied()).collect();
+        let rows = block.len() / dim;
+        let mut soa = vec![0.0f64; block.len()];
+        transpose_block(&block, dim, &mut soa);
+        let q = &q6[..dim];
+        let thr = metric.threshold(eps);
+        let mut exact = 0usize;
+        scan_block(metric, dim, q, &block, thr, |_| { exact += 1; true });
+        for lanes in LANE_WIDTHS {
+            let mut n = 0usize;
+            let capped = count_block_soa(metric, dim, q, &soa, rows, thr, lanes, cap, &mut n);
+            prop_assert_eq!(capped, exact >= cap, "lanes={}", lanes);
+            if capped {
+                prop_assert!(n >= cap);
+                prop_assert!(n <= exact, "no row is ever counted twice");
+            } else {
+                prop_assert_eq!(n, exact, "below the cap the count must be exact");
             }
         }
     }

@@ -56,7 +56,9 @@ pub mod prelude {
         RunnerError, SeedPolicy, SequentialDbscan, SparkDbscan,
     };
     pub use dbscan_datagen::{DatasetSpec, StandardDataset};
-    pub use dbscan_spatial::{BuildConfig, Dataset, KdTree, PointId, SpatialIndex};
+    pub use dbscan_spatial::{
+        BuildConfig, Dataset, KdTree, KernelConfig, KernelLayout, PointId, SpatialIndex,
+    };
     pub use sparklet::{
         ClusterConfig, Context, ExploreJob, ExploreReport, Explorer, MemoryBudget, MemoryStats,
         Replay, ReplayToken, SchedulePolicy, Seeded, SparkError, SpillError, TraceConfig,

@@ -1,0 +1,148 @@
+//! Kernel-configuration identity, end to end: the data layout
+//! (row-major scalar vs dimension-major SoA lanes), the lane width, and
+//! batched frontier expansion are pure *speed* knobs — labels,
+//! per-partition executor stats and the full event trace must be
+//! byte-identical across every configuration at every build/worker
+//! thread count. The `min_pts` early-exit fast path legitimately
+//! changes the kernel counters (it scans less), so it is compared
+//! modulo the zero-tick `TaskKernel` events, and those alone.
+
+use scalable_dbscan::datagen::{SkewedGenerator, SkewedParams};
+use scalable_dbscan::dbscan::{ExecutorStats, SparkDbscan};
+use scalable_dbscan::engine::Trace;
+use scalable_dbscan::prelude::*;
+use std::sync::Arc;
+
+const SEED: u64 = 11;
+const PARTITIONS: usize = 6;
+
+/// Seeded random workload, same recipe as the chaos harness.
+fn random_dataset() -> (Arc<Dataset>, DbscanParams) {
+    let mut spec = StandardDataset::C10k.scaled_spec(32);
+    spec.params.seed = 1000 + SEED;
+    let (data, _) = spec.generate();
+    (Arc::new(data), DbscanParams::new(spec.eps, spec.min_pts).unwrap())
+}
+
+/// Hotspot-skewed workload: dense Gaussian core plus uniform
+/// background, the worst case for batched expansion (huge frontiers in
+/// the hotspot, tiny ones outside).
+fn skewed_dataset() -> (Arc<Dataset>, DbscanParams) {
+    let (data, _) = SkewedGenerator::new(SkewedParams::new(600, 3, SEED)).generate();
+    (Arc::new(data), DbscanParams::new(25.0, 5).unwrap())
+}
+
+struct RunOut {
+    labels: Vec<Label>,
+    stats: Vec<(u32, ExecutorStats)>,
+    trace: Trace,
+}
+
+fn run_config(
+    data: &Arc<Dataset>,
+    params: DbscanParams,
+    kernel: KernelConfig,
+    build_threads: usize,
+    worker_threads: usize,
+) -> RunOut {
+    let mut cfg = ClusterConfig::local(4).with_trace(TraceConfig::enabled()).with_seed(SEED);
+    cfg.worker_threads = worker_threads;
+    let ctx = Context::new(cfg);
+    // explicit resources: the CI kernel matrix drives these same knobs
+    // through the environment, and this test must not inherit its cell
+    let res = Resources::new()
+        .with_build(BuildConfig::default().with_threads(build_threads).with_kernel(kernel));
+    let out = SparkDbscan::new(params)
+        .resources(res)
+        .exact()
+        .partitions(PARTITIONS)
+        .run(&ctx, Arc::clone(data));
+    RunOut {
+        labels: out.clustering.canonicalize().labels,
+        stats: out.executor_stats,
+        trace: ctx.trace().snapshot(),
+    }
+}
+
+#[test]
+fn every_kernel_configuration_is_byte_identical_to_scalar() {
+    // (kernel, build threads, worker threads): layouts, lane widths and
+    // batch sizes crossed with the thread counts the satellite pins
+    let arms = [
+        (KernelConfig::default(), 2, 2),
+        (KernelConfig::default().with_lanes(4), 8, 8),
+        (KernelConfig::default().with_lanes(16), 1, 1),
+        (KernelConfig::default().with_batch(1), 2, 1),
+        (KernelConfig::default().with_batch(32), 1, 8),
+        (KernelConfig::scalar().with_batch(7), 2, 2),
+    ];
+    for (name, (data, params)) in [("random", random_dataset()), ("skewed", skewed_dataset())] {
+        let reference = run_config(&data, params, KernelConfig::scalar(), 1, 1);
+        assert!(
+            reference.labels.iter().any(|l| matches!(l, Label::Cluster(_))),
+            "{name}: reference run must actually cluster something"
+        );
+        for (kernel, bt, wt) in arms {
+            let got = run_config(&data, params, kernel, bt, wt);
+            assert_eq!(
+                got.labels, reference.labels,
+                "{name}: labels differ for {kernel:?} build={bt} workers={wt}"
+            );
+            assert_eq!(
+                got.stats, reference.stats,
+                "{name}: executor stats differ for {kernel:?} build={bt} workers={wt}"
+            );
+            assert_eq!(
+                got.trace.events, reference.trace.events,
+                "{name}: trace differs for {kernel:?} build={bt} workers={wt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn count_fast_path_matches_modulo_kernel_counters() {
+    for (name, (data, params)) in [("random", random_dataset()), ("skewed", skewed_dataset())] {
+        let full = run_config(&data, params, KernelConfig::default(), 2, 2);
+        for kernel in [
+            KernelConfig::default().with_count_fast_path(true),
+            KernelConfig::default().with_batch(16).with_count_fast_path(true),
+        ] {
+            let fast = run_config(&data, params, kernel, 2, 2);
+            assert_eq!(fast.labels, full.labels, "{name}: labels differ for {kernel:?}");
+            let strip = |s: &[(u32, ExecutorStats)]| -> Vec<(u32, ExecutorStats)> {
+                s.iter().map(|&(p, st)| (p, st.without_kernel())).collect()
+            };
+            assert_eq!(
+                strip(&fast.stats),
+                strip(&full.stats),
+                "{name}: non-kernel stats differ for {kernel:?}"
+            );
+            assert_eq!(
+                fast.trace.without_kernel().events,
+                full.trace.without_kernel().events,
+                "{name}: trace modulo TaskKernel differs for {kernel:?}"
+            );
+            // the fast path must actually engage: core-point probes cap
+            // out at min_pts, which exact full scans never do
+            let exits = |s: &[(u32, ExecutorStats)]| -> u64 {
+                s.iter().map(|(_, st)| st.kernel.early_exits).sum()
+            };
+            assert_eq!(exits(&full.stats), 0, "{name}: exact full scans never cap");
+            assert!(
+                exits(&fast.stats) > 0,
+                "{name}: no count probe ever reached min_pts for {kernel:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn kernel_counters_reach_the_run_result_and_trace() {
+    let (data, params) = random_dataset();
+    let out = run_config(&data, params, KernelConfig::default(), 1, 1);
+    let total: u64 = out.stats.iter().map(|(_, s)| s.kernel.rows_scanned).sum();
+    assert!(total > 0, "exact runs over a BkdTree must count scanned rows");
+    let kernel_events = out.trace.events.iter().filter(|e| e.kind.category() == "kernel").count();
+    assert_eq!(kernel_events, PARTITIONS, "one TaskKernel event per task");
+}
