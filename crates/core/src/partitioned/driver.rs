@@ -246,6 +246,9 @@ impl SparkDbscan {
         if self.res.memory.is_bounded() {
             ctx.set_memory_budget(self.res.memory);
         }
+        if self.res.speculation.enabled {
+            ctx.set_speculation(self.res.speculation);
+        }
 
         // optional future-work feature: spatially coherent partitions
         let (data, inverse, reorder) = if self.spatial_partitioning {

@@ -33,7 +33,7 @@
 
 use crate::partitioned::planner::Balance;
 use dbscan_spatial::BuildConfig;
-use sparklet::MemoryBudget;
+use sparklet::{MemoryBudget, SpeculationConfig};
 
 /// Execution-resource configuration shared by the driver builders and
 /// the [`crate::runner::RunEnv`] facade. Construct with
@@ -55,6 +55,11 @@ pub struct Resources {
     /// Per-executor engine memory budget (unbounded by default). Applied
     /// to the engine context at run start when bounded.
     pub memory: MemoryBudget,
+    /// Speculative-execution policy for engine stages (off by default).
+    /// Applied to the engine context at run start when enabled. Benign
+    /// like every other field: the first-commit-wins protocol keeps
+    /// labels identical with speculation on or off.
+    pub speculation: SpeculationConfig,
 }
 
 impl Resources {
@@ -66,6 +71,7 @@ impl Resources {
             build: BuildConfig::default(),
             merge_threads: 0,
             memory: MemoryBudget::UNBOUNDED,
+            speculation: SpeculationConfig::OFF,
         }
     }
 
@@ -92,14 +98,22 @@ impl Resources {
     /// The contract, for any input including junk, overflow and empty
     /// strings — this function never panics and never errors:
     ///
-    /// * `build_threads`: whitespace-trimmed `usize`, else the default
-    ///   (`0` = auto). `0` is a *valid* value meaning auto.
-    /// * `mem_budget`: whitespace-trimmed `u64` byte count, else the
-    ///   default (unbounded). A parsed `0` clamps to a 1-byte bounded
-    ///   budget ([`MemoryBudget::per_executor`] keeps budgets non-zero).
+    /// * `build_threads`: whitespace-trimmed string of ASCII digits
+    ///   parsed as `usize`, else the default (`0` = auto). `0` is a
+    ///   *valid* value meaning auto.
+    /// * `mem_budget`: whitespace-trimmed string of ASCII digits parsed
+    ///   as a `u64` byte count, else the default (unbounded). A parsed
+    ///   `0` clamps to a 1-byte bounded budget
+    ///   ([`MemoryBudget::per_executor`] keeps budgets non-zero).
+    ///
+    /// Parsing is strictly digit-only: unlike Rust's integer `FromStr`,
+    /// a leading `+` (or any other non-digit) rejects the value. An
+    /// environment variable carrying `+8` is far likelier a templating
+    /// bug than an intentional sign, and silently accepting it would
+    /// make the contract depend on `FromStr` quirks.
     pub fn from_env_values(build_threads: Option<&str>, mem_budget: Option<&str>) -> Self {
         let mut r = Resources::new();
-        if let Some(t) = build_threads.and_then(|v| v.trim().parse::<usize>().ok()) {
+        if let Some(t) = build_threads.and_then(parse_env_uint::<usize>) {
             r.build = r.build.with_threads(t);
         }
         r.memory = parse_mem_budget(mem_budget);
@@ -135,6 +149,12 @@ impl Resources {
         self.with_memory(MemoryBudget::per_executor(bytes))
     }
 
+    /// Set the speculative-execution policy for engine stages.
+    pub fn with_speculation(mut self, speculation: SpeculationConfig) -> Self {
+        self.speculation = speculation;
+        self
+    }
+
     /// Whether this is exactly the library default ([`Resources::new`]).
     /// The runner facade uses this to leave a hand-configured
     /// [`crate::partitioned::driver::SparkDbscan`] untouched.
@@ -149,10 +169,22 @@ impl Default for Resources {
     }
 }
 
+/// Strict digit-only unsigned parsing for environment values: optional
+/// surrounding whitespace around a non-empty run of ASCII digits,
+/// nothing else. Rejects the leading `+` that integer `FromStr` would
+/// accept (see [`Resources::from_env_values`]).
+fn parse_env_uint<T: std::str::FromStr>(v: &str) -> Option<T> {
+    let t = v.trim();
+    if t.is_empty() || !t.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    t.parse::<T>().ok()
+}
+
 /// `DBSCAN_MEM_BUDGET` parser: a byte count bounds the budget; unset or
 /// unparsable leaves it unbounded.
 fn parse_mem_budget(var: Option<&str>) -> MemoryBudget {
-    match var.and_then(|v| v.trim().parse::<u64>().ok()) {
+    match var.and_then(parse_env_uint::<u64>) {
         Some(bytes) => MemoryBudget::per_executor(bytes),
         None => MemoryBudget::UNBOUNDED,
     }
@@ -194,6 +226,27 @@ mod tests {
         assert_eq!(parse_mem_budget(None), MemoryBudget::UNBOUNDED);
         // no env set under test: from_env mirrors the defaults
         assert!(!Resources::from_env().memory.is_bounded());
+    }
+
+    #[test]
+    fn env_parsing_is_strictly_digit_only() {
+        // signs that integer FromStr would happily accept are rejected
+        assert_eq!(Resources::from_env_values(Some("+8"), None).build.threads, 0);
+        assert_eq!(parse_mem_budget(Some("+4096")), MemoryBudget::UNBOUNDED);
+        assert_eq!(parse_mem_budget(Some("-1")), MemoryBudget::UNBOUNDED);
+        // inner whitespace and radix prefixes are junk too
+        assert_eq!(Resources::from_env_values(Some("1 2"), None).build.threads, 0);
+        assert_eq!(parse_mem_budget(Some("0x40")), MemoryBudget::UNBOUNDED);
+        // plain digits (with surrounding whitespace) still parse
+        assert_eq!(Resources::from_env_values(Some(" 8 "), None).build.threads, 8);
+    }
+
+    #[test]
+    fn speculation_defaults_off_and_builder_applies() {
+        assert_eq!(Resources::new().speculation, SpeculationConfig::OFF);
+        let r = Resources::new().with_speculation(SpeculationConfig::on());
+        assert!(r.speculation.enabled);
+        assert!(!r.is_default());
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod trace;
 
 pub use accumulator::Accumulator;
 pub use broadcast::Broadcast;
-pub use config::{ClusterConfig, StragglerConfig, TraceConfig};
+pub use config::{ClusterConfig, SpeculationConfig, StragglerConfig, TraceConfig};
 pub use context::{Context, KillReport};
 pub use error::{SparkError, SparkResult};
 pub use explore::{ExploreJob, ExploreReport, Explorer, JobArtifacts, MergeOnceCheck, Violation};

@@ -6,7 +6,7 @@
 //! quantities: every task records its busy time and virtual executor, and
 //! [`JobMetrics`] aggregates them and feeds the makespan simulator.
 
-use crate::config::StragglerConfig;
+use crate::config::{SpeculationConfig, StragglerConfig};
 use crate::memory::MemoryStats;
 use crate::sim::lpt_makespan;
 use std::time::Duration;
@@ -77,6 +77,31 @@ impl StageMetrics {
         self.tasks.iter().map(|t| t.simulated()).max().unwrap_or(Duration::ZERO)
     }
 
+    /// Simulated makespan of this stage on `p` executors under a
+    /// speculative-execution policy.
+    ///
+    /// The model mirrors the scheduler's detector: once an attempt has
+    /// run for the stage's median busy time scaled by
+    /// [`SpeculationConfig::multiplier`], a clone is launched; the clone
+    /// is free of the simulated straggler penalty (the penalty is keyed
+    /// by `(seed, stage, partition)` but a wall-clock straggler is an
+    /// environmental accident, which is exactly what speculation
+    /// hedges), so the task's effective duration is capped at
+    /// `busy + median x multiplier`. Tasks that were never straggled are
+    /// unaffected — their simulated time already sits below the cap.
+    /// With the policy disabled this is exactly
+    /// [`StageMetrics::simulated_makespan`].
+    pub fn speculated_makespan(&self, p: usize, spec: SpeculationConfig) -> Duration {
+        if !spec.enabled || self.tasks.is_empty() {
+            return self.simulated_makespan(p);
+        }
+        let mut busys: Vec<Duration> = self.tasks.iter().map(|t| t.busy).collect();
+        busys.sort_unstable();
+        let median = busys[busys.len() / 2];
+        let cap = median.mul_f64(spec.multiplier());
+        lpt_makespan(self.tasks.iter().map(|t| t.simulated().min(t.busy + cap)), p)
+    }
+
     /// Max-over-mean of simulated task times — the stage's load-balance
     /// number. `1.0` means perfectly even tasks; the stage's wall clock
     /// is roughly `mean x ratio` once executors outnumber tasks, so the
@@ -124,6 +149,13 @@ impl JobMetrics {
     /// shuffle dependency.
     pub fn simulated_executor_time(&self, p: usize) -> Duration {
         self.stages.iter().map(|s| s.simulated_makespan(p)).sum()
+    }
+
+    /// Simulated executor wall time on `p` cores under a
+    /// speculative-execution policy (see
+    /// [`StageMetrics::speculated_makespan`]).
+    pub fn speculated_executor_time(&self, p: usize, spec: SpeculationConfig) -> Duration {
+        self.stages.iter().map(|s| s.speculated_makespan(p, spec)).sum()
     }
 
     /// Driver-side time: job wall minus the time the driver spent just
@@ -235,6 +267,26 @@ mod tests {
         assert_eq!(j.simulated_executor_time(2), Duration::from_millis(15));
         assert_eq!(j.driver_overhead(), Duration::from_millis(20));
         assert_eq!(j.task_durations().len(), 3);
+    }
+
+    #[test]
+    fn speculated_makespan_caps_straggler_tails() {
+        // four even 100ms tasks, one straggled to 8x
+        let mut tasks: Vec<TaskMetrics> = (0..4).map(|i| task(i, 100)).collect();
+        tasks[3].straggler_extra = Duration::from_millis(700);
+        let s = stage(tasks);
+        let off = s.simulated_makespan(4);
+        assert_eq!(off, Duration::from_millis(800), "tail dominated by the straggler");
+        let spec = SpeculationConfig::on().with_multiplier_pct(150);
+        let on = s.speculated_makespan(4, spec);
+        // clone launched at 1.5x the 100ms median, finishes busy later
+        assert_eq!(on, Duration::from_millis(250));
+        assert!(off.as_secs_f64() / on.as_secs_f64() >= 2.0, "at least 2x tail reduction");
+        // a disabled policy is exactly the plain simulation
+        assert_eq!(s.speculated_makespan(4, SpeculationConfig::OFF), off);
+        // never-straggled tasks are untouched by the cap
+        let even = stage((0..4).map(|i| task(i, 100)).collect());
+        assert_eq!(even.speculated_makespan(4, spec), even.simulated_makespan(4));
     }
 
     #[test]

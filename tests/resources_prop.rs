@@ -21,6 +21,14 @@ fn arb_padding() -> impl Strategy<Value = String> {
         .prop_map(|ix| ix.into_iter().map(|i| [' ', '\t', '\n'][i]).collect())
 }
 
+/// The documented parsing contract, restated independently of the
+/// implementation: trimmed, non-empty, ASCII digits only. Notably
+/// stricter than integer `FromStr`, which would accept a leading `+`.
+fn strict_uint<T: std::str::FromStr>(v: &str) -> Option<T> {
+    let t = v.trim();
+    (!t.is_empty() && t.bytes().all(|b| b.is_ascii_digit())).then(|| t.parse().ok()).flatten()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -33,11 +41,11 @@ proptest! {
         // whatever happened, the result is either the documented default
         // or a faithfully parsed override — mirroring the contract, not
         // the implementation
-        match threads.as_deref().and_then(|v| v.trim().parse::<usize>().ok()) {
+        match threads.as_deref().and_then(strict_uint::<usize>) {
             Some(t) => prop_assert_eq!(r.build.threads, t),
             None => prop_assert_eq!(r.build.threads, 0, "junk threads must mean auto"),
         }
-        match budget.as_deref().and_then(|v| v.trim().parse::<u64>().ok()) {
+        match budget.as_deref().and_then(strict_uint::<u64>) {
             Some(b) => prop_assert_eq!(r.memory, MemoryBudget::per_executor(b)),
             None => prop_assert!(!r.memory.is_bounded(), "junk budget must mean unbounded"),
         }
@@ -81,6 +89,8 @@ fn documented_defaults_for_the_usual_suspects() {
         "   ",
         "lots",
         "-1",
+        "+8",
+        "+4096",
         "1e6",
         "0x10",
         "4 threads",
@@ -96,11 +106,14 @@ fn documented_defaults_for_the_usual_suspects() {
 }
 
 #[test]
-fn leading_plus_sign_parses_like_rust_integers_do() {
-    // `str::parse` accepts an explicit plus, so the env contract does too
+fn leading_plus_sign_is_rejected_as_junk() {
+    // `str::parse` accepts an explicit plus, but the env contract is
+    // strictly digit-only: `+8` in an environment variable is far more
+    // likely a templating bug than an intentional sign, so it falls
+    // back to the documented defaults instead of half-parsing
     let r = Resources::from_env_values(Some("+8"), Some("+4096"));
-    assert_eq!(r.build.threads, 8);
-    assert_eq!(r.memory.bytes(), 4096);
+    assert_eq!(r.build.threads, 0, "signed threads value must mean auto");
+    assert!(!r.memory.is_bounded(), "signed budget value must mean unbounded");
 }
 
 #[test]

@@ -93,6 +93,28 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait elapsed with no message queued.
+        Timeout,
+        /// The channel is empty and every sender has disconnected.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     impl<T> Sender<T> {
         /// Enqueue a message, failing only if every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
@@ -126,6 +148,31 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, RecvError> {
             let mut q = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
             q.pop_front().ok_or(RecvError)
+        }
+
+        /// Block until a message arrives, every sender is gone, or
+        /// `timeout` elapses — whichever happens first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) =
+                    self.0.ready.wait_timeout(q, left).unwrap_or_else(|p| p.into_inner());
+                // loop re-checks the queue: a spurious or timed-out wake
+                // may still race with a send that already enqueued
+                q = guard;
+            }
         }
     }
 
@@ -175,6 +222,24 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u32>();
+            let t0 = std::time::Instant::now();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(10)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]
